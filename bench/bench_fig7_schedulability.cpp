@@ -1,0 +1,85 @@
+// Reproduces Figure 7: using LLA to test the schedulability of a workload.
+//
+// The 6-task workload keeps the ORIGINAL critical times (unlike Figure 6's
+// scaled ones), which makes it unschedulable: utility and share sums fail
+// to converge and the critical-time constraints stay violated (the paper
+// observes critical paths at 1.75-2.41x the constraints).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "core/schedulability.h"
+#include "workloads/paper.h"
+
+using namespace lla;
+
+int main() {
+  bench::PrintHeader(
+      "bench_fig7_schedulability — LLA as a schedulability test",
+      "Figure 7 (utility and share sums on the unschedulable 6-task "
+      "workload)",
+      "no convergence; share sums and utility keep fluctuating; critical "
+      "paths persistently above the critical times -> verdict "
+      "'unschedulable'");
+
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/false);
+  if (!workload.ok()) {
+    std::printf("workload error: %s\n", workload.error().c_str());
+    return 1;
+  }
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  // Trace run (the figure's series).
+  {
+    LlaConfig config = bench::PaperLlaConfig();
+    config.convergence.rel_tol = 1e-9;
+    LlaEngine engine(w, model, config);
+    std::printf("\n%6s %14s %16s %16s\n", "iter", "utility",
+                "max share sum", "max path ratio");
+    for (int i = 1; i <= 1500; ++i) {
+      const IterationStats stats = engine.Step();
+      if (i <= 10 || i % 100 == 0) {
+        double max_share = 0.0;
+        const FeasibilityReport report = engine.Feasibility();
+        for (double sum : report.resource_share_sums) {
+          max_share = std::max(max_share, sum);
+        }
+        std::printf("%6d %14.2f %16.4f %16.4f\n", i, stats.total_utility,
+                    max_share, stats.max_path_ratio);
+      }
+    }
+    std::printf("\nper-task critical-path / critical-time at the last "
+                "iterate (paper: 1.75-2.41):\n");
+    for (const TaskInfo& task : w.tasks()) {
+      std::printf("  %-22s %.3f\n", task.name.c_str(),
+                  CriticalPathLatency(w, task.id, engine.latencies()) /
+                      task.critical_time_ms);
+    }
+  }
+
+  // Verdict from the tester.
+  SchedulabilityConfig tester_config;
+  tester_config.lla = bench::PaperLlaConfig();
+  tester_config.max_iterations = 1500;
+  SchedulabilityTester tester(w, model, tester_config);
+  const SchedulabilityReport report = tester.Test();
+  std::printf("\nverdict: %s\n  %s\n  trailing mean path ratio %.3f, "
+              "trailing mean resource excess %.3f\n",
+              ToString(report.verdict), report.explanation.c_str(),
+              report.mean_max_path_ratio, report.mean_max_resource_excess);
+
+  // Contrast: the same replication with scaled critical times is
+  // schedulable (the Figure 6 configuration).
+  auto scaled = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  LatencyModel scaled_model(scaled.value());
+  SchedulabilityConfig ok_config;
+  ok_config.lla = bench::PaperLlaConfig();
+  ok_config.lla.gamma0 = 3.0;
+  ok_config.max_iterations = 25000;
+  SchedulabilityTester ok_tester(scaled.value(), scaled_model, ok_config);
+  const SchedulabilityReport ok_report = ok_tester.Test();
+  std::printf("\ncontrol (scaled critical times): %s — %s\n",
+              ToString(ok_report.verdict), ok_report.explanation.c_str());
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the kernels whose cost the paper
+// discusses qualitatively ("computation overhead induced by the optimizer is
+// rather small", Sec. 6.4): one LLA iteration, its two half-steps, message
+// serialization, and the discrete-event scheduler inner loop.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "net/message.h"
+#include "sim/ps_scheduler.h"
+#include "sim/system_sim.h"
+#include "workloads/paper.h"
+
+namespace lla {
+namespace {
+
+void BM_EngineStep(benchmark::State& state) {
+  auto workload = MakeScaledSimWorkload(static_cast<int>(state.range(0)),
+                                        /*scale_critical_times=*/true);
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaConfig config;
+  config.record_history = false;
+  LlaEngine engine(w, model, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Step());
+  }
+  state.SetLabel(std::to_string(w.subtask_count()) + " subtasks");
+}
+BENCHMARK(BM_EngineStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LatencyAllocation(benchmark::State& state) {
+  auto workload = MakeSimWorkload();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LatencySolver solver(w, model);
+  PriceVector prices = PriceVector::Uniform(w, 50.0, 1.0);
+  Assignment latencies(w.subtask_count(), 0.0);
+  for (auto _ : state) {
+    solver.SolveAll(prices, &latencies);
+    benchmark::DoNotOptimize(latencies.data());
+  }
+}
+BENCHMARK(BM_LatencyAllocation);
+
+void BM_PriceUpdate(benchmark::State& state) {
+  auto workload = MakeSimWorkload();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  PriceUpdater updater(w, model);
+  PriceVector prices = PriceVector::Uniform(w, 50.0, 1.0);
+  StepSizes steps;
+  steps.resource.assign(w.resource_count(), 1.0);
+  steps.path.assign(w.path_count(), 1.0);
+  Assignment latencies(w.subtask_count(), 12.0);
+  for (auto _ : state) {
+    updater.Update(latencies, steps, &prices);
+    benchmark::DoNotOptimize(prices.mu.data());
+  }
+}
+BENCHMARK(BM_PriceUpdate);
+
+void BM_NonlinearUtilitySolve(benchmark::State& state) {
+  // The coupled fixed-point path (quadratic utility) vs the linear closed
+  // form measured by BM_LatencyAllocation.
+  auto base = MakeSimWorkload();
+  const Workload& proto = base.value();
+  std::vector<ResourceSpec> resources;
+  for (const ResourceInfo& r : proto.resources()) {
+    resources.push_back({r.name, r.kind, r.capacity, r.lag_ms});
+  }
+  std::vector<TaskSpec> tasks;
+  for (const TaskInfo& task : proto.tasks()) {
+    TaskSpec spec;
+    spec.name = task.name;
+    spec.critical_time_ms = task.critical_time_ms;
+    spec.utility = std::make_shared<PowerUtility>(
+        2.0 * task.critical_time_ms, 1.0 / task.critical_time_ms, 2.0);
+    spec.trigger = task.trigger;
+    spec.edges = task.dag.edges();
+    for (SubtaskId sid : task.subtasks) {
+      const SubtaskInfo& sub = proto.subtask(sid);
+      spec.subtasks.push_back(
+          {sub.name, sub.resource, sub.wcet_ms, sub.min_share});
+    }
+    tasks.push_back(std::move(spec));
+  }
+  auto workload = Workload::Create(std::move(resources), std::move(tasks));
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LatencySolver solver(w, model);
+  PriceVector prices = PriceVector::Uniform(w, 50.0, 1.0);
+  Assignment latencies(w.subtask_count(), 0.0);
+  for (auto _ : state) {
+    solver.SolveAll(prices, &latencies);
+    benchmark::DoNotOptimize(latencies.data());
+  }
+}
+BENCHMARK(BM_NonlinearUtilitySolve);
+
+void BM_MessageSerialize(benchmark::State& state) {
+  net::LatencyUpdate update;
+  update.task = TaskId(0u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    update.subtasks.push_back(SubtaskId(std::size_t{i}));
+    update.latencies_ms.push_back(12.5 + i);
+  }
+  net::Message message;
+  message.payload = std::move(update);
+  for (auto _ : state) {
+    auto bytes = net::Serialize(message);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_MessageSerialize);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  net::Message message;
+  message.payload = net::ResourcePriceUpdate{ResourceId(3u), 179.5, 42, true};
+  const auto bytes = net::Serialize(message);
+  for (auto _ : state) {
+    auto decoded = net::Deserialize(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+void BM_GpsSchedulerBusyPeriod(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::GpsScheduler gps(1.0);
+    std::vector<int> ids;
+    for (int i = 0; i < flows; ++i) ids.push_back(gps.AddFlow(1.0 + i % 3));
+    std::uint64_t job = 0;
+    for (int round = 0; round < 16; ++round) {
+      for (int i = 0; i < flows; ++i) {
+        gps.Enqueue(ids[i], {job++, 2.0, gps.now_ms()});
+      }
+      gps.AdvanceTo(gps.now_ms() + 2.0 * flows, nullptr);
+    }
+    benchmark::DoNotOptimize(gps.now_ms());
+  }
+}
+BENCHMARK(BM_GpsSchedulerBusyPeriod)->Arg(4)->Arg(12)->Arg(32);
+
+void BM_PrototypeSimulationSecond(benchmark::State& state) {
+  auto workload = MakePrototypeWorkload();
+  const Workload& w = workload.value();
+  sim::SimConfig config;
+  config.duration_ms = 1000.0;
+  config.warmup_ms = 0.0;
+  std::vector<double> shares(w.subtask_count());
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    shares[sub.id.value()] = sub.min_share > 0.15 ? 0.2857 : 0.1643;
+  }
+  for (auto _ : state) {
+    sim::SystemSimulator simulator(w, config);
+    benchmark::DoNotOptimize(simulator.Run(shares).jobs_completed);
+  }
+}
+BENCHMARK(BM_PrototypeSimulationSecond);
+
+}  // namespace
+}  // namespace lla
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Shared helpers for the paper-reproduction benches: consistent headers and
+// series printing so every bench emits a self-describing report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "model/workload.h"
+
+namespace lla::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const std::string& expectation) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper artifact: %s\n", paper_ref.c_str());
+  std::printf("Expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+/// Prints a utility-vs-iteration series, sampled so long runs stay readable.
+inline void PrintUtilitySeries(const std::string& label,
+                               const std::vector<IterationStats>& history,
+                               int max_points = 25) {
+  const int n = static_cast<int>(history.size());
+  const int stride = n <= max_points ? 1 : n / max_points;
+  std::printf("%-24s iter:utility  ", label.c_str());
+  for (int i = 0; i < n; i += stride) {
+    std::printf("%d:%.1f ", history[i].iteration, history[i].total_utility);
+  }
+  if (n > 0 && (n - 1) % stride != 0) {
+    std::printf("%d:%.1f", history[n - 1].iteration,
+                history[n - 1].total_utility);
+  }
+  std::printf("\n");
+}
+
+/// First iteration after which utility stays within `band` (relative) of the
+/// final value; -1 if it never settles.
+inline int SettleIteration(const std::vector<IterationStats>& history,
+                           double band = 0.01) {
+  if (history.empty()) return -1;
+  const double final_utility = history.back().total_utility;
+  const double tolerance =
+      band * std::max(1.0, std::abs(final_utility));
+  int settle = -1;
+  for (int i = static_cast<int>(history.size()) - 1; i >= 0; --i) {
+    if (std::abs(history[i].total_utility - final_utility) > tolerance) {
+      settle = history[i].iteration + 1;
+      break;
+    }
+  }
+  return settle == -1 ? 1 : settle;
+}
+
+/// The paper-calibrated engine configuration used by all benches.
+inline LlaConfig PaperLlaConfig() {
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.gamma0 = 4.0;
+  config.adaptive_max_multiplier = 8.0;
+  return config;
+}
+
+}  // namespace lla::bench

@@ -1,0 +1,96 @@
+// Online adaptation, end to end: the distributed runtime (controllers and
+// resource agents exchanging prices over a lossy bus) combined with online
+// model error correction against the discrete-event execution substrate —
+// the full Sec. 4 + Sec. 6 stack in one program.
+//
+// Phase 1: the prototype workload converges distributedly (async agents,
+//          1 ms +- 2 ms message delay, 1% loss).
+// Phase 2: the enacted shares run on the DES; the corrector learns the
+//          model error; the optimizer re-converges and frees CPU.
+#include <cstdio>
+
+#include "correction/error_corrector.h"
+#include "model/evaluation.h"
+#include "runtime/coordinator.h"
+#include "sim/system_sim.h"
+#include "workloads/paper.h"
+
+using namespace lla;
+
+int main() {
+  std::printf("== online adaptation: distributed optimizer + model "
+              "correction ==\n\n");
+
+  auto workload = MakePrototypeWorkload();
+  if (!workload.ok()) {
+    std::printf("workload error: %s\n", workload.error().c_str());
+    return 1;
+  }
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  runtime::CoordinatorConfig config;
+  config.step.gamma0 = 3.0;
+  config.bus.base_delay_ms = 1.0;
+  config.bus.jitter_ms = 2.0;
+  config.bus.drop_probability = 0.01;
+  config.bus.seed = 99;
+  runtime::Coordinator coordinator(w, model, config);
+  correction::ErrorCorrector corrector(w, &model, {});
+
+  const auto print_shares = [&](const char* phase) {
+    const Assignment assignment = coordinator.CurrentAssignment();
+    std::printf("%-34s fast share %.4f, slow share %.4f  (utility %.1f)\n",
+                phase, model.share(SubtaskId(0u)).Share(assignment[0]),
+                model.share(SubtaskId(6u)).Share(assignment[6]),
+                coordinator.CurrentUtility());
+  };
+
+  // Phase 1: distributed convergence on the uncorrected model.
+  coordinator.RunAsync(120000.0);  // 2 minutes of virtual time
+  print_shares("uncorrected distributed optimum:");
+
+  // Phase 2: alternate execution windows and correction rounds.
+  for (int window = 0; window < 8; ++window) {
+    // Enact the current allocation and execute 20 s on the substrate.
+    Assignment assignment = coordinator.CurrentAssignment();
+    std::vector<double> shares(w.subtask_count());
+    for (const SubtaskInfo& sub : w.subtasks()) {
+      shares[sub.id.value()] =
+          model.share(sub.id).Share(assignment[sub.id.value()]);
+    }
+    sim::SimConfig sim_config;
+    sim_config.duration_ms = 20000.0;
+    sim_config.seed = 1000 + window;
+    sim::SystemSimulator simulator(w, sim_config);
+    const sim::SimResult result = simulator.Run(shares);
+
+    // Learn the error; the runtime's controllers see the corrected model
+    // on their next timer tick (they share the LatencyModel).
+    corrector.Observe(result.subtask_latencies, shares);
+    coordinator.RunAsync(30000.0);
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "after correction window %d:",
+                  window + 1);
+    print_shares(label);
+  }
+
+  std::printf("\nlearned additive model errors (ms):\n");
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    if (sub.id.value() % 3 != 0) continue;  // one subtask per task
+    std::printf("  %-10s %8.2f\n", sub.name.c_str(),
+                corrector.error(sub.id));
+  }
+
+  const auto& stats = coordinator.bus().stats();
+  std::printf("\nprotocol traffic: %llu messages (%llu dropped), %.1f KiB\n",
+              static_cast<unsigned long long>(stats.sent),
+              static_cast<unsigned long long>(stats.dropped),
+              stats.bytes / 1024.0);
+  std::printf("\nThe fast tasks end at their 0.20 sustainable-minimum share "
+              "and the slow\ntasks absorb the recovered headroom — the "
+              "Figure 8 behaviour, produced by\nthe fully distributed "
+              "deployment.\n");
+  return 0;
+}

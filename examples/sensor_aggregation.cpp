@@ -1,0 +1,110 @@
+// Sensor aggregation (the paper's pull-based model, Sec. 5.1 task 2) with
+// percentile-based timeliness (Sec. 2.1): the SLA is on the 99th percentile
+// of end-to-end latency, so each subtask must budget for a tighter
+// per-subtask percentile (p^(1/n) for an n-hop path).  The example
+// optimizes with LLA and then *validates the percentile math* by executing
+// the allocation on the discrete-event substrate and measuring the actual
+// end-to-end p99.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "model/evaluation.h"
+#include "model/percentile.h"
+#include "sim/system_sim.h"
+
+using namespace lla;
+
+int main() {
+  std::printf("== sensor aggregation with percentile SLAs ==\n\n");
+
+  // Query node -> aggregator -> {sensor hub A, sensor hub B}; hub A feeds a
+  // post-processor.  One CPU or link per hop.
+  std::vector<ResourceSpec> resources = {
+      {"query-cpu", ResourceKind::kCpu, 0.9, 1.0},
+      {"collect-link", ResourceKind::kNetworkLink, 0.95, 0.5},
+      {"hub-a-cpu", ResourceKind::kCpu, 0.9, 1.0},
+      {"hub-b-cpu", ResourceKind::kCpu, 0.9, 1.0},
+      {"post-cpu", ResourceKind::kCpu, 0.9, 1.0},
+  };
+
+  TaskSpec aggregate;
+  aggregate.name = "aggregate";
+  aggregate.critical_time_ms = 80.0;
+  aggregate.subtasks = {
+      {"issue-query", ResourceId(0u), 2.0, 0.05},
+      {"collect", ResourceId(1u), 4.0, 0.08},
+      {"hub-a", ResourceId(2u), 5.0, 0.10},
+      {"hub-b", ResourceId(3u), 6.0, 0.12},
+      {"post-process", ResourceId(4u), 5.0, 0.10},
+  };
+  aggregate.edges = {{0, 1}, {1, 2}, {1, 3}, {2, 4}};
+  aggregate.utility = MakePaperSimUtility(80.0);
+  aggregate.trigger = TriggerSpec::Periodic(50.0);
+
+  auto workload = Workload::Create(std::move(resources), {aggregate});
+  if (!workload.ok()) {
+    std::printf("workload error: %s\n", workload.error().c_str());
+    return 1;
+  }
+  const Workload& w = workload.value();
+
+  // Percentile composition (Sec. 2.1): the longest path has 4 hops, so a
+  // p99 end-to-end target needs each subtask to hold its budget at the
+  // per-subtask percentile q = 0.99^(1/4).
+  const double sla_fraction = 0.99;
+  std::printf("per-subtask percentile needed for an end-to-end p99 target:\n");
+  for (const PathInfo& path : w.paths()) {
+    const int hops = static_cast<int>(path.subtasks.size());
+    std::printf("  %d-hop path: q = %.4f (paper notation: %.2fth "
+                "percentile)\n",
+                hops, PerSubtaskPercentile(sla_fraction, hops),
+                PerSubtaskPercentilePct(99.0, hops));
+  }
+
+  // Optimize the latency budgets.
+  LatencyModel model(w);
+  LlaEngine engine(w, model, LlaConfig{});
+  const RunResult result = engine.Run(8000);
+  std::printf("\nLLA: converged=%s, utility %.2f\n",
+              result.converged ? "yes" : "no", result.final_utility);
+  std::printf("%-16s %12s %8s\n", "subtask", "budget(ms)", "share");
+  std::vector<double> shares(w.subtask_count());
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    const double latency = engine.latencies()[sub.id.value()];
+    shares[sub.id.value()] = model.share(sub.id).Share(latency);
+    std::printf("%-16s %12.2f %8.3f\n", sub.name.c_str(), latency,
+                shares[sub.id.value()]);
+  }
+
+  // Validate on the execution substrate: enact the shares, run 60 s, and
+  // compare measured percentiles against the budgets.
+  sim::SimConfig sim_config;
+  sim_config.duration_ms = 60000.0;
+  sim_config.seed = 4242;
+  sim::SystemSimulator simulator(w, sim_config);
+  const sim::SimResult sim_result = simulator.Run(shares);
+
+  std::printf("\nmeasured on the DES substrate (60 s, %llu queries):\n",
+              static_cast<unsigned long long>(sim_result.job_sets_completed));
+  const int longest_path = 4;
+  const double q = PerSubtaskPercentile(sla_fraction, longest_path);
+  std::printf("%-16s %14s %16s\n", "subtask", "budget(ms)",
+              "measured q-tile");
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    std::printf("%-16s %14.2f %16.2f\n", sub.name.c_str(),
+                engine.latencies()[sub.id.value()],
+                sim_result.subtask_latencies[sub.id.value()].Value(q));
+  }
+  const auto& e2e = sim_result.task_latencies[0];
+  std::printf("\nend-to-end:  p50 %.1f ms   p99 %.1f ms   SLA %.0f ms   "
+              "-> %s\n",
+              e2e.Value(0.5), e2e.Value(sla_fraction),
+              aggregate.critical_time_ms,
+              e2e.Value(sla_fraction) <= aggregate.critical_time_ms
+                  ? "SLA met"
+                  : "SLA MISSED");
+  std::printf("\n(The measured percentiles sit well below the budgets — the "
+              "conservative\nmodel headroom the paper's error correction "
+              "recovers; see bench_fig8.)\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "admission/admission.h"
+
+#include <sstream>
+
+#include "solver/phase1.h"
+
+namespace lla::admission {
+
+const char* ToString(Decision decision) {
+  switch (decision) {
+    case Decision::kAdmitted:
+      return "admitted";
+    case Decision::kRejectedInvalid:
+      return "rejected (invalid)";
+    case Decision::kRejectedInfeasible:
+      return "rejected (infeasible)";
+    case Decision::kRejectedNetBenefit:
+      return "rejected (net benefit)";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(std::vector<ResourceSpec> resources,
+                                         AdmissionConfig config)
+    : resources_(std::move(resources)), config_(config) {}
+
+std::vector<std::string> AdmissionController::TaskNames() const {
+  std::vector<std::string> names;
+  names.reserve(tasks_.size());
+  for (const TaskSpec& task : tasks_) names.push_back(task.name);
+  return names;
+}
+
+Expected<Workload> AdmissionController::BuildWorkload() const {
+  if (tasks_.empty()) {
+    return Expected<Workload>::Error("AdmissionController: no tasks admitted");
+  }
+  return Workload::Create(resources_, tasks_);
+}
+
+bool AdmissionController::Schedulable(const std::vector<TaskSpec>& tasks,
+                                      double* utility,
+                                      std::string* reason) const {
+  auto workload = Workload::Create(resources_, tasks);
+  if (!workload.ok()) {
+    *reason = workload.error();
+    return false;
+  }
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  // Necessary condition: sustainable minimum shares fit.
+  for (const ResourceInfo& resource : w.resources()) {
+    const double demand = w.MinShareDemand(resource.id);
+    if (demand > resource.capacity) {
+      std::ostringstream os;
+      os << "minimum sustainable share demand " << demand << " exceeds "
+         << resource.name << " capacity " << resource.capacity;
+      *reason = os.str();
+      return false;
+    }
+  }
+
+  // Fast certificate: Phase-I finds (or fails to find) an interior point.
+  if (config_.phase1_precheck) {
+    Phase1Solver phase1(w, model);
+    const Phase1Result result = phase1.Solve();
+    if (!result.strictly_feasible && result.max_violation > 1e-3) {
+      std::ostringstream os;
+      os << "Phase-I residual " << result.max_violation
+         << ": no feasible assignment exists";
+      *reason = os.str();
+      return false;
+    }
+  }
+
+  // Full test: the optimizer itself (paper Sec. 5.4).
+  LlaConfig lla_config = config_.lla;
+  lla_config.record_history = false;
+  LlaEngine engine(w, model, lla_config);
+  const RunResult run = engine.Run(config_.max_iterations);
+  *utility = run.final_utility;
+  if (!run.converged || !run.final_feasibility.feasible) {
+    std::ostringstream os;
+    os << "optimizer " << (run.converged ? "converged infeasible" :
+                           "did not converge")
+       << " after " << run.iterations << " iterations";
+    *reason = os.str();
+    return false;
+  }
+  return true;
+}
+
+AdmissionReport AdmissionController::TryAdmit(const TaskSpec& candidate) {
+  AdmissionReport report;
+
+  // Utility of the incumbents (for the net-benefit policy and reporting).
+  if (!tasks_.empty()) {
+    std::string unused;
+    if (!Schedulable(tasks_, &report.utility_before, &unused)) {
+      // Should not happen (we only admit schedulable sets), but stay safe.
+      report.utility_before = 0.0;
+    }
+  }
+
+  std::vector<TaskSpec> trial = tasks_;
+  trial.push_back(candidate);
+
+  std::string reason;
+  double utility_after = 0.0;
+  {
+    // Validation distinct from schedulability for a precise decision code.
+    auto workload = Workload::Create(resources_, trial);
+    if (!workload.ok()) {
+      report.decision = Decision::kRejectedInvalid;
+      report.reason = workload.error();
+      return report;
+    }
+  }
+  if (!Schedulable(trial, &utility_after, &reason)) {
+    report.decision = Decision::kRejectedInfeasible;
+    report.reason = reason;
+    return report;
+  }
+  report.utility_after = utility_after;
+
+  if (config_.policy == Policy::kNetBenefit &&
+      utility_after - report.utility_before < config_.min_net_benefit) {
+    std::ostringstream os;
+    os << "net benefit " << (utility_after - report.utility_before)
+       << " below required " << config_.min_net_benefit;
+    report.decision = Decision::kRejectedNetBenefit;
+    report.reason = os.str();
+    return report;
+  }
+
+  tasks_.push_back(candidate);
+  report.decision = Decision::kAdmitted;
+  std::ostringstream os;
+  os << "admitted; optimal utility " << report.utility_before << " -> "
+     << utility_after;
+  report.reason = os.str();
+  return report;
+}
+
+bool AdmissionController::Remove(const std::string& task_name) {
+  for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
+    if (it->name == task_name) {
+      tasks_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+double AdmissionController::CurrentUtility() const {
+  if (tasks_.empty()) return 0.0;
+  double utility = 0.0;
+  std::string unused;
+  Schedulable(tasks_, &utility, &unused);
+  return utility;
+}
+
+}  // namespace lla::admission

@@ -1,0 +1,89 @@
+// Admission control layered on top of LLA (paper Sec. 3.2: "We assume any
+// admission control is layered on top of our approach").
+//
+// The controller owns the set of admitted task specs.  A candidate task is
+// admitted only if the combined workload remains schedulable — tested
+// exactly the way the paper proposes (Sec. 5.4): run the optimizer and see
+// whether it converges to a feasible assignment, with two cheap prechecks
+// first (sustainable-share sums and the Phase-I feasibility solver).
+//
+// Two policies:
+//   * kFeasibilityOnly — admit anything schedulable;
+//   * kNetBenefit     — additionally require that total utility with the
+//     newcomer exceed the incumbent-only utility by a margin, i.e. the
+//     newcomer must bring more benefit than the latency degradation it
+//     inflicts on the incumbents.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "core/engine.h"
+#include "model/workload.h"
+
+namespace lla::admission {
+
+enum class Decision {
+  kAdmitted,
+  kRejectedInvalid,      ///< candidate fails workload validation
+  kRejectedInfeasible,   ///< combined workload is not schedulable
+  kRejectedNetBenefit,   ///< schedulable but hurts aggregate utility
+};
+
+const char* ToString(Decision decision);
+
+enum class Policy { kFeasibilityOnly, kNetBenefit };
+
+struct AdmissionConfig {
+  LlaConfig lla;
+  int max_iterations = 8000;
+  Policy policy = Policy::kFeasibilityOnly;
+  /// kNetBenefit: required utility improvement over the incumbent-only
+  /// optimum.
+  double min_net_benefit = 0.0;
+  /// Run the Phase-I solver before the full optimizer (fast reject).
+  bool phase1_precheck = true;
+};
+
+struct AdmissionReport {
+  Decision decision = Decision::kRejectedInvalid;
+  std::string reason;
+  /// Optimal utility of the incumbent workload (0 when empty).
+  double utility_before = 0.0;
+  /// Optimal utility including the candidate (only when evaluated).
+  double utility_after = 0.0;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(std::vector<ResourceSpec> resources,
+                      AdmissionConfig config = {});
+
+  /// Evaluates the candidate; on admission it joins the controlled set.
+  AdmissionReport TryAdmit(const TaskSpec& candidate);
+
+  /// Removes an admitted task by name; false if absent.
+  bool Remove(const std::string& task_name);
+
+  std::size_t task_count() const { return tasks_.size(); }
+  std::vector<std::string> TaskNames() const;
+
+  /// Builds the current workload (error when no tasks are admitted).
+  Expected<Workload> BuildWorkload() const;
+
+  /// Optimal utility of the current set (re-optimized; 0 when empty).
+  double CurrentUtility() const;
+
+ private:
+  /// Runs the full schedulability pipeline on a task set; fills utility.
+  bool Schedulable(const std::vector<TaskSpec>& tasks, double* utility,
+                   std::string* reason) const;
+
+  std::vector<ResourceSpec> resources_;
+  AdmissionConfig config_;
+  std::vector<TaskSpec> tasks_;
+};
+
+}  // namespace lla::admission

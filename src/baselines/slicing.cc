@@ -1,0 +1,134 @@
+#include "baselines/slicing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lla::baselines {
+namespace {
+
+/// Per-subtask maxima over the paths containing it: hop count and summed
+/// work, used to make every slicing policy deadline-safe by construction.
+struct PathMaxima {
+  std::vector<int> max_hops;       // by SubtaskId
+  std::vector<double> max_work;    // by SubtaskId
+  std::vector<double> min_laxity_share;  // laxity / hops, minimized
+};
+
+PathMaxima ComputeMaxima(const Workload& workload) {
+  PathMaxima maxima;
+  maxima.max_hops.assign(workload.subtask_count(), 1);
+  maxima.max_work.assign(workload.subtask_count(), 0.0);
+  maxima.min_laxity_share.assign(workload.subtask_count(),
+                                 std::numeric_limits<double>::infinity());
+  for (const PathInfo& path : workload.paths()) {
+    const int hops = static_cast<int>(path.subtasks.size());
+    double path_work = 0.0;
+    for (SubtaskId sid : path.subtasks) {
+      path_work += workload.subtask(sid).work_ms;
+    }
+    const double laxity_share =
+        (path.critical_time_ms - path_work) / hops;
+    for (SubtaskId sid : path.subtasks) {
+      const std::size_t s = sid.value();
+      maxima.max_hops[s] = std::max(maxima.max_hops[s], hops);
+      maxima.max_work[s] = std::max(maxima.max_work[s], path_work);
+      maxima.min_laxity_share[s] =
+          std::min(maxima.min_laxity_share[s], laxity_share);
+    }
+  }
+  return maxima;
+}
+
+}  // namespace
+
+const char* ToString(SlicingPolicy policy) {
+  switch (policy) {
+    case SlicingPolicy::kEqual:
+      return "equal-slice";
+    case SlicingPolicy::kWcetProportional:
+      return "wcet-proportional";
+    case SlicingPolicy::kLaxityFair:
+      return "laxity-fair";
+  }
+  return "?";
+}
+
+Assignment Slice(const Workload& workload, SlicingPolicy policy) {
+  const PathMaxima maxima = ComputeMaxima(workload);
+  Assignment latencies(workload.subtask_count(), 0.0);
+  for (const SubtaskInfo& sub : workload.subtasks()) {
+    const std::size_t s = sub.id.value();
+    const double critical =
+        workload.task(sub.task).critical_time_ms;
+    double latency = 0.0;
+    switch (policy) {
+      case SlicingPolicy::kEqual:
+        latency = critical / maxima.max_hops[s];
+        break;
+      case SlicingPolicy::kWcetProportional:
+        latency = critical * sub.work_ms / maxima.max_work[s];
+        break;
+      case SlicingPolicy::kLaxityFair:
+        latency = sub.work_ms + maxima.min_laxity_share[s];
+        break;
+    }
+    // A degenerate (negative-laxity) slice still needs a positive latency.
+    latencies[s] = std::max(latency, 0.05 * sub.work_ms);
+  }
+  return latencies;
+}
+
+Expected<Assignment> RepairFeasibility(const Workload& workload,
+                                       const LatencyModel& model,
+                                       const Assignment& latencies) {
+  Assignment repaired = latencies;
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    bool any_overloaded = false;
+    for (const ResourceInfo& resource : workload.resources()) {
+      const double sum =
+          ResourceShareSum(workload, model, resource.id, repaired);
+      if (sum <= resource.capacity) continue;
+      any_overloaded = true;
+      // Inflate this resource's latencies; for the WCET/lag model the
+      // share sum scales down by exactly the same factor.
+      const double factor = (sum / resource.capacity) * (1.0 + 1e-9);
+      for (SubtaskId sid : resource.subtasks) {
+        repaired[sid.value()] *= factor;
+      }
+    }
+    if (!any_overloaded) {
+      const auto report = CheckFeasibility(workload, model, repaired, 1e-9);
+      if (report.feasible) return repaired;
+      return Expected<Assignment>::Error(
+          "RepairFeasibility: resource repair pushed a path past its "
+          "critical time (workload too tight for slicing baselines)");
+    }
+  }
+  return Expected<Assignment>::Error(
+      "RepairFeasibility: did not reach feasibility in 100 passes");
+}
+
+BaselineResult EvaluateBaseline(const Workload& workload,
+                                const LatencyModel& model,
+                                SlicingPolicy policy, UtilityVariant variant,
+                                bool repair) {
+  BaselineResult result;
+  result.policy = policy;
+  result.latencies = Slice(workload, policy);
+  result.report = CheckFeasibility(workload, model, result.latencies, 1e-9);
+  if (!result.report.feasible && repair) {
+    auto repaired = RepairFeasibility(workload, model, result.latencies);
+    if (repaired.ok()) {
+      result.latencies = std::move(repaired).value();
+      result.repaired = true;
+      result.report = CheckFeasibility(workload, model, result.latencies,
+                                       1e-9);
+    }
+  }
+  result.feasible = result.report.feasible;
+  result.utility = TotalUtility(workload, result.latencies, variant);
+  return result;
+}
+
+}  // namespace lla::baselines

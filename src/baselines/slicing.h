@@ -1,0 +1,61 @@
+// Offline deadline-slicing baselines (paper Sec. 7, "Deadline slicing").
+//
+// These assign each subtask a latency budget by slicing the task's
+// end-to-end critical time, without prices or feedback:
+//
+//   * EqualSlice — Bettati & Liu style: every subtask on a path gets an
+//     equal slice of the critical time (per subtask: C_i / longest path
+//     through it).
+//   * ProportionalSlice — slices proportional to WCET (a common practical
+//     refinement: heavier subtasks get proportionally more budget).
+//   * LaxityFairSlice — BST-flavoured: latency = work + an equal share of
+//     the critical path's laxity (C - total work along the worst path),
+//     distributing slack evenly instead of budgets.
+//
+// All three ignore resource capacities, so their assignments can overload
+// resources that LLA would price; EvaluateBaseline reports both utility and
+// feasibility so benches can show the comparison honestly.  A feasibility
+// repair pass (scale latencies up uniformly per resource until Eq. 3 holds;
+// deadlines permitting) is available to give the baselines their best shot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "model/evaluation.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+
+namespace lla::baselines {
+
+enum class SlicingPolicy { kEqual, kWcetProportional, kLaxityFair };
+
+const char* ToString(SlicingPolicy policy);
+
+/// Computes the baseline latency assignment (no resource awareness).
+Assignment Slice(const Workload& workload, SlicingPolicy policy);
+
+/// Scales latencies up (never above what the critical times allow) until
+/// every resource constraint is met, if possible.  Returns the repaired
+/// assignment, or an error when the workload cannot be repaired this way.
+Expected<Assignment> RepairFeasibility(const Workload& workload,
+                                       const LatencyModel& model,
+                                       const Assignment& latencies);
+
+struct BaselineResult {
+  SlicingPolicy policy;
+  Assignment latencies;
+  double utility = 0.0;
+  bool feasible = false;
+  bool repaired = false;  ///< true if RepairFeasibility was applied
+  FeasibilityReport report;
+};
+
+/// Slices, optionally repairs, and evaluates against the given variant.
+BaselineResult EvaluateBaseline(const Workload& workload,
+                                const LatencyModel& model,
+                                SlicingPolicy policy, UtilityVariant variant,
+                                bool repair = true);
+
+}  // namespace lla::baselines

@@ -1,0 +1,75 @@
+// Minimal expected<T, std::string> substitute (std::expected is C++23).
+//
+// Construction-time validation in the model layer returns Expected<T> so that
+// malformed workloads are reported with a human-readable reason instead of
+// aborting; algorithm hot paths never allocate these.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lla {
+
+/// Wrapper carrying either a value or an error message.
+template <class T>
+class Expected {
+ public:
+  // Implicit conversions keep `return T{...};` and `return Error(...)` terse.
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  static Expected Error(std::string message) {
+    Expected e;
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  Expected() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Void specialization: success/failure with message.
+class Status {
+ public:
+  Status() = default;
+  static Status Error(std::string message) {
+    Status s;
+    s.error_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<std::string> error_;
+};
+
+}  // namespace lla

@@ -1,0 +1,70 @@
+// Strongly typed identifiers for the entities of the LLA system.
+//
+// The paper's model has four kinds of entities that are all naturally indexed
+// by small integers: tasks, subtasks, resources and (per-task) paths.  Using
+// raw integers invites mixing them up, so each gets its own thin wrapper type.
+// Ids are dense indices into the owning container (e.g. SubtaskId indexes
+// Workload::subtasks()), which keeps lookups O(1) without hash maps.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace lla {
+
+/// CRTP-free strong id: `Tag` makes distinct instantiations incompatible.
+template <class Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Sentinel for "no id"; default-constructed ids are invalid.
+  static constexpr underlying_type kInvalid = 0xffffffffu;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+  constexpr explicit StrongId(std::size_t value)
+      : value_(static_cast<underlying_type>(value)) {}
+
+  constexpr underlying_type value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct TaskTag {};
+struct SubtaskTag {};
+struct ResourceTag {};
+struct PathTag {};
+
+/// Index of a task within a Workload.
+using TaskId = StrongId<TaskTag>;
+/// Global index of a subtask within a Workload (across all tasks).
+using SubtaskId = StrongId<SubtaskTag>;
+/// Index of a resource (CPU or network link) within a Workload.
+using ResourceId = StrongId<ResourceTag>;
+/// Global index of a root-to-leaf path (across all tasks).
+using PathId = StrongId<PathTag>;
+
+}  // namespace lla
+
+namespace std {
+template <class Tag>
+struct hash<lla::StrongId<Tag>> {
+  size_t operator()(lla::StrongId<Tag> id) const noexcept {
+    return std::hash<typename lla::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

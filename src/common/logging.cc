@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lla {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[lla %s] %s\n", LevelName(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace lla

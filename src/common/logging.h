@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr.
+//
+// The library is silent by default (benchmarks print their own tables);
+// set the global level to kDebug/kInfo to trace algorithm internals.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lla {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace lla
+
+#define LLA_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::lla::GetLogLevel())) { \
+  } else                                                    \
+    ::lla::internal::LogLine(level)
+
+#define LLA_DEBUG() LLA_LOG(::lla::LogLevel::kDebug)
+#define LLA_INFO() LLA_LOG(::lla::LogLevel::kInfo)
+#define LLA_WARN() LLA_LOG(::lla::LogLevel::kWarn)
+#define LLA_ERROR() LLA_LOG(::lla::LogLevel::kError)

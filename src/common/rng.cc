@@ -1,0 +1,22 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lla {
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  // Avoid log(0): NextDouble() is in [0, 1), so 1 - u is in (0, 1].
+  const double u = 1.0 - NextDouble();
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  const double u1 = 1.0 - NextDouble();
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace lla

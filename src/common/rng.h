@@ -1,0 +1,85 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in the repository (message bus delays, workload
+// generators, trigger processes) takes an explicit seed so experiments are
+// bit-reproducible.  SplitMix64 seeds Xoshiro256**, the main generator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lla {
+
+/// SplitMix64 (Steele, Lea, Flood) — used to expand a single 64-bit seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality, tiny state.  Satisfies the essential
+/// parts of UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed'5eed'5eed'5eedull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n); n > 0.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  /// Exponentially distributed sample with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace lla

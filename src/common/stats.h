@@ -1,0 +1,94 @@
+// Online statistics used by the measurement and error-correction layers.
+//
+// The paper computes utility from configurable latency *percentiles*
+// (Sec. 2.1) and corrects its latency model from "high percentile samples
+// (greater than 90th percentile)" (Sec. 6.3).  `P2Quantile` provides constant
+// memory streaming quantile estimation (Jain & Chlamtac's P² algorithm);
+// `ReservoirQuantile` keeps an exact window for small sample counts;
+// `ExponentialSmoother` is the smoothing filter of Sec. 6.3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lla {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Streaming quantile estimator (P² algorithm, Jain & Chlamtac 1985).
+/// Constant memory; exact for the first five samples, approximate after.
+class P2Quantile {
+ public:
+  /// `quantile` in (0, 1), e.g. 0.9 for the 90th percentile.
+  explicit P2Quantile(double quantile);
+
+  void Add(double x);
+  /// Current estimate; exact order statistic until 5 samples are seen.
+  double Value() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  // P² marker state.
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+/// Exact quantiles over all recorded samples (O(n) memory); used where sample
+/// counts are modest and exactness matters (tests, per-interval correction).
+class SampleQuantile {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reset() { samples_.clear(); }
+  std::size_t count() const { return samples_.size(); }
+  /// Returns the `q`-quantile (0 <= q <= 1) by linear interpolation between
+  /// order statistics; 0 if empty.
+  double Value(double q) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// First-order exponential smoothing: y <- alpha * x + (1 - alpha) * y.
+class ExponentialSmoother {
+ public:
+  /// `alpha` in (0, 1]; larger reacts faster.
+  explicit ExponentialSmoother(double alpha);
+
+  /// Feeds a sample and returns the new smoothed value.  The first sample
+  /// initializes the filter.
+  double Add(double x);
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace lla

@@ -1,0 +1,156 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lla {
+
+std::unique_ptr<StepSizePolicy> MakeStepPolicy(const LlaConfig& config) {
+  switch (config.step_policy) {
+    case StepPolicyKind::kFixed:
+      return std::make_unique<FixedStepSize>(config.gamma0);
+    case StepPolicyKind::kAdaptive:
+      return std::make_unique<AdaptiveStepSize>(
+          config.gamma0, config.adaptive_max_multiplier);
+    case StepPolicyKind::kDiminishing:
+      return std::make_unique<DiminishingStepSize>(config.gamma0,
+                                                   config.diminishing_tau);
+  }
+  return std::make_unique<FixedStepSize>(config.gamma0);
+}
+
+LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
+                     LlaConfig config)
+    : workload_(&workload),
+      model_(&model),
+      config_(config),
+      solver_(workload, model, config.solver),
+      updater_(workload, model),
+      step_policy_(MakeStepPolicy(config)) {
+  Reset();
+}
+
+void LlaEngine::Reset() {
+  prices_ = PriceVector::Uniform(*workload_, config_.initial_mu,
+                                 config_.initial_lambda);
+  latencies_.assign(workload_->subtask_count(), 0.0);
+  step_policy_->Reset(*workload_);
+  iteration_ = 0;
+  converged_ = false;
+  recent_utilities_.clear();
+  history_.clear();
+  // Start from the price-greedy allocation so latencies_ is always valid.
+  solver_.SolveAll(prices_, &latencies_);
+}
+
+void LlaEngine::ClearConvergenceWindow() {
+  recent_utilities_.clear();
+  converged_ = false;
+}
+
+void LlaEngine::WarmStart(const PriceVector& prices) {
+  assert(prices.mu.size() == workload_->resource_count());
+  assert(prices.lambda.size() == workload_->path_count());
+  prices_ = prices;
+  for (double& mu : prices_.mu) mu = std::max(0.0, mu);
+  for (double& lambda : prices_.lambda) lambda = std::max(0.0, lambda);
+  step_policy_->Reset(*workload_);
+  ClearConvergenceWindow();
+  solver_.SolveAll(prices_, &latencies_);
+}
+
+IterationStats LlaEngine::Step() {
+  // 1. Latency allocation at current prices (every task controller).
+  solver_.SolveAll(prices_, &latencies_);
+
+  // 2. Price computation: congestion feedback chooses the step sizes, then
+  //    gradient projection moves the prices.
+  const std::vector<bool> congested = updater_.ResourceCongestion(latencies_);
+  step_policy_->Update(*workload_, congested, &steps_);
+  updater_.Update(latencies_, steps_, &prices_);
+
+  ++iteration_;
+
+  IterationStats stats;
+  stats.iteration = iteration_;
+  stats.total_utility =
+      TotalUtility(*workload_, latencies_, config_.solver.variant);
+  const FeasibilityReport feasibility = Feasibility();
+  stats.max_resource_excess = feasibility.max_resource_excess;
+  stats.max_path_ratio = feasibility.max_path_ratio;
+  stats.feasible = feasibility.feasible;
+  if (config_.record_history) history_.push_back(stats);
+
+  UpdateConvergence(stats.total_utility, stats.feasible);
+  return stats;
+}
+
+void LlaEngine::UpdateConvergence(double utility, bool /*feasible*/) {
+  const ConvergenceConfig& conv = config_.convergence;
+  recent_utilities_.push_back(utility);
+  while (static_cast<int>(recent_utilities_.size()) > conv.window) {
+    recent_utilities_.pop_front();
+  }
+  if (static_cast<int>(recent_utilities_.size()) < conv.window) {
+    converged_ = false;
+    return;
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(recent_utilities_.begin(), recent_utilities_.end());
+  const double spread = *max_it - *min_it;
+  const double scale = std::max(1.0, std::fabs(*max_it));
+  bool settled = spread <= conv.rel_tol * scale;
+  if (settled && conv.require_complementary_slackness) {
+    // At a dual fixed point every constraint is tight or its price ~0.
+    double residual = 0.0;
+    for (const ResourceInfo& resource : workload_->resources()) {
+      const double slack =
+          resource.capacity - ResourceShareSum(*workload_, *model_,
+                                               resource.id, latencies_);
+      residual = std::max(residual,
+                          prices_.mu[resource.id.value()] *
+                              std::max(0.0, slack) / resource.capacity);
+    }
+    for (const PathInfo& path : workload_->paths()) {
+      const double slack =
+          1.0 - PathLatency(*workload_, path.id, latencies_) /
+                    path.critical_time_ms;
+      residual = std::max(residual, prices_.lambda[path.id.value()] *
+                                        std::max(0.0, slack));
+    }
+    settled = residual <= conv.complementarity_tol;
+  }
+  if (settled && conv.require_feasible) {
+    const FeasibilityReport report =
+        CheckFeasibility(*workload_, *model_, latencies_,
+                         conv.feasibility_tol);
+    settled = report.feasible;
+  }
+  converged_ = settled;
+}
+
+RunResult LlaEngine::Run(int max_iterations) {
+  assert(max_iterations >= 1);
+  RunResult result;
+  for (int i = 0; i < max_iterations; ++i) {
+    const IterationStats stats = Step();
+    result.final_utility = stats.total_utility;
+    if (converged_) break;
+  }
+  result.converged = converged_;
+  result.iterations = iteration_;
+  result.final_feasibility = Feasibility();
+  return result;
+}
+
+FeasibilityReport LlaEngine::Feasibility() const {
+  return CheckFeasibility(*workload_, *model_, latencies_,
+                          config_.convergence.feasibility_tol);
+}
+
+double LlaEngine::TotalUtilityNow() const {
+  return TotalUtility(*workload_, latencies_, config_.solver.variant);
+}
+
+}  // namespace lla

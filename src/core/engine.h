@@ -1,0 +1,143 @@
+// LlaEngine: the synchronous LLA iteration (paper Sec. 4.1).
+//
+// One Step() performs the paper's two half-steps in order:
+//   1. latency allocation — every task controller maximizes the Lagrangian
+//      at the current prices (LatencySolver);
+//   2. price computation — every resource and every controller moves its
+//      prices by gradient projection (PriceUpdater), with step sizes chosen
+//      by the configured policy.
+//
+// The engine is the single-process reference implementation used by the
+// simulation experiments (Secs. 5.2-5.4); the message-passing deployment of
+// the same iteration lives in src/runtime.  The LatencyModel is read through
+// a const reference each step, so online error correction applied between
+// steps (Sec. 6.3) is picked up automatically.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/latency_solver.h"
+#include "core/price_update.h"
+#include "core/prices.h"
+#include "core/step_size.h"
+#include "model/evaluation.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+
+namespace lla {
+
+struct ConvergenceConfig {
+  /// Converged when the relative utility change across the trailing window
+  /// stays below this.
+  double rel_tol = 1e-5;
+  int window = 10;
+  /// Additionally require near-feasibility before declaring convergence
+  /// (the dual approaches the constraint boundary, so allow this slack).
+  bool require_feasible = true;
+  double feasibility_tol = 1e-3;
+  /// Utility can plateau while the dual state is far from its fixed point
+  /// (e.g. all latencies pinned at box bounds under inflated prices, slack
+  /// resources still carrying large mu).  Convergence therefore also
+  /// requires approximate complementary slackness: for every resource,
+  /// mu_r * slack_r / B_r below this (and the path analogue); at a true
+  /// dual fixed point either the constraint is tight or its price is ~0.
+  bool require_complementary_slackness = true;
+  double complementarity_tol = 0.1;
+};
+
+struct LlaConfig {
+  LatencySolverConfig solver;
+  StepPolicyKind step_policy = StepPolicyKind::kAdaptive;
+  double gamma0 = 1.0;                        ///< base step size
+  double adaptive_max_multiplier = 8.0;        ///< cap for the doubling
+  double diminishing_tau = 50.0;
+  double initial_mu = 0.0;
+  double initial_lambda = 0.0;
+  ConvergenceConfig convergence;
+  /// Record per-iteration stats (utility traces for the figures).
+  bool record_history = true;
+};
+
+/// Per-iteration diagnostics (the quantities Figures 5-7 plot).
+struct IterationStats {
+  int iteration = 0;
+  double total_utility = 0.0;
+  double max_resource_excess = 0.0;  ///< max over r of (share sum - B_r), >= 0
+  double max_path_ratio = 0.0;       ///< max over p of latency / C_i
+  bool feasible = false;
+};
+
+struct RunResult {
+  bool converged = false;
+  int iterations = 0;
+  double final_utility = 0.0;
+  FeasibilityReport final_feasibility;
+};
+
+class LlaEngine {
+ public:
+  /// `workload` and `model` must outlive the engine.
+  LlaEngine(const Workload& workload, const LatencyModel& model,
+            LlaConfig config = {});
+
+  /// One latency-allocation + price-computation iteration.
+  IterationStats Step();
+
+  /// Runs until convergence (per config) or `max_iterations` steps,
+  /// whichever first.
+  RunResult Run(int max_iterations);
+
+  /// Resets prices, step-size state, convergence state and history;
+  /// keeps the workload/model bindings.
+  void Reset();
+
+  /// Clears only the convergence detector (call after the LatencyModel
+  /// changes so a previously settled engine re-evaluates from its warm
+  /// price state instead of reporting stale convergence).
+  void ClearConvergenceWindow();
+
+  /// Seeds the dual state from a previous run (typically on a transformed
+  /// workload with the same structure: after a capacity or critical-time
+  /// change the old prices are near the new optimum and re-convergence is
+  /// much faster than a cold start).  Price vector sizes must match this
+  /// workload; negative entries are projected to zero.
+  void WarmStart(const PriceVector& prices);
+
+  bool Converged() const { return converged_; }
+  int iteration() const { return iteration_; }
+  const Assignment& latencies() const { return latencies_; }
+  const PriceVector& prices() const { return prices_; }
+  const std::vector<IterationStats>& history() const { return history_; }
+  const LlaConfig& config() const { return config_; }
+  const Workload& workload() const { return *workload_; }
+  const LatencyModel& model() const { return *model_; }
+
+  /// Convenience: evaluate the current assignment.
+  FeasibilityReport Feasibility() const;
+  double TotalUtilityNow() const;
+
+ private:
+  void UpdateConvergence(double utility, bool feasible);
+
+  const Workload* workload_;
+  const LatencyModel* model_;
+  LlaConfig config_;
+  LatencySolver solver_;
+  PriceUpdater updater_;
+  std::unique_ptr<StepSizePolicy> step_policy_;
+  StepSizes steps_;
+  PriceVector prices_;
+  Assignment latencies_;
+  int iteration_ = 0;
+  bool converged_ = false;
+  std::deque<double> recent_utilities_;
+  std::vector<IterationStats> history_;
+};
+
+/// Builds the step-size policy an LlaConfig describes (also used by the
+/// distributed runtime).
+std::unique_ptr<StepSizePolicy> MakeStepPolicy(const LlaConfig& config);
+
+}  // namespace lla

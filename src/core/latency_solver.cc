@@ -1,0 +1,130 @@
+#include "core/latency_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace lla {
+
+LatencySolver::LatencySolver(const Workload& workload,
+                             const LatencyModel& model,
+                             LatencySolverConfig config)
+    : workload_(&workload), model_(&model), config_(config) {
+  assert(config.lat_cap_factor >= 1.0);
+}
+
+double LatencySolver::LatLo(SubtaskId id) const {
+  const SubtaskInfo& sub = workload_->subtask(id);
+  const ShareFunction& share = model_->share(id);
+  const double cap = workload_->resource(sub.resource).capacity;
+  // The subtask may not demand more than the whole available fraction; with
+  // corrected models the inverse can dip to/below MinLatency, so guard it.
+  const double floor =
+      std::max(share.MinLatency() * (1.0 + 1e-12) + 1e-12, 1e-9);
+  return std::max(share.LatencyForShare(cap), floor);
+}
+
+double LatencySolver::LatHi(SubtaskId id) const {
+  const SubtaskInfo& sub = workload_->subtask(id);
+  const ShareFunction& share = model_->share(id);
+  const double critical_time =
+      workload_->task(sub.task).critical_time_ms;
+  double hi = sub.min_share > 0.0 ? share.LatencyForShare(sub.min_share)
+                                  : config_.lat_cap_factor * critical_time;
+  return std::max(hi, LatLo(id));
+}
+
+double LatencySolver::SolveSubtask(SubtaskId id, double utility_slope,
+                                   const PriceVector& prices) const {
+  const SubtaskInfo& sub = workload_->subtask(id);
+  const ShareFunction& share = model_->share(id);
+  const double lo = LatLo(id);
+  const double hi = LatHi(id);
+  if (lo >= hi) return lo;
+
+  const double w = workload_->Weight(id, config_.variant);
+  const double lambda_sum = prices.PathPriceSum(*workload_, id);
+  const double mu = prices.mu[sub.resource.value()];
+
+  // Marginal benefit of shrinking this latency (>= 0 since f' <= 0).
+  const double pressure = lambda_sum - w * utility_slope;
+  if (mu <= 0.0) {
+    // Free resource: shrinking latency costs nothing.  Any positive pressure
+    // drives the latency to its floor; zero pressure leaves it indifferent,
+    // and we also pick the floor (work-conserving choice).
+    return pressure > 0.0 ? lo : hi;
+  }
+  if (pressure <= 0.0) {
+    // No benefit from shrinking (flat utility, no binding paths): release
+    // the resource entirely.
+    return hi;
+  }
+  return share.LatencyForNegSlope(pressure / mu, lo, hi);
+}
+
+void LatencySolver::SolveTask(TaskId task, const PriceVector& prices,
+                              Assignment* latencies) const {
+  assert(latencies->size() == workload_->subtask_count());
+  const TaskInfo& info = workload_->task(task);
+  const UtilityFunction& f = *info.utility;
+
+  // Bracket the coupling value X = sum of weighted latencies.
+  double x_lo = 0.0, x_hi = 0.0;
+  for (SubtaskId sid : info.subtasks) {
+    const double w = workload_->Weight(sid, config_.variant);
+    x_lo += w * LatLo(sid);
+    x_hi += w * LatHi(sid);
+  }
+
+  // If f' is (numerically) constant over the bracket — the linear case —
+  // the subtasks decouple and one pass suffices.
+  const double slope_lo = f.Derivative(x_lo);
+  const double slope_hi = f.Derivative(x_hi);
+  double slope = slope_lo;
+  if (!AlmostEqual(slope_lo, slope_hi, 1e-12, 1e-15)) {
+    // General concave f: solve X = h(X).  h is non-increasing in X because
+    // f' is non-increasing, so g(X) = h(X) - X is strictly decreasing and
+    // has a unique root in [x_lo, x_hi].
+    const auto h = [&](double x) {
+      const double fx = f.Derivative(x);
+      double sum = 0.0;
+      for (SubtaskId sid : info.subtasks) {
+        sum += workload_->Weight(sid, config_.variant) *
+               SolveSubtask(sid, fx, prices);
+      }
+      return sum;
+    };
+    double lo = x_lo, hi = x_hi;
+    double x = 0.5 * (lo + hi);
+    for (int iter = 0; iter < config_.fixed_point_max_iter; ++iter) {
+      x = 0.5 * (lo + hi);
+      const double gap = h(x) - x;
+      if (std::fabs(gap) <= config_.fixed_point_tol * (1.0 + x) ||
+          (hi - lo) <= config_.fixed_point_tol * (1.0 + x)) {
+        break;
+      }
+      if (gap > 0.0) {
+        lo = x;
+      } else {
+        hi = x;
+      }
+    }
+    slope = f.Derivative(x);
+  }
+
+  for (SubtaskId sid : info.subtasks) {
+    (*latencies)[sid.value()] = SolveSubtask(sid, slope, prices);
+  }
+}
+
+void LatencySolver::SolveAll(const PriceVector& prices,
+                             Assignment* latencies) const {
+  assert(latencies->size() == workload_->subtask_count());
+  for (const TaskInfo& task : workload_->tasks()) {
+    SolveTask(task.id, prices, latencies);
+  }
+}
+
+}  // namespace lla

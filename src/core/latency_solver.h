@@ -1,0 +1,72 @@
+// Latency allocation (paper Sec. 4.2): given prices, compute the latencies
+// that maximize the Lagrangian.
+//
+// Stationarity (Eq. 7) for subtask s of task i on resource r:
+//
+//   w_s * f_i'(X_i) - Lambda_s - mu_r * share_s'(lat_s) = 0,
+//   X_i = sum_{s in task i} w_s * lat_s,   Lambda_s = sum_{p contains s} lambda_p.
+//
+// Rearranged: -share_s'(lat_s) = (Lambda_s - w_s * f_i'(X_i)) / mu_r.
+// For linear f_i the right-hand side is a constant and each subtask solves
+// independently (closed form sqrt(mu*work/(w+Lambda)) for the WCET/lag share
+// model).  For general concave f_i the subtasks of a task couple through
+// X_i; because f_i' is non-increasing, lat_s(X) is non-increasing in X, so
+// X = h(X) is a monotone scalar fixed point solved by bisection.
+//
+// Latencies are clamped to [lat_lo, lat_hi]:
+//   lat_lo: share may not exceed the resource capacity B_r;
+//   lat_hi: share may not drop below the sustainable minimum (min_share),
+//           else a configurable multiple of the critical time.
+#pragma once
+
+#include <vector>
+
+#include "core/prices.h"
+#include "model/evaluation.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+
+namespace lla {
+
+struct LatencySolverConfig {
+  UtilityVariant variant = UtilityVariant::kPathWeighted;
+  /// lat_hi = lat_cap_factor * critical_time when no min_share floor.
+  double lat_cap_factor = 10.0;
+  /// Tolerance/iteration cap for the per-task fixed point (nonlinear f_i).
+  double fixed_point_tol = 1e-10;
+  int fixed_point_max_iter = 200;
+};
+
+class LatencySolver {
+ public:
+  /// Both `workload` and `model` must outlive the solver.  The model is
+  /// consulted on every solve, so online corrections apply immediately.
+  LatencySolver(const Workload& workload, const LatencyModel& model,
+                LatencySolverConfig config = {});
+
+  /// Computes the Lagrangian-maximizing latencies for every subtask of
+  /// `task` and stores them in `latencies` (which must have
+  /// workload.subtask_count() entries).
+  void SolveTask(TaskId task, const PriceVector& prices,
+                 Assignment* latencies) const;
+
+  /// SolveTask for every task.
+  void SolveAll(const PriceVector& prices, Assignment* latencies) const;
+
+  /// Clamping bounds for a subtask's latency.
+  double LatLo(SubtaskId id) const;
+  double LatHi(SubtaskId id) const;
+
+  const LatencySolverConfig& config() const { return config_; }
+
+ private:
+  /// lat_s given the utility slope f_i'(X) at the coupling value X.
+  double SolveSubtask(SubtaskId id, double utility_slope,
+                      const PriceVector& prices) const;
+
+  const Workload* workload_;
+  const LatencyModel* model_;
+  LatencySolverConfig config_;
+};
+
+}  // namespace lla

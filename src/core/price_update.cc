@@ -1,0 +1,56 @@
+#include "core/price_update.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lla {
+
+PriceUpdater::PriceUpdater(const Workload& workload, const LatencyModel& model)
+    : workload_(&workload), model_(&model) {}
+
+void PriceUpdater::UpdateResourcePrices(const Assignment& latencies,
+                                        const StepSizes& steps,
+                                        PriceVector* prices) const {
+  assert(steps.resource.size() == workload_->resource_count());
+  assert(prices->mu.size() == workload_->resource_count());
+  for (const ResourceInfo& resource : workload_->resources()) {
+    const std::size_t r = resource.id.value();
+    const double share_sum =
+        ResourceShareSum(*workload_, *model_, resource.id, latencies);
+    const double slack = resource.capacity - share_sum;
+    prices->mu[r] = std::max(0.0, prices->mu[r] - steps.resource[r] * slack);
+  }
+}
+
+void PriceUpdater::UpdatePathPrices(const Assignment& latencies,
+                                    const StepSizes& steps,
+                                    PriceVector* prices) const {
+  assert(steps.path.size() == workload_->path_count());
+  assert(prices->lambda.size() == workload_->path_count());
+  for (const PathInfo& path : workload_->paths()) {
+    const std::size_t p = path.id.value();
+    const double latency = PathLatency(*workload_, path.id, latencies);
+    const double slack = 1.0 - latency / path.critical_time_ms;
+    prices->lambda[p] =
+        std::max(0.0, prices->lambda[p] - steps.path[p] * slack);
+  }
+}
+
+void PriceUpdater::Update(const Assignment& latencies, const StepSizes& steps,
+                          PriceVector* prices) const {
+  UpdateResourcePrices(latencies, steps, prices);
+  UpdatePathPrices(latencies, steps, prices);
+}
+
+std::vector<bool> PriceUpdater::ResourceCongestion(
+    const Assignment& latencies) const {
+  std::vector<bool> congested(workload_->resource_count(), false);
+  for (const ResourceInfo& resource : workload_->resources()) {
+    const double share_sum =
+        ResourceShareSum(*workload_, *model_, resource.id, latencies);
+    congested[resource.id.value()] = share_sum > resource.capacity;
+  }
+  return congested;
+}
+
+}  // namespace lla

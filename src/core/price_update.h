@@ -1,0 +1,45 @@
+// Price computation (paper Sec. 4.3): gradient projection on the dual.
+//
+//   mu_r     <- [ mu_r - gamma_r * (B_r - sum of shares at r) ]+        (Eq. 8)
+//   lambda_p <- [ lambda_p - gamma_p * (1 - path latency / C_i) ]+      (Eq. 9)
+//
+// Prices rise while their constraint is violated and decay toward zero when
+// it is slack; the projection at zero keeps them dual-feasible.
+#pragma once
+
+#include <vector>
+
+#include "core/prices.h"
+#include "core/step_size.h"
+#include "model/evaluation.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+
+namespace lla {
+
+class PriceUpdater {
+ public:
+  PriceUpdater(const Workload& workload, const LatencyModel& model);
+
+  /// Applies Eq. 8 to every resource price.
+  void UpdateResourcePrices(const Assignment& latencies,
+                            const StepSizes& steps, PriceVector* prices) const;
+
+  /// Applies Eq. 9 to every path price.
+  void UpdatePathPrices(const Assignment& latencies, const StepSizes& steps,
+                        PriceVector* prices) const;
+
+  /// Both updates.
+  void Update(const Assignment& latencies, const StepSizes& steps,
+              PriceVector* prices) const;
+
+  /// True for every resource whose share sum exceeds its capacity at the
+  /// given latencies (the congestion signal the adaptive policy consumes).
+  std::vector<bool> ResourceCongestion(const Assignment& latencies) const;
+
+ private:
+  const Workload* workload_;
+  const LatencyModel* model_;
+};
+
+}  // namespace lla

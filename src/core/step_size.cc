@@ -1,0 +1,120 @@
+#include "core/step_size.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace lla {
+
+const char* ToString(StepPolicyKind kind) {
+  switch (kind) {
+    case StepPolicyKind::kFixed:
+      return "fixed";
+    case StepPolicyKind::kAdaptive:
+      return "adaptive";
+    case StepPolicyKind::kDiminishing:
+      return "diminishing";
+  }
+  return "?";
+}
+
+FixedStepSize::FixedStepSize(double gamma) : gamma_(gamma) {
+  assert(gamma > 0.0);
+}
+
+void FixedStepSize::Reset(const Workload& /*workload*/) {}
+
+void FixedStepSize::Update(const Workload& workload,
+                           const std::vector<bool>& /*resource_congested*/,
+                           StepSizes* steps) {
+  steps->resource.assign(workload.resource_count(), gamma_);
+  steps->path.assign(workload.path_count(), gamma_);
+}
+
+std::string FixedStepSize::Describe() const {
+  std::ostringstream os;
+  os << "fixed(gamma=" << gamma_ << ")";
+  return os.str();
+}
+
+AdaptiveStepSize::AdaptiveStepSize(double gamma0, double max_multiplier)
+    : gamma0_(gamma0), max_multiplier_(max_multiplier) {
+  assert(gamma0 > 0.0);
+  assert(max_multiplier >= 1.0);
+}
+
+void AdaptiveStepSize::Reset(const Workload& workload) {
+  resource_multiplier_.assign(workload.resource_count(), 1.0);
+  path_multiplier_.assign(workload.path_count(), 1.0);
+}
+
+void AdaptiveStepSize::Update(const Workload& workload,
+                              const std::vector<bool>& resource_congested,
+                              StepSizes* steps) {
+  assert(resource_congested.size() == workload.resource_count());
+  if (resource_multiplier_.size() != workload.resource_count()) {
+    Reset(workload);
+  }
+  for (std::size_t r = 0; r < workload.resource_count(); ++r) {
+    if (resource_congested[r]) {
+      resource_multiplier_[r] =
+          std::min(resource_multiplier_[r] * 2.0, max_multiplier_);
+    } else {
+      resource_multiplier_[r] = 1.0;  // revert as soon as uncongested
+    }
+  }
+  // A path doubles while any resource it traverses is congested.
+  for (const PathInfo& path : workload.paths()) {
+    bool any_congested = false;
+    for (SubtaskId sid : path.subtasks) {
+      if (resource_congested[workload.subtask(sid).resource.value()]) {
+        any_congested = true;
+        break;
+      }
+    }
+    double& mult = path_multiplier_[path.id.value()];
+    mult = any_congested ? std::min(mult * 2.0, max_multiplier_) : 1.0;
+  }
+
+  steps->resource.resize(workload.resource_count());
+  for (std::size_t r = 0; r < workload.resource_count(); ++r) {
+    steps->resource[r] = gamma0_ * resource_multiplier_[r];
+  }
+  steps->path.resize(workload.path_count());
+  for (std::size_t p = 0; p < workload.path_count(); ++p) {
+    steps->path[p] = gamma0_ * path_multiplier_[p];
+  }
+}
+
+std::string AdaptiveStepSize::Describe() const {
+  std::ostringstream os;
+  os << "adaptive(gamma0=" << gamma0_ << ", cap=" << max_multiplier_ << ")";
+  return os.str();
+}
+
+DiminishingStepSize::DiminishingStepSize(double gamma0, double tau)
+    : gamma0_(gamma0), tau_(tau) {
+  assert(gamma0 > 0.0);
+  assert(tau > 0.0);
+}
+
+void DiminishingStepSize::Reset(const Workload& /*workload*/) {
+  iteration_ = 0;
+}
+
+void DiminishingStepSize::Update(const Workload& workload,
+                                 const std::vector<bool>& /*congested*/,
+                                 StepSizes* steps) {
+  const double gamma = gamma0_ / (1.0 + iteration_ / tau_);
+  ++iteration_;
+  steps->resource.assign(workload.resource_count(), gamma);
+  steps->path.assign(workload.path_count(), gamma);
+}
+
+std::string DiminishingStepSize::Describe() const {
+  std::ostringstream os;
+  os << "diminishing(gamma0=" << gamma0_ << ", tau=" << tau_ << ")";
+  return os.str();
+}
+
+}  // namespace lla

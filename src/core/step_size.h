@@ -1,0 +1,98 @@
+// Step-size policies for the gradient-projection price updates (Eqs. 8-9).
+//
+// The paper studies fixed step sizes (Figure 5: gamma = 0.1 converges
+// slowly, 1 converges in ~500 iterations, 10 oscillates) and proposes an
+// adaptive heuristic (Sec. 5.2): while a resource is congested, double its
+// step size and the step sizes of all paths traversing it; revert to the
+// initial value once it becomes uncongested.  A diminishing schedule
+// (gamma_t = gamma0 / (1 + t/tau)) is included as the textbook
+// convergence-guaranteed alternative.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/workload.h"
+
+namespace lla {
+
+/// Per-resource and per-path step sizes for one price update.
+struct StepSizes {
+  std::vector<double> resource;  ///< indexed by ResourceId
+  std::vector<double> path;      ///< indexed by PathId
+};
+
+class StepSizePolicy {
+ public:
+  virtual ~StepSizePolicy() = default;
+
+  /// Clears internal state and sizes the output for `workload`.
+  virtual void Reset(const Workload& workload) = 0;
+
+  /// Computes the step sizes for the next price update.
+  /// `resource_congested[r]` reports whether Eq. 3 is violated at the
+  /// latencies just produced by latency allocation.
+  virtual void Update(const Workload& workload,
+                      const std::vector<bool>& resource_congested,
+                      StepSizes* steps) = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+/// Constant gamma for all resources and paths.
+class FixedStepSize final : public StepSizePolicy {
+ public:
+  explicit FixedStepSize(double gamma);
+  void Reset(const Workload& workload) override;
+  void Update(const Workload& workload,
+              const std::vector<bool>& resource_congested,
+              StepSizes* steps) override;
+  std::string Describe() const override;
+
+ private:
+  double gamma_;
+};
+
+/// The paper's doubling heuristic.  `max_multiplier` caps the growth (the
+/// paper does not cap, but an unschedulable workload — Figure 7 — keeps
+/// resources congested indefinitely and an uncapped double overflows).
+class AdaptiveStepSize final : public StepSizePolicy {
+ public:
+  explicit AdaptiveStepSize(double gamma0, double max_multiplier = 8.0);
+  void Reset(const Workload& workload) override;
+  void Update(const Workload& workload,
+              const std::vector<bool>& resource_congested,
+              StepSizes* steps) override;
+  std::string Describe() const override;
+
+ private:
+  double gamma0_;
+  double max_multiplier_;
+  std::vector<double> resource_multiplier_;
+  std::vector<double> path_multiplier_;
+};
+
+/// gamma_t = gamma0 / (1 + t / tau): satisfies the diminishing-step
+/// conditions under which dual subgradient methods provably converge.
+class DiminishingStepSize final : public StepSizePolicy {
+ public:
+  DiminishingStepSize(double gamma0, double tau);
+  void Reset(const Workload& workload) override;
+  void Update(const Workload& workload,
+              const std::vector<bool>& resource_congested,
+              StepSizes* steps) override;
+  std::string Describe() const override;
+
+ private:
+  double gamma0_;
+  double tau_;
+  int iteration_ = 0;
+};
+
+/// Which policy an LlaConfig selects.
+enum class StepPolicyKind { kFixed, kAdaptive, kDiminishing };
+
+const char* ToString(StepPolicyKind kind);
+
+}  // namespace lla

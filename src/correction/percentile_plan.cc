@@ -1,0 +1,36 @@
+#include "correction/percentile_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "model/percentile.h"
+
+namespace lla::correction {
+
+std::vector<double> PlanSubtaskPercentiles(
+    const Workload& workload, const std::vector<double>& task_targets) {
+  assert(task_targets.size() == workload.task_count());
+  std::vector<int> max_hops(workload.subtask_count(), 1);
+  for (const PathInfo& path : workload.paths()) {
+    const int hops = static_cast<int>(path.subtasks.size());
+    for (SubtaskId sid : path.subtasks) {
+      max_hops[sid.value()] = std::max(max_hops[sid.value()], hops);
+    }
+  }
+  std::vector<double> percentiles(workload.subtask_count(), 0.0);
+  for (const SubtaskInfo& sub : workload.subtasks()) {
+    const double target = task_targets[sub.task.value()];
+    assert(target > 0.0 && target < 1.0);
+    percentiles[sub.id.value()] =
+        PerSubtaskPercentile(target, max_hops[sub.id.value()]);
+  }
+  return percentiles;
+}
+
+std::vector<double> PlanSubtaskPercentiles(const Workload& workload,
+                                           double target) {
+  return PlanSubtaskPercentiles(
+      workload, std::vector<double>(workload.task_count(), target));
+}
+
+}  // namespace lla::correction

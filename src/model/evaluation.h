@@ -1,0 +1,62 @@
+// Evaluation of a latency assignment against a workload: utilities,
+// resource share sums, path latencies, and constraint violations.
+//
+// These are the quantities in the paper's objective (Eq. 2) and constraints
+// (Eqs. 3-4), and the diagnostics its figures plot (total utility, per-
+// resource share sums, critical-path-to-critical-time ratios).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+
+namespace lla {
+
+/// A latency assignment: latencies_ms[s] is the predicted latency of global
+/// subtask s.  Produced by LLA, the baselines, and the reference solver.
+using Assignment = std::vector<double>;
+
+/// U_i = f_i(sum of weighted subtask latencies) for one task.
+double TaskUtility(const Workload& workload, TaskId task,
+                   const Assignment& latencies, UtilityVariant variant);
+
+/// Objective of Eq. 2: sum of task utilities.
+double TotalUtility(const Workload& workload, const Assignment& latencies,
+                    UtilityVariant variant);
+
+/// Left-hand side of Eq. 3 for one resource: sum of subtask shares.
+double ResourceShareSum(const Workload& workload, const LatencyModel& model,
+                        ResourceId resource, const Assignment& latencies);
+
+/// Left-hand side of Eq. 4 for one path: sum of subtask latencies on it.
+double PathLatency(const Workload& workload, PathId path,
+                   const Assignment& latencies);
+
+/// Latency of the task's critical path: max over its paths of PathLatency.
+double CriticalPathLatency(const Workload& workload, TaskId task,
+                           const Assignment& latencies);
+
+/// Summary of how (in)feasible an assignment is.
+struct FeasibilityReport {
+  bool feasible = true;
+  /// max over resources of (share sum - capacity), clamped at >= 0.
+  double max_resource_excess = 0.0;
+  /// max over paths of (path latency / critical time); > 1 means violated.
+  double max_path_ratio = 0.0;
+  /// per-resource share sums, indexed by ResourceId.
+  std::vector<double> resource_share_sums;
+  /// per-task critical-path latencies, indexed by TaskId.
+  std::vector<double> critical_paths;
+};
+
+/// Checks Eq. 3 and Eq. 4 with the given tolerance (relative slack allowed
+/// on each constraint; the dual algorithm converges to the boundary, so a
+/// small tolerance is appropriate when classifying its output).
+FeasibilityReport CheckFeasibility(const Workload& workload,
+                                   const LatencyModel& model,
+                                   const Assignment& latencies,
+                                   double tolerance = 1e-6);
+
+}  // namespace lla

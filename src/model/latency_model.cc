@@ -1,0 +1,36 @@
+#include "model/latency_model.h"
+
+#include <cassert>
+
+namespace lla {
+
+LatencyModel::LatencyModel(const Workload& workload) : workload_(&workload) {
+  shares_.reserve(workload.subtask_count());
+  for (const SubtaskInfo& sub : workload.subtasks()) {
+    const double lag = workload.resource(sub.resource).lag_ms;
+    shares_.push_back(std::make_shared<WcetLagShare>(sub.wcet_ms, lag));
+  }
+}
+
+void LatencyModel::SetShareFunction(SubtaskId id, SharePtr share) {
+  assert(share != nullptr);
+  assert(id.value() < shares_.size());
+  shares_[id.value()] = std::move(share);
+}
+
+void LatencyModel::SetAdditiveError(SubtaskId id, double error_ms) {
+  assert(id.value() < shares_.size());
+  const SubtaskInfo& sub = workload_->subtask(id);
+  const double lag = workload_->resource(sub.resource).lag_ms;
+  shares_[id.value()] =
+      std::make_shared<CorrectedWcetLagShare>(sub.wcet_ms, lag, error_ms);
+}
+
+double LatencyModel::AdditiveError(SubtaskId id) const {
+  assert(id.value() < shares_.size());
+  const auto* corrected =
+      dynamic_cast<const CorrectedWcetLagShare*>(shares_[id.value()].get());
+  return corrected ? corrected->error_ms() : 0.0;
+}
+
+}  // namespace lla

@@ -1,0 +1,45 @@
+// LatencyModel: the per-subtask share functions the optimizer believes.
+//
+// By default every subtask uses the paper's Eq. 10 model,
+// share = (wcet + lag)/lat.  The online error-correction layer (Sec. 6.3)
+// replaces individual entries with additively corrected models as
+// measurements arrive; the optimizer always consults this object, so model
+// improvements take effect on the next iteration.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "model/share.h"
+#include "model/workload.h"
+
+namespace lla {
+
+class LatencyModel {
+ public:
+  /// Builds the default (uncorrected) model for every subtask of `workload`.
+  explicit LatencyModel(const Workload& workload);
+
+  const ShareFunction& share(SubtaskId id) const {
+    return *shares_[id.value()];
+  }
+  SharePtr share_ptr(SubtaskId id) const { return shares_[id.value()]; }
+
+  /// Replaces the model for one subtask (takes effect immediately).
+  void SetShareFunction(SubtaskId id, SharePtr share);
+
+  /// Convenience: installs a CorrectedWcetLagShare with the given additive
+  /// error for the subtask (error may be negative).
+  void SetAdditiveError(SubtaskId id, double error_ms);
+
+  /// The additive error currently applied to a subtask (0 when uncorrected).
+  double AdditiveError(SubtaskId id) const;
+
+  std::size_t size() const { return shares_.size(); }
+
+ private:
+  const Workload* workload_;
+  std::vector<SharePtr> shares_;
+};
+
+}  // namespace lla

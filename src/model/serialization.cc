@@ -1,0 +1,294 @@
+#include "model/serialization.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "model/utility.h"
+
+namespace lla {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stod(token, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == token.size();
+}
+
+bool ParseInt(const std::string& token, int* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stoi(token, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == token.size();
+}
+
+std::string LineError(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+Expected<Workload> LoadWorkload(std::istream& in) {
+  using E = Expected<Workload>;
+  std::vector<ResourceSpec> resources;
+  std::map<std::string, std::size_t> resource_index;
+  std::vector<TaskSpec> tasks;
+  TaskSpec current;
+  bool in_task = false;
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "resource") {
+      if (in_task) {
+        return E::Error(LineError(line_number,
+                                  "resource declared inside a task block"));
+      }
+      if (tokens.size() != 5) {
+        return E::Error(LineError(
+            line_number, "expected: resource <name> <cpu|link> <cap> <lag>"));
+      }
+      ResourceSpec spec;
+      spec.name = tokens[1];
+      if (tokens[2] == "cpu") {
+        spec.kind = ResourceKind::kCpu;
+      } else if (tokens[2] == "link") {
+        spec.kind = ResourceKind::kNetworkLink;
+      } else {
+        return E::Error(LineError(line_number,
+                                  "resource kind must be cpu or link"));
+      }
+      if (!ParseDouble(tokens[3], &spec.capacity) ||
+          !ParseDouble(tokens[4], &spec.lag_ms)) {
+        return E::Error(LineError(line_number, "bad capacity/lag number"));
+      }
+      if (resource_index.count(spec.name)) {
+        return E::Error(
+            LineError(line_number, "duplicate resource '" + spec.name + "'"));
+      }
+      resource_index[spec.name] = resources.size();
+      resources.push_back(std::move(spec));
+    } else if (keyword == "task") {
+      if (in_task) {
+        return E::Error(
+            LineError(line_number, "missing 'end' before new task"));
+      }
+      if (tokens.size() != 3) {
+        return E::Error(LineError(
+            line_number, "expected: task <name> <critical_time_ms>"));
+      }
+      current = TaskSpec{};
+      current.name = tokens[1];
+      if (!ParseDouble(tokens[2], &current.critical_time_ms)) {
+        return E::Error(LineError(line_number, "bad critical time"));
+      }
+      in_task = true;
+    } else if (keyword == "utility") {
+      if (!in_task) {
+        return E::Error(LineError(line_number, "utility outside task"));
+      }
+      double a = 0, b = 0, c = 0;
+      if (tokens.size() >= 4 && tokens[1] == "linear" &&
+          ParseDouble(tokens[2], &a) && ParseDouble(tokens[3], &b) &&
+          tokens.size() == 4) {
+        current.utility = std::make_shared<LinearUtility>(a, b);
+      } else if (tokens.size() == 5 && tokens[1] == "power" &&
+                 ParseDouble(tokens[2], &a) && ParseDouble(tokens[3], &b) &&
+                 ParseDouble(tokens[4], &c)) {
+        current.utility = std::make_shared<PowerUtility>(a, b, c);
+      } else if (tokens.size() == 4 && tokens[1] == "negexp" &&
+                 ParseDouble(tokens[2], &a) && ParseDouble(tokens[3], &b)) {
+        current.utility = std::make_shared<NegExpUtility>(a, b);
+      } else if (tokens.size() == 5 && tokens[1] == "inelastic" &&
+                 ParseDouble(tokens[2], &a) && ParseDouble(tokens[3], &b) &&
+                 ParseDouble(tokens[4], &c)) {
+        current.utility = std::make_shared<InelasticUtility>(a, b, c);
+      } else {
+        return E::Error(LineError(line_number, "bad utility spec"));
+      }
+    } else if (keyword == "trigger") {
+      if (!in_task) {
+        return E::Error(LineError(line_number, "trigger outside task"));
+      }
+      double a = 0, b = 0;
+      int n = 0;
+      if (tokens.size() >= 3 && tokens[1] == "periodic" &&
+          ParseDouble(tokens[2], &a) &&
+          (tokens.size() == 3 ||
+           (tokens.size() == 4 && ParseDouble(tokens[3], &b)))) {
+        current.trigger = TriggerSpec::Periodic(a, b);
+      } else if (tokens.size() == 3 && tokens[1] == "poisson" &&
+                 ParseDouble(tokens[2], &a)) {
+        current.trigger = TriggerSpec::Poisson(a);
+      } else if (tokens.size() == 5 && tokens[1] == "bursty" &&
+                 ParseDouble(tokens[2], &a) && ParseInt(tokens[3], &n) &&
+                 ParseDouble(tokens[4], &b)) {
+        current.trigger = TriggerSpec::Bursty(a, n, b);
+      } else {
+        return E::Error(LineError(line_number, "bad trigger spec"));
+      }
+    } else if (keyword == "subtask") {
+      if (!in_task) {
+        return E::Error(LineError(line_number, "subtask outside task"));
+      }
+      if (tokens.size() != 4 && tokens.size() != 5) {
+        return E::Error(LineError(
+            line_number,
+            "expected: subtask <name> <resource> <wcet> [min_share]"));
+      }
+      SubtaskSpec spec;
+      spec.name = tokens[1];
+      const auto it = resource_index.find(tokens[2]);
+      if (it == resource_index.end()) {
+        return E::Error(LineError(line_number,
+                                  "unknown resource '" + tokens[2] + "'"));
+      }
+      spec.resource = ResourceId(it->second);
+      if (!ParseDouble(tokens[3], &spec.wcet_ms)) {
+        return E::Error(LineError(line_number, "bad wcet"));
+      }
+      if (tokens.size() == 5 && !ParseDouble(tokens[4], &spec.min_share)) {
+        return E::Error(LineError(line_number, "bad min_share"));
+      }
+      current.subtasks.push_back(std::move(spec));
+    } else if (keyword == "edge") {
+      if (!in_task) {
+        return E::Error(LineError(line_number, "edge outside task"));
+      }
+      int from = 0, to = 0;
+      if (tokens.size() != 3 || !ParseInt(tokens[1], &from) ||
+          !ParseInt(tokens[2], &to)) {
+        return E::Error(LineError(line_number, "expected: edge <from> <to>"));
+      }
+      current.edges.emplace_back(from, to);
+    } else if (keyword == "end") {
+      if (!in_task) {
+        return E::Error(LineError(line_number, "'end' without task"));
+      }
+      tasks.push_back(std::move(current));
+      in_task = false;
+    } else {
+      return E::Error(
+          LineError(line_number, "unknown keyword '" + keyword + "'"));
+    }
+  }
+  if (in_task) {
+    return E::Error("unexpected end of input: task '" + current.name +
+                    "' missing 'end'");
+  }
+  return Workload::Create(std::move(resources), std::move(tasks));
+}
+
+Expected<Workload> LoadWorkloadFromString(const std::string& text) {
+  std::istringstream is(text);
+  return LoadWorkload(is);
+}
+
+Expected<Workload> LoadWorkloadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Expected<Workload>::Error("cannot open '" + path + "'");
+  }
+  return LoadWorkload(in);
+}
+
+Status SaveWorkload(const Workload& workload, std::ostream& out) {
+  out << "# LLA workload (see model/serialization.h for the format)\n";
+  for (const ResourceInfo& resource : workload.resources()) {
+    out << "resource " << resource.name << ' '
+        << (resource.kind == ResourceKind::kCpu ? "cpu" : "link") << ' '
+        << resource.capacity << ' ' << resource.lag_ms << '\n';
+  }
+  for (const TaskInfo& task : workload.tasks()) {
+    out << "task " << task.name << ' ' << task.critical_time_ms << '\n';
+
+    const UtilityFunction* utility = task.utility.get();
+    if (const auto* linear = dynamic_cast<const LinearUtility*>(utility)) {
+      out << "  utility linear " << linear->offset() << ' '
+          << linear->slope() << '\n';
+    } else if (const auto* power =
+                   dynamic_cast<const PowerUtility*>(utility)) {
+      out << "  utility power " << power->offset() << ' ' << power->coeff()
+          << ' ' << power->exponent() << '\n';
+    } else if (const auto* negexp =
+                   dynamic_cast<const NegExpUtility*>(utility)) {
+      out << "  utility negexp " << negexp->offset() << ' ' << negexp->rate()
+          << '\n';
+    } else if (const auto* inelastic =
+                   dynamic_cast<const InelasticUtility*>(utility)) {
+      out << "  utility inelastic " << inelastic->plateau() << ' '
+          << inelastic->flat_until() << ' ' << inelastic->steepness()
+          << '\n';
+    } else {
+      return Status::Error("SaveWorkload: unknown utility class for task '" +
+                           task.name + "'");
+    }
+
+    switch (task.trigger.kind) {
+      case TriggerSpec::Kind::kPeriodic:
+        out << "  trigger periodic " << task.trigger.period_ms << ' '
+            << task.trigger.phase_ms << '\n';
+        break;
+      case TriggerSpec::Kind::kPoisson:
+        out << "  trigger poisson " << task.trigger.rate_per_s << '\n';
+        break;
+      case TriggerSpec::Kind::kBursty:
+        out << "  trigger bursty " << task.trigger.period_ms << ' '
+            << task.trigger.burst_size << ' '
+            << task.trigger.burst_spread_ms << '\n';
+        break;
+    }
+    for (SubtaskId sid : task.subtasks) {
+      const SubtaskInfo& sub = workload.subtask(sid);
+      out << "  subtask " << sub.name << ' '
+          << workload.resource(sub.resource).name << ' ' << sub.wcet_ms
+          << ' ' << sub.min_share << '\n';
+    }
+    for (const auto& [from, to] : task.dag.edges()) {
+      out << "  edge " << from << ' ' << to << '\n';
+    }
+    out << "end\n";
+  }
+  return Status{};
+}
+
+Expected<std::string> SaveWorkloadToString(const Workload& workload) {
+  std::ostringstream os;
+  const Status status = SaveWorkload(workload, os);
+  if (!status.ok()) return Expected<std::string>::Error(status.error());
+  return os.str();
+}
+
+Status SaveWorkloadToFile(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Error("cannot open '" + path + "' for writing");
+  return SaveWorkload(workload, out);
+}
+
+}  // namespace lla

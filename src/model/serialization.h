@@ -1,0 +1,43 @@
+// Text serialization for workloads: a small line-oriented format so
+// deployments can be written by hand, versioned, and fed to the CLI tool.
+//
+//   # comment
+//   resource <name> <cpu|link> <capacity> <lag_ms>
+//   task <name> <critical_time_ms>
+//     utility linear <offset> <slope>
+//     utility power <offset> <coeff> <exponent>
+//     utility negexp <offset> <rate>
+//     utility inelastic <plateau> <flat_until> <steepness>
+//     trigger periodic <period_ms> [phase_ms]
+//     trigger poisson <rate_per_s>
+//     trigger bursty <period_ms> <burst_size> <spread_ms>
+//     subtask <name> <resource_name> <wcet_ms> [min_share]
+//     edge <from_index> <to_index>
+//   end
+//
+// Resources must be declared before tasks; subtask indices within a task
+// follow declaration order.  SaveWorkload emits exactly this format, so
+// save/load round-trips.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/expected.h"
+#include "model/workload.h"
+
+namespace lla {
+
+/// Parses the format above; returns a validated workload or a message with
+/// the offending line number.
+Expected<Workload> LoadWorkload(std::istream& in);
+Expected<Workload> LoadWorkloadFromString(const std::string& text);
+Expected<Workload> LoadWorkloadFromFile(const std::string& path);
+
+/// Serializes the workload.  Fails only if a task uses a utility class the
+/// format cannot express.
+Status SaveWorkload(const Workload& workload, std::ostream& out);
+Expected<std::string> SaveWorkloadToString(const Workload& workload);
+Status SaveWorkloadToFile(const Workload& workload, const std::string& path);
+
+}  // namespace lla

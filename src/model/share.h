@@ -1,0 +1,101 @@
+// Share functions: the latency <-> resource-share model (paper Eq. 10).
+//
+// Under proportional-share scheduling, a subtask that receives share sigma of
+// its resource finishes a job of worst-case execution time c in roughly
+// (c + l)/sigma, where l is the scheduler lag.  Inverting gives the share
+// demanded by a target latency: share(lat) = (c + l)/lat — strictly convex
+// and decreasing, as the dual decomposition requires.
+//
+// The error-corrected variant (paper Sec. 6.3) shifts the model by a measured
+// additive error e: predicted latency = (c + l)/sigma + e, i.e.
+// share(lat) = (c + l)/(lat - e).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace lla {
+
+/// Strictly convex, strictly decreasing, continuously differentiable mapping
+/// from latency (ms) to the fraction of the resource required.
+class ShareFunction {
+ public:
+  virtual ~ShareFunction() = default;
+
+  /// Resource fraction needed to achieve `latency_ms`; latency must exceed
+  /// MinLatency().
+  virtual double Share(double latency_ms) const = 0;
+
+  /// d(share)/d(latency); < 0.
+  virtual double DShareDLat(double latency_ms) const = 0;
+
+  /// Inverse of Share(); `share` must be > 0.
+  virtual double LatencyForShare(double share) const = 0;
+
+  /// Infimum of achievable latencies (share -> 1 as latency -> MinLatency
+  /// for the WCET/lag model; exact semantics per subclass).  Latency inputs
+  /// must be strictly greater than this.
+  virtual double MinLatency() const = 0;
+
+  /// Solves -DShareDLat(lat) = g for lat in [lo, hi]; this is the inverse
+  /// operation of the stationarity condition (paper Eq. 7).  Since the share
+  /// function is strictly convex, -DShareDLat is strictly decreasing, so the
+  /// solution is unique; values outside the bracket clamp to lo/hi.
+  /// Requires g >= 0.  The default implementation bisects; subclasses with a
+  /// closed form override.
+  virtual double LatencyForNegSlope(double g, double lo, double hi) const;
+
+  virtual std::string Describe() const = 0;
+};
+
+using SharePtr = std::shared_ptr<const ShareFunction>;
+
+/// share(lat) = work / lat with work = wcet + lag (paper Eq. 10).
+class WcetLagShare final : public ShareFunction {
+ public:
+  /// `wcet_ms` > 0, `lag_ms` >= 0.
+  WcetLagShare(double wcet_ms, double lag_ms);
+
+  double Share(double latency_ms) const override;
+  double DShareDLat(double latency_ms) const override;
+  double LatencyForShare(double share) const override;
+  double MinLatency() const override { return 0.0; }
+  /// Closed form: work/lat^2 = g  =>  lat = sqrt(work/g).
+  double LatencyForNegSlope(double g, double lo, double hi) const override;
+  std::string Describe() const override;
+
+  double work_ms() const { return work_ms_; }
+
+ private:
+  double work_ms_;  ///< wcet + lag
+};
+
+/// Additively corrected model: share(lat) = work / (lat - error).
+/// `error_ms` may be negative (the common case: the uncorrected model
+/// over-predicts latency because job releases are not synchronized).
+class CorrectedWcetLagShare final : public ShareFunction {
+ public:
+  CorrectedWcetLagShare(double wcet_ms, double lag_ms, double error_ms);
+
+  double Share(double latency_ms) const override;
+  double DShareDLat(double latency_ms) const override;
+  double LatencyForShare(double share) const override;
+  double MinLatency() const override { return error_ms_ > 0 ? error_ms_ : 0.0; }
+  /// Closed form: work/(lat-e)^2 = g  =>  lat = e + sqrt(work/g).
+  double LatencyForNegSlope(double g, double lo, double hi) const override;
+  std::string Describe() const override;
+
+  double error_ms() const { return error_ms_; }
+  double work_ms() const { return work_ms_; }
+
+ private:
+  double work_ms_;
+  double error_ms_;
+};
+
+/// Numerically verifies that `s` is decreasing and convex on (lo, hi] and
+/// that LatencyForShare inverts Share; a property check for tests.
+bool CheckShareFunction(const ShareFunction& s, double lo, double hi,
+                        int samples = 257);
+
+}  // namespace lla

@@ -1,0 +1,120 @@
+#include "model/utility.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace lla {
+
+LinearUtility::LinearUtility(double offset, double slope)
+    : offset_(offset), slope_(slope) {
+  assert(slope >= 0.0);
+}
+
+double LinearUtility::Value(double x) const { return offset_ - slope_ * x; }
+
+double LinearUtility::Derivative(double /*x*/) const { return -slope_; }
+
+std::string LinearUtility::Describe() const {
+  std::ostringstream os;
+  os << "linear(" << offset_ << " - " << slope_ << "*x)";
+  return os.str();
+}
+
+PowerUtility::PowerUtility(double offset, double coeff, double exponent)
+    : offset_(offset), coeff_(coeff), exponent_(exponent) {
+  assert(coeff >= 0.0);
+  assert(exponent >= 1.0);
+}
+
+double PowerUtility::Value(double x) const {
+  return offset_ - coeff_ * std::pow(x, exponent_);
+}
+
+double PowerUtility::Derivative(double x) const {
+  return -coeff_ * exponent_ * std::pow(x, exponent_ - 1.0);
+}
+
+std::string PowerUtility::Describe() const {
+  std::ostringstream os;
+  os << "power(" << offset_ << " - " << coeff_ << "*x^" << exponent_ << ")";
+  return os.str();
+}
+
+NegExpUtility::NegExpUtility(double offset, double rate)
+    : offset_(offset), rate_(rate) {
+  assert(rate > 0.0);
+}
+
+double NegExpUtility::Value(double x) const {
+  return offset_ - std::exp(rate_ * x) / rate_;
+}
+
+double NegExpUtility::Derivative(double x) const {
+  return -std::exp(rate_ * x);
+}
+
+std::string NegExpUtility::Describe() const {
+  std::ostringstream os;
+  os << "negexp(" << offset_ << " - exp(" << rate_ << "*x)/" << rate_ << ")";
+  return os.str();
+}
+
+InelasticUtility::InelasticUtility(double plateau, double flat_until,
+                                   double steepness)
+    : plateau_(plateau), flat_until_(flat_until), steepness_(steepness) {
+  assert(flat_until >= 0.0);
+  assert(steepness > 0.0);
+}
+
+double InelasticUtility::Value(double x) const {
+  if (x <= flat_until_) return plateau_;
+  const double d = x - flat_until_;
+  return plateau_ - 0.5 * steepness_ * d * d;
+}
+
+double InelasticUtility::Derivative(double x) const {
+  if (x <= flat_until_) return 0.0;
+  return -steepness_ * (x - flat_until_);
+}
+
+std::string InelasticUtility::Describe() const {
+  std::ostringstream os;
+  os << "inelastic(plateau=" << plateau_ << ", flat_until=" << flat_until_
+     << ", steepness=" << steepness_ << ")";
+  return os.str();
+}
+
+UtilityPtr MakePaperSimUtility(double critical_time_ms, double k) {
+  assert(k >= 1.0);
+  return std::make_shared<LinearUtility>(k * critical_time_ms, 1.0);
+}
+
+UtilityPtr MakePrototypeUtility() {
+  return std::make_shared<LinearUtility>(0.0, 1.0);
+}
+
+bool CheckConcaveNonIncreasing(const UtilityFunction& u, double lo, double hi,
+                               int samples) {
+  assert(samples >= 3);
+  assert(lo < hi);
+  const double step = (hi - lo) / (samples - 1);
+  double prev_value = u.Value(lo);
+  double prev_deriv = u.Derivative(lo);
+  constexpr double kSlack = 1e-9;
+  for (int i = 1; i < samples; ++i) {
+    const double x = lo + i * step;
+    const double value = u.Value(x);
+    const double deriv = u.Derivative(x);
+    if (deriv > kSlack) return false;                     // increasing
+    if (value > prev_value + kSlack) return false;        // increasing
+    if (deriv > prev_deriv + kSlack * (1 + std::fabs(prev_deriv))) {
+      return false;  // derivative increased: convex region
+    }
+    prev_value = value;
+    prev_deriv = deriv;
+  }
+  return true;
+}
+
+}  // namespace lla

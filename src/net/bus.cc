@@ -1,0 +1,130 @@
+#include "net/bus.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace lla::net {
+
+InProcessBus::InProcessBus(BusConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config.base_delay_ms >= 0.0);
+  assert(config.jitter_ms >= 0.0);
+  assert(config.drop_probability >= 0.0 && config.drop_probability <= 1.0);
+}
+
+EndpointId InProcessBus::Register(std::string name, MessageHandler on_message,
+                                  TimerHandler on_timer) {
+  const EndpointId id = static_cast<EndpointId>(endpoints_.size());
+  endpoints_.push_back(
+      {std::move(name), std::move(on_message), std::move(on_timer)});
+  blackout_until_ms_.push_back(-1.0);
+  return id;
+}
+
+void InProcessBus::BlackoutEndpoint(EndpointId endpoint, double until_ms) {
+  assert(endpoint < endpoints_.size());
+  blackout_until_ms_[endpoint] =
+      std::max(blackout_until_ms_[endpoint], until_ms);
+}
+
+bool InProcessBus::IsBlackedOut(EndpointId endpoint) const {
+  return now_ms_ < blackout_until_ms_[endpoint];
+}
+
+void InProcessBus::Push(double at_ms, Event event) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(event);
+  } else {
+    slot = slots_.size();
+    slots_.push_back(std::move(event));
+  }
+  events_.push(EventKey{at_ms, next_seq_++, slot});
+}
+
+void InProcessBus::Send(Message message) {
+  assert(message.receiver < endpoints_.size());
+  ++stats_.sent;
+  stats_.bytes += WireSize(message);
+  if (IsBlackedOut(message.sender) || IsBlackedOut(message.receiver)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (config_.drop_probability > 0.0 &&
+      rng_.NextDouble() < config_.drop_probability) {
+    ++stats_.dropped;
+    return;
+  }
+  double delay = config_.base_delay_ms;
+  if (config_.jitter_ms > 0.0) delay += rng_.Uniform(0.0, config_.jitter_ms);
+  Event event;
+  event.is_timer = false;
+  event.endpoint = message.receiver;
+  event.message = std::move(message);
+  Push(now_ms_ + delay, std::move(event));
+}
+
+void InProcessBus::ScheduleTimer(EndpointId endpoint, double delay_ms,
+                                 std::uint64_t token) {
+  assert(endpoint < endpoints_.size());
+  assert(delay_ms >= 0.0);
+  Event event;
+  event.is_timer = true;
+  event.endpoint = endpoint;
+  event.token = token;
+  Push(now_ms_ + delay_ms, std::move(event));
+}
+
+void InProcessBus::Dispatch(double at_ms, const Event& event) {
+  now_ms_ = at_ms;
+  Endpoint& endpoint = endpoints_[event.endpoint];
+  if (event.is_timer) {
+    ++stats_.timers_fired;
+    if (endpoint.on_timer) endpoint.on_timer(event.token);
+    return;
+  }
+  if (IsBlackedOut(event.endpoint)) {
+    ++stats_.dropped;
+    return;
+  }
+  ++stats_.delivered;
+  if (config_.verify_wire_format) {
+    const auto round_trip = Deserialize(Serialize(event.message));
+    assert(round_trip.has_value() && *round_trip == event.message);
+    (void)round_trip;
+  }
+  if (endpoint.on_message) endpoint.on_message(event.message);
+}
+
+bool InProcessBus::DeliverNext() {
+  if (events_.empty()) return false;
+  const EventKey key = events_.top();
+  events_.pop();
+  // Move the payload out of the slot before dispatch: the handler may push
+  // new events and recycle slots.
+  Event event = std::move(slots_[key.slot]);
+  free_slots_.push_back(key.slot);
+  Dispatch(key.at_ms, event);
+  return true;
+}
+
+void InProcessBus::RunUntil(double until_ms) {
+  while (!events_.empty() && events_.top().at_ms <= until_ms) {
+    const EventKey key = events_.top();
+    events_.pop();
+    Event event = std::move(slots_[key.slot]);
+    free_slots_.push_back(key.slot);
+    Dispatch(key.at_ms, event);
+  }
+  now_ms_ = std::max(now_ms_, until_ms);
+}
+
+void InProcessBus::RunAll() {
+  while (DeliverNext()) {
+  }
+}
+
+}  // namespace lla::net

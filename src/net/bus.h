@@ -1,0 +1,134 @@
+// InProcessBus: the simulated network connecting task controllers and
+// resource agents.
+//
+// The paper evaluates LLA as a distributed algorithm; this bus lets the
+// whole deployment run in one process while still exhibiting the properties
+// that matter to the protocol — per-message delay (fixed + jitter),
+// probabilistic loss, and asynchronous delivery order.  The bus owns a
+// virtual clock and an event queue; endpoints also schedule local timers
+// through it, which is what drives the asynchronous runtime.
+//
+// Determinism: all randomness (jitter, drops) comes from a seeded generator,
+// and simultaneous events break ties by sequence number, so a given seed
+// always yields the same trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+
+namespace lla::net {
+
+using EndpointId = std::uint32_t;
+
+struct BusConfig {
+  double base_delay_ms = 0.1;   ///< fixed propagation delay per message
+  double jitter_ms = 0.0;       ///< uniform extra delay in [0, jitter_ms)
+  double drop_probability = 0.0;
+  std::uint64_t seed = 1;
+  /// Deserialize-after-serialize on every delivery (exercises the wire
+  /// format; off saves time in big sweeps).
+  bool verify_wire_format = true;
+};
+
+struct BusStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t timers_fired = 0;
+  std::uint64_t bytes = 0;
+};
+
+class InProcessBus {
+ public:
+  using MessageHandler = std::function<void(const Message&)>;
+  using TimerHandler = std::function<void(std::uint64_t token)>;
+
+  explicit InProcessBus(BusConfig config = {});
+
+  /// Registers an endpoint; the returned id is the address used in
+  /// Message::sender/receiver.  Handlers run during Deliver*/Run* calls.
+  EndpointId Register(std::string name, MessageHandler on_message,
+                      TimerHandler on_timer = nullptr);
+
+  /// Queues a message for delivery after the configured delay (or drops it).
+  void Send(Message message);
+
+  /// Failure injection: all messages to or from `endpoint` sent while
+  /// now < until_ms are dropped (counted in stats().dropped).  Models a
+  /// crashed/partitioned node; timers keep firing, so the node "recovers"
+  /// with stale state — exactly what the price protocol must tolerate.
+  void BlackoutEndpoint(EndpointId endpoint, double until_ms);
+
+  /// True while the endpoint is inside a blackout window.
+  bool IsBlackedOut(EndpointId endpoint) const;
+
+  /// Schedules a timer at now + delay_ms for the endpoint.
+  void ScheduleTimer(EndpointId endpoint, double delay_ms,
+                     std::uint64_t token);
+
+  /// Delivers the next pending event; false if none.
+  bool DeliverNext();
+
+  /// Runs events until the queue empties or the virtual clock passes
+  /// `until_ms` (events after the horizon stay queued).
+  void RunUntil(double until_ms);
+
+  /// Runs all pending events (must terminate: endpoints that keep
+  /// rescheduling timers should use RunUntil).
+  void RunAll();
+
+  double now_ms() const { return now_ms_; }
+  const BusStats& stats() const { return stats_; }
+  std::size_t pending() const { return events_.size(); }
+  const std::string& endpoint_name(EndpointId id) const {
+    return endpoints_[id].name;
+  }
+
+ private:
+  struct Endpoint {
+    std::string name;
+    MessageHandler on_message;
+    TimerHandler on_timer;
+  };
+  struct Event {
+    bool is_timer = false;
+    EndpointId endpoint = 0;  // timers
+    std::uint64_t token = 0;  // timers
+    Message message;          // messages
+  };
+  /// Heap entries are small and trivially copyable; payloads live in the
+  /// slot table (also avoids moving std::variant through heap operations).
+  struct EventKey {
+    double at_ms;
+    std::uint64_t seq;  ///< tie-break for determinism
+    std::size_t slot;
+  };
+  struct EventLater {
+    bool operator()(const EventKey& a, const EventKey& b) const {
+      if (a.at_ms != b.at_ms) return a.at_ms > b.at_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Push(double at_ms, Event event);
+  void Dispatch(double at_ms, const Event& event);
+
+  BusConfig config_;
+  Rng rng_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<double> blackout_until_ms_;  ///< parallel to endpoints_
+  std::priority_queue<EventKey, std::vector<EventKey>, EventLater> events_;
+  std::vector<Event> slots_;
+  std::vector<std::size_t> free_slots_;
+  double now_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  BusStats stats_;
+};
+
+}  // namespace lla::net

@@ -1,0 +1,135 @@
+#include "net/message.h"
+
+#include <cstring>
+
+namespace lla::net {
+namespace {
+
+constexpr std::uint8_t kTagLatencyUpdate = 1;
+constexpr std::uint8_t kTagResourcePriceUpdate = 2;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_->push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back((v >> (8 * i)) & 0xff);
+  }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) out_->push_back((bits >> (8 * i)) & 0xff);
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  bool U8(std::uint8_t* v) {
+    if (pos_ + 1 > in_.size()) return false;
+    *v = in_[pos_++];
+    return true;
+  }
+  bool U32(std::uint32_t* v) {
+    if (pos_ + 4 > in_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool F64(double* v) {
+    if (pos_ + 8 > in_.size()) return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+    }
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> Serialize(const Message& message) {
+  std::vector<std::uint8_t> bytes;
+  Writer w(&bytes);
+  w.U32(message.sender);
+  w.U32(message.receiver);
+  if (const auto* latency = std::get_if<LatencyUpdate>(&message.payload)) {
+    w.U8(kTagLatencyUpdate);
+    w.U32(latency->task.value());
+    w.U32(static_cast<std::uint32_t>(latency->subtasks.size()));
+    for (std::size_t i = 0; i < latency->subtasks.size(); ++i) {
+      w.U32(latency->subtasks[i].value());
+      w.F64(latency->latencies_ms[i]);
+    }
+  } else {
+    const auto& price = std::get<ResourcePriceUpdate>(message.payload);
+    w.U8(kTagResourcePriceUpdate);
+    w.U32(price.resource.value());
+    w.F64(price.mu);
+    w.U32(price.epoch);
+    w.U8(price.congested ? 1 : 0);
+  }
+  return bytes;
+}
+
+std::optional<Message> Deserialize(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  Message message;
+  std::uint8_t tag = 0;
+  if (!r.U32(&message.sender) || !r.U32(&message.receiver) || !r.U8(&tag)) {
+    return std::nullopt;
+  }
+  if (tag == kTagLatencyUpdate) {
+    LatencyUpdate update;
+    std::uint32_t task = 0, count = 0;
+    if (!r.U32(&task) || !r.U32(&count)) return std::nullopt;
+    update.task = TaskId(task);
+    update.subtasks.reserve(count);
+    update.latencies_ms.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t subtask = 0;
+      double latency = 0.0;
+      if (!r.U32(&subtask) || !r.F64(&latency)) return std::nullopt;
+      update.subtasks.push_back(SubtaskId(subtask));
+      update.latencies_ms.push_back(latency);
+    }
+    message.payload = std::move(update);
+  } else if (tag == kTagResourcePriceUpdate) {
+    ResourcePriceUpdate update;
+    std::uint32_t resource = 0;
+    std::uint8_t congested = 0;
+    if (!r.U32(&resource) || !r.F64(&update.mu) || !r.U32(&update.epoch) ||
+        !r.U8(&congested) || congested > 1) {
+      return std::nullopt;
+    }
+    update.resource = ResourceId(resource);
+    update.congested = congested != 0;
+    message.payload = std::move(update);
+  } else {
+    return std::nullopt;
+  }
+  if (!r.AtEnd()) return std::nullopt;  // trailing garbage
+  return message;
+}
+
+std::size_t WireSize(const Message& message) {
+  if (const auto* latency = std::get_if<LatencyUpdate>(&message.payload)) {
+    return 4 + 4 + 1 + 4 + 4 + latency->subtasks.size() * 12;
+  }
+  return 4 + 4 + 1 + 4 + 8 + 4 + 1;
+}
+
+}  // namespace lla::net

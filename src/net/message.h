@@ -1,0 +1,66 @@
+// Wire messages of the distributed LLA protocol (paper Sec. 4.1).
+//
+// Two message kinds circulate:
+//   LatencyUpdate      controller -> resource: the new predicted latencies of
+//                      the controller's subtasks hosted on that resource
+//                      (the input to the resource's price computation).
+//   ResourcePriceUpdate resource -> controller: the resource's new price mu_r.
+//
+// Path prices never travel: each controller owns its task's paths and
+// computes lambda_p locally (Sec. 4.3).  Messages are serialized to a binary
+// wire format so the bus can account for bytes and tests can verify
+// round-tripping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace lla::net {
+
+struct LatencyUpdate {
+  TaskId task;
+  /// Parallel arrays: subtask[i] gets latency_ms[i].
+  std::vector<SubtaskId> subtasks;
+  std::vector<double> latencies_ms;
+
+  bool operator==(const LatencyUpdate&) const = default;
+};
+
+struct ResourcePriceUpdate {
+  ResourceId resource;
+  double mu = 0.0;
+  /// Iteration counter at the sender (for diagnostics / staleness studies).
+  std::uint32_t epoch = 0;
+  /// Whether the resource was congested when this price was computed; the
+  /// controllers need it to apply the adaptive step-size heuristic to the
+  /// paths traversing this resource (Sec. 5.2).
+  bool congested = false;
+
+  bool operator==(const ResourcePriceUpdate&) const = default;
+};
+
+using Payload = std::variant<LatencyUpdate, ResourcePriceUpdate>;
+
+struct Message {
+  std::uint32_t sender = 0;    ///< EndpointId of the origin
+  std::uint32_t receiver = 0;  ///< EndpointId of the destination
+  Payload payload;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Serializes to a compact binary representation (little-endian).
+std::vector<std::uint8_t> Serialize(const Message& message);
+
+/// Inverse of Serialize; nullopt on malformed input (truncation, bad tag).
+std::optional<Message> Deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Number of bytes Serialize would produce (used for traffic accounting).
+std::size_t WireSize(const Message& message);
+
+}  // namespace lla::net

@@ -1,0 +1,230 @@
+#include "runtime/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lla::runtime {
+namespace {
+constexpr std::uint64_t kControllerTimer = 1;
+constexpr std::uint64_t kResourceTimer = 2;
+constexpr std::uint64_t kMonitorTimer = 3;
+}  // namespace
+
+Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
+                         CoordinatorConfig config)
+    : workload_(&workload), model_(&model), config_(config) {
+  bus_ = std::make_unique<net::InProcessBus>(config.bus);
+
+  // Create agents, register endpoints, then bind (endpoint ids must all be
+  // known before binding).
+  std::vector<net::EndpointId> controller_endpoints(workload.task_count());
+  std::vector<net::EndpointId> resource_endpoints(workload.resource_count());
+
+  controllers_.reserve(workload.task_count());
+  for (const TaskInfo& task : workload.tasks()) {
+    controllers_.push_back(std::make_unique<TaskController>(
+        workload, model, task.id, config.step, config.solver));
+  }
+  agents_.reserve(workload.resource_count());
+  for (const ResourceInfo& resource : workload.resources()) {
+    agents_.push_back(std::make_unique<ResourceAgent>(
+        workload, model, resource.id, config.step));
+  }
+
+  // Message endpoints; periodic async timers live on separate endpoints
+  // created by ArmAsyncTimers.
+  // (kept as members for failure injection)
+  for (const TaskInfo& task : workload.tasks()) {
+    TaskController* controller = controllers_[task.id.value()].get();
+    controller_endpoints[task.id.value()] = bus_->Register(
+        "controller/" + task.name,
+        [controller](const net::Message& m) { controller->OnMessage(m); });
+  }
+  for (const ResourceInfo& resource : workload.resources()) {
+    ResourceAgent* agent = agents_[resource.id.value()].get();
+    resource_endpoints[resource.id.value()] = bus_->Register(
+        "resource/" + resource.name,
+        [agent](const net::Message& m) { agent->OnMessage(m); });
+  }
+  monitor_endpoint_ = bus_->Register(
+      "monitor", nullptr, [this](std::uint64_t token) {
+        if (token != kMonitorTimer) return;
+        RecordSample(bus_->now_ms());
+        bus_->ScheduleTimer(monitor_endpoint_, config_.monitor_period_ms,
+                            kMonitorTimer);
+      });
+
+  for (const TaskInfo& task : workload.tasks()) {
+    controllers_[task.id.value()]->Bind(
+        bus_.get(), controller_endpoints[task.id.value()],
+        resource_endpoints);
+  }
+  for (const ResourceInfo& resource : workload.resources()) {
+    agents_[resource.id.value()]->Bind(bus_.get(),
+                                       resource_endpoints[resource.id.value()],
+                                       controller_endpoints);
+  }
+  controller_endpoints_ = std::move(controller_endpoints);
+  resource_endpoints_ = std::move(resource_endpoints);
+}
+
+void Coordinator::PartitionResource(ResourceId resource,
+                                    double duration_ms) {
+  bus_->BlackoutEndpoint(resource_endpoints_[resource.value()],
+                         bus_->now_ms() + duration_ms);
+}
+
+void Coordinator::PartitionController(TaskId task, double duration_ms) {
+  bus_->BlackoutEndpoint(controller_endpoints_[task.value()],
+                         bus_->now_ms() + duration_ms);
+}
+
+RoundStats Coordinator::RunSyncRound() {
+  for (auto& controller : controllers_) controller->AllocateAndSend();
+  bus_->RunAll();
+  for (auto& agent : agents_) agent->ComputePriceAndBroadcast();
+  bus_->RunAll();
+  ++round_;
+  RecordSample(bus_->now_ms());
+  return history_.empty() ? RoundStats{} : history_.back();
+}
+
+RunResult Coordinator::RunSync(int max_rounds) {
+  assert(max_rounds >= 1);
+  RunResult result;
+  for (int i = 0; i < max_rounds; ++i) {
+    const RoundStats stats = RunSyncRound();
+    result.final_utility = stats.total_utility;
+    if (converged_) break;
+  }
+  result.converged = converged_;
+  result.iterations = round_;
+  result.final_feasibility = CurrentFeasibility();
+  return result;
+}
+
+void Coordinator::ArmAsyncTimers() {
+  if (async_armed_) return;
+  async_armed_ = true;
+  // Controllers fire first (they own the initial latencies), staggered so no
+  // two agents act at the same instant.
+  double phase = 0.0;
+  for (std::size_t t = 0; t < controllers_.size(); ++t) {
+    TaskController* controller = controllers_[t].get();
+    const net::EndpointId endpoint =
+        bus_->Register("controller-timer/" + std::to_string(t), nullptr,
+                       [this, controller, endpoint_slot = t](std::uint64_t) {
+                         controller->AllocateAndSend();
+                         bus_->ScheduleTimer(
+                             controller_timer_endpoints_[endpoint_slot],
+                             config_.controller_period_ms, kControllerTimer);
+                       });
+    controller_timer_endpoints_.push_back(endpoint);
+    bus_->ScheduleTimer(endpoint, phase, kControllerTimer);
+    phase += config_.phase_spread_ms;
+  }
+  phase = 0.5 * config_.resource_period_ms;
+  for (std::size_t r = 0; r < agents_.size(); ++r) {
+    ResourceAgent* agent = agents_[r].get();
+    const net::EndpointId endpoint =
+        bus_->Register("resource-timer/" + std::to_string(r), nullptr,
+                       [this, agent, endpoint_slot = r](std::uint64_t) {
+                         agent->ComputePriceAndBroadcast();
+                         bus_->ScheduleTimer(
+                             resource_timer_endpoints_[endpoint_slot],
+                             config_.resource_period_ms, kResourceTimer);
+                       });
+    resource_timer_endpoints_.push_back(endpoint);
+    bus_->ScheduleTimer(endpoint, phase, kResourceTimer);
+    phase += config_.phase_spread_ms;
+  }
+  bus_->ScheduleTimer(monitor_endpoint_, config_.monitor_period_ms,
+                      kMonitorTimer);
+}
+
+void Coordinator::RunAsync(double duration_ms) {
+  ArmAsyncTimers();
+  bus_->RunUntil(bus_->now_ms() + duration_ms);
+}
+
+Assignment Coordinator::CurrentAssignment() const {
+  Assignment latencies(workload_->subtask_count(), 0.0);
+  for (const TaskInfo& task : workload_->tasks()) {
+    const auto& local = controllers_[task.id.value()]->latencies();
+    for (std::size_t i = 0; i < task.subtasks.size(); ++i) {
+      latencies[task.subtasks[i].value()] = local[i];
+    }
+  }
+  return latencies;
+}
+
+double Coordinator::CurrentUtility() const {
+  return TotalUtility(*workload_, CurrentAssignment(),
+                      config_.solver.variant);
+}
+
+FeasibilityReport Coordinator::CurrentFeasibility() const {
+  return CheckFeasibility(*workload_, *model_, CurrentAssignment(),
+                          config_.convergence.feasibility_tol);
+}
+
+void Coordinator::RecordSample(double at_ms) {
+  const Assignment latencies = CurrentAssignment();
+  const double utility =
+      TotalUtility(*workload_, latencies, config_.solver.variant);
+  const FeasibilityReport report = CheckFeasibility(
+      *workload_, *model_, latencies, config_.convergence.feasibility_tol);
+  if (config_.record_history) {
+    RoundStats stats;
+    stats.round = round_;
+    stats.at_ms = at_ms;
+    stats.total_utility = utility;
+    stats.max_resource_excess = report.max_resource_excess;
+    stats.max_path_ratio = report.max_path_ratio;
+    stats.feasible = report.feasible;
+    history_.push_back(std::move(stats));
+  }
+  UpdateConvergence(utility);
+  MaybeEnact(at_ms);
+}
+
+void Coordinator::UpdateConvergence(double utility) {
+  const ConvergenceConfig& conv = config_.convergence;
+  recent_utilities_.push_back(utility);
+  while (static_cast<int>(recent_utilities_.size()) > conv.window) {
+    recent_utilities_.pop_front();
+  }
+  if (static_cast<int>(recent_utilities_.size()) < conv.window) {
+    converged_ = false;
+    return;
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(recent_utilities_.begin(), recent_utilities_.end());
+  const double spread = *max_it - *min_it;
+  const double scale = std::max(1.0, std::fabs(*max_it));
+  bool settled = spread <= conv.rel_tol * scale;
+  if (settled && conv.require_feasible) {
+    settled = CurrentFeasibility().feasible;
+  }
+  converged_ = settled;
+}
+
+void Coordinator::MaybeEnact(double at_ms) {
+  const double utility = recent_utilities_.back();
+  if (!enactments_.empty()) {
+    const double last = enactments_.back().utility;
+    const double scale = std::max(1.0, std::fabs(last));
+    if (std::fabs(utility - last) <= config_.enactment_threshold * scale) {
+      return;
+    }
+  }
+  Enactment enactment;
+  enactment.round = round_;
+  enactment.at_ms = at_ms;
+  enactment.utility = utility;
+  enactment.latencies = CurrentAssignment();
+  enactments_.push_back(std::move(enactment));
+}
+
+}  // namespace lla::runtime

@@ -1,0 +1,129 @@
+// Coordinator: wires a workload's task controllers and resource agents onto
+// an InProcessBus and drives the distributed LLA iteration.
+//
+// Two execution modes:
+//   * Synchronous rounds — the paper's iteration structure: all controllers
+//     allocate and send, messages flush, all resources price and send,
+//     messages flush.  With a zero-delay bus this matches the single-process
+//     LlaEngine up to the one-round staleness of the congestion flags used
+//     for path step sizes.
+//   * Asynchronous — every agent runs on its own periodic timer with
+//     staggered phases while the bus applies delay, jitter and drops; this
+//     is the regime a real deployment would see.
+//
+// The coordinator also implements the enactment policy of Sec. 4.4: the
+// running allocation is only "enacted" (recorded for the executing system)
+// when utility has improved by more than a threshold since the last
+// enactment, so a converged system stops thrashing scheduling parameters.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "model/evaluation.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+#include "net/bus.h"
+#include "runtime/resource_agent.h"
+#include "runtime/task_controller.h"
+
+namespace lla::runtime {
+
+struct CoordinatorConfig {
+  AgentStepConfig step;
+  LatencySolverConfig solver;
+  net::BusConfig bus;
+  ConvergenceConfig convergence;
+  /// Relative utility change that triggers an enactment.
+  double enactment_threshold = 0.01;
+  /// Async mode: local re-optimization periods and initial phase stagger.
+  double controller_period_ms = 10.0;
+  double resource_period_ms = 10.0;
+  double phase_spread_ms = 1.0;
+  /// Async mode: cadence of the monitor that samples utility/enactments.
+  double monitor_period_ms = 10.0;
+  bool record_history = true;
+};
+
+struct RoundStats {
+  int round = 0;
+  double at_ms = 0.0;
+  double total_utility = 0.0;
+  double max_resource_excess = 0.0;
+  double max_path_ratio = 0.0;
+  bool feasible = false;
+};
+
+struct Enactment {
+  int round = 0;
+  double at_ms = 0.0;
+  double utility = 0.0;
+  Assignment latencies;
+};
+
+class Coordinator {
+ public:
+  Coordinator(const Workload& workload, const LatencyModel& model,
+              CoordinatorConfig config = {});
+
+  /// One synchronous protocol round.
+  RoundStats RunSyncRound();
+
+  /// Synchronous rounds until convergence (per config) or `max_rounds`.
+  RunResult RunSync(int max_rounds);
+
+  /// Advances the asynchronous deployment by `duration_ms` of virtual time
+  /// (timers for all agents are armed on first call).
+  void RunAsync(double duration_ms);
+
+  /// Failure injection: partitions the resource agent's / task controller's
+  /// message endpoint for `duration_ms` of virtual time from now (messages
+  /// to and from it are dropped; its local timers keep running, so it
+  /// resumes with stale state when the partition heals).
+  void PartitionResource(ResourceId resource, double duration_ms);
+  void PartitionController(TaskId task, double duration_ms);
+
+  /// The latest latency assignment across all controllers.
+  Assignment CurrentAssignment() const;
+  double CurrentUtility() const;
+  FeasibilityReport CurrentFeasibility() const;
+  bool Converged() const { return converged_; }
+
+  const std::vector<RoundStats>& history() const { return history_; }
+  const std::vector<Enactment>& enactments() const { return enactments_; }
+  net::InProcessBus& bus() { return *bus_; }
+  const TaskController& controller(TaskId task) const {
+    return *controllers_[task.value()];
+  }
+  const ResourceAgent& agent(ResourceId resource) const {
+    return *agents_[resource.value()];
+  }
+
+ private:
+  void RecordSample(double at_ms);
+  void UpdateConvergence(double utility);
+  void MaybeEnact(double at_ms);
+  void ArmAsyncTimers();
+
+  const Workload* workload_;
+  const LatencyModel* model_;
+  CoordinatorConfig config_;
+  std::unique_ptr<net::InProcessBus> bus_;
+  std::vector<std::unique_ptr<TaskController>> controllers_;
+  std::vector<std::unique_ptr<ResourceAgent>> agents_;
+  net::EndpointId monitor_endpoint_ = 0;
+  std::vector<net::EndpointId> controller_endpoints_;
+  std::vector<net::EndpointId> resource_endpoints_;
+  std::vector<net::EndpointId> controller_timer_endpoints_;
+  std::vector<net::EndpointId> resource_timer_endpoints_;
+  bool async_armed_ = false;
+  int round_ = 0;
+  bool converged_ = false;
+  std::deque<double> recent_utilities_;
+  std::vector<RoundStats> history_;
+  std::vector<Enactment> enactments_;
+};
+
+}  // namespace lla::runtime

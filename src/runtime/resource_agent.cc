@@ -1,0 +1,99 @@
+#include "runtime/resource_agent.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace lla::runtime {
+
+ResourceAgent::ResourceAgent(const Workload& workload,
+                             const LatencyModel& model, ResourceId resource,
+                             AgentStepConfig config)
+    : workload_(&workload),
+      model_(&model),
+      resource_(resource),
+      config_(config) {
+  const ResourceInfo& info = workload.resource(resource);
+  latencies_.resize(info.subtasks.size());
+  // Until a controller reports, assume subtasks demand nothing (latency at
+  // the model's "min share or far away" end would require the solver's
+  // bounds; an effectively-infinite latency gives share ~ 0, which is the
+  // correct "no demand yet" reading).
+  std::fill(latencies_.begin(), latencies_.end(), 1e9);
+
+  std::set<TaskId> tasks;
+  for (SubtaskId sid : info.subtasks) {
+    tasks.insert(workload.subtask(sid).task);
+  }
+  client_tasks_.assign(tasks.begin(), tasks.end());
+}
+
+void ResourceAgent::Bind(net::InProcessBus* bus, net::EndpointId self,
+                         std::vector<net::EndpointId> controller_endpoints) {
+  bus_ = bus;
+  self_ = self;
+  controller_endpoints_ = std::move(controller_endpoints);
+}
+
+void ResourceAgent::OnMessage(const net::Message& message) {
+  const auto* update = std::get_if<net::LatencyUpdate>(&message.payload);
+  if (update == nullptr) return;  // not for us; ignore
+  const auto& hosted = workload_->resource(resource_).subtasks;
+  for (std::size_t i = 0; i < update->subtasks.size(); ++i) {
+    const SubtaskId sid = update->subtasks[i];
+    const auto it = std::find(hosted.begin(), hosted.end(), sid);
+    if (it == hosted.end()) continue;  // misrouted entry; skip defensively
+    latencies_[static_cast<std::size_t>(it - hosted.begin())] =
+        update->latencies_ms[i];
+  }
+}
+
+double ResourceAgent::ShareSum() const {
+  const auto& hosted = workload_->resource(resource_).subtasks;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < hosted.size(); ++i) {
+    const ShareFunction& share = model_->share(hosted[i]);
+    const double lat = std::max(latencies_[i], share.MinLatency() + 1e-9);
+    sum += share.Share(lat);
+  }
+  return sum;
+}
+
+bool ResourceAgent::Congested() const {
+  return ShareSum() > workload_->resource(resource_).capacity;
+}
+
+void ResourceAgent::ComputePriceAndBroadcast() {
+  assert(bus_ != nullptr);
+  const ResourceInfo& info = workload_->resource(resource_);
+  const double share_sum = ShareSum();
+  const bool congested = share_sum > info.capacity;
+
+  // Adaptive step (Sec. 5.2): double while congested, revert when not.
+  if (config_.adaptive) {
+    gamma_multiplier_ =
+        congested ? std::min(gamma_multiplier_ * 2.0,
+                             config_.adaptive_max_multiplier)
+                  : 1.0;
+  }
+  const double gamma = config_.gamma0 * gamma_multiplier_;
+
+  // Eq. 8 with projection at zero.
+  mu_ = std::max(0.0, mu_ - gamma * (info.capacity - share_sum));
+  ++epoch_;
+
+  net::ResourcePriceUpdate update;
+  update.resource = resource_;
+  update.mu = mu_;
+  update.epoch = epoch_;
+  update.congested = congested;
+  for (TaskId task : client_tasks_) {
+    net::Message message;
+    message.sender = self_;
+    message.receiver = controller_endpoints_[task.value()];
+    message.payload = update;
+    bus_->Send(std::move(message));
+  }
+}
+
+}  // namespace lla::runtime

@@ -1,0 +1,72 @@
+// ResourceAgent: the per-resource participant of the distributed LLA
+// protocol (paper Sec. 4.3, "Resource Price Computation").
+//
+//   1. Receive the computed latencies of all subtasks running here.
+//   2. Compute a new resource price mu_r (Eq. 8), adapting the local step
+//      size by the doubling heuristic while congested.
+//   3. Send (mu_r, congested) to the controllers of tasks with subtasks
+//      here.
+//
+// For a network link the paper assigns this role to one endpoint of the
+// link; in the bus deployment every resource simply gets an endpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/latency_model.h"
+#include "model/workload.h"
+#include "net/bus.h"
+
+namespace lla::runtime {
+
+struct AgentStepConfig {
+  double gamma0 = 3.0;
+  bool adaptive = true;
+  double adaptive_max_multiplier = 8.0;
+};
+
+class ResourceAgent {
+ public:
+  ResourceAgent(const Workload& workload, const LatencyModel& model,
+                ResourceId resource, AgentStepConfig config);
+
+  /// Wires the agent to the bus.  `controller_endpoints[t]` is the endpoint
+  /// of task t's controller; only controllers with subtasks on this resource
+  /// are messaged.
+  void Bind(net::InProcessBus* bus, net::EndpointId self,
+            std::vector<net::EndpointId> controller_endpoints);
+
+  /// Handles a LatencyUpdate destined for this resource.
+  void OnMessage(const net::Message& message);
+
+  /// One price computation + broadcast (driven by the coordinator in sync
+  /// mode or by a timer in async mode).
+  void ComputePriceAndBroadcast();
+
+  double mu() const { return mu_; }
+  double ShareSum() const;
+  bool Congested() const;
+  ResourceId resource() const { return resource_; }
+  std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  const Workload* workload_;
+  const LatencyModel* model_;
+  ResourceId resource_;
+  AgentStepConfig config_;
+
+  net::InProcessBus* bus_ = nullptr;
+  net::EndpointId self_ = 0;
+  std::vector<net::EndpointId> controller_endpoints_;
+  std::vector<TaskId> client_tasks_;  ///< tasks with subtasks here
+
+  /// Latest latency per hosted subtask, indexed like
+  /// workload.resource(resource_).subtasks.
+  std::vector<double> latencies_;
+  double mu_ = 0.0;
+  double gamma_multiplier_ = 1.0;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace lla::runtime

@@ -1,0 +1,101 @@
+#include "runtime/task_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace lla::runtime {
+
+TaskController::TaskController(const Workload& workload,
+                               const LatencyModel& model, TaskId task,
+                               AgentStepConfig step_config,
+                               LatencySolverConfig solver_config)
+    : workload_(&workload),
+      model_(&model),
+      task_(task),
+      step_config_(step_config),
+      solver_(workload, model, solver_config) {
+  prices_ = PriceVector::Zero(workload);
+  scratch_latencies_.assign(workload.subtask_count(), 0.0);
+  const TaskInfo& info = workload.task(task);
+  local_latencies_.assign(info.subtasks.size(), 0.0);
+  local_lambdas_.assign(info.paths.size(), 0.0);
+  path_gamma_multiplier_.assign(info.paths.size(), 1.0);
+  resource_congested_.assign(workload.resource_count(), false);
+
+  std::set<ResourceId> used;
+  for (SubtaskId sid : info.subtasks) {
+    used.insert(workload.subtask(sid).resource);
+  }
+  used_resources_.assign(used.begin(), used.end());
+}
+
+void TaskController::Bind(net::InProcessBus* bus, net::EndpointId self,
+                          std::vector<net::EndpointId> resource_endpoints) {
+  bus_ = bus;
+  self_ = self;
+  resource_endpoints_ = std::move(resource_endpoints);
+}
+
+void TaskController::OnMessage(const net::Message& message) {
+  const auto* update =
+      std::get_if<net::ResourcePriceUpdate>(&message.payload);
+  if (update == nullptr) return;
+  prices_.mu[update->resource.value()] = update->mu;
+  resource_congested_[update->resource.value()] = update->congested;
+}
+
+void TaskController::AllocateAndSend() {
+  assert(bus_ != nullptr);
+  const TaskInfo& info = workload_->task(task_);
+
+  // 3. Latency allocation at the stored prices (Eq. 7).
+  solver_.SolveTask(task_, prices_, &scratch_latencies_);
+  for (std::size_t i = 0; i < info.subtasks.size(); ++i) {
+    local_latencies_[i] = scratch_latencies_[info.subtasks[i].value()];
+  }
+
+  // 2'. Path price update (Eq. 9) with the adaptive per-path step: a path's
+  // step doubles while any resource it traverses reports congestion.
+  for (std::size_t p = 0; p < info.paths.size(); ++p) {
+    const PathInfo& path = workload_->path(info.paths[p]);
+    bool any_congested = false;
+    double latency = 0.0;
+    for (SubtaskId sid : path.subtasks) {
+      latency += scratch_latencies_[sid.value()];
+      if (resource_congested_[workload_->subtask(sid).resource.value()]) {
+        any_congested = true;
+      }
+    }
+    if (step_config_.adaptive) {
+      path_gamma_multiplier_[p] =
+          any_congested ? std::min(path_gamma_multiplier_[p] * 2.0,
+                                   step_config_.adaptive_max_multiplier)
+                        : 1.0;
+    }
+    const double gamma = step_config_.gamma0 * path_gamma_multiplier_[p];
+    const double slack = 1.0 - latency / path.critical_time_ms;
+    local_lambdas_[p] =
+        std::max(0.0, local_lambdas_[p] - gamma * slack);
+    prices_.lambda[info.paths[p].value()] = local_lambdas_[p];
+  }
+
+  // 4. Send the new latencies, one message per resource used.
+  for (ResourceId resource : used_resources_) {
+    net::LatencyUpdate update;
+    update.task = task_;
+    for (std::size_t i = 0; i < info.subtasks.size(); ++i) {
+      const SubtaskId sid = info.subtasks[i];
+      if (workload_->subtask(sid).resource != resource) continue;
+      update.subtasks.push_back(sid);
+      update.latencies_ms.push_back(local_latencies_[i]);
+    }
+    net::Message message;
+    message.sender = self_;
+    message.receiver = resource_endpoints_[resource.value()];
+    message.payload = std::move(update);
+    bus_->Send(std::move(message));
+  }
+}
+
+}  // namespace lla::runtime

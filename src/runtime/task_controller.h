@@ -1,0 +1,72 @@
+// TaskController: the per-task participant of the distributed LLA protocol
+// (paper Sec. 4.2, "Latency Allocation").
+//
+//   1. Receive the price values mu_r of the resources the task uses
+//      (with the sender's congestion flag, for the adaptive step sizes).
+//   2. Compute the path prices lambda_p of the task's own paths (Eq. 9).
+//   3. Compute new latencies by zeroing the Lagrangian derivative (Eq. 7)
+//      — delegated to LatencySolver::SolveTask.
+//   4. Send the latencies to the resources hosting the subtasks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/latency_solver.h"
+#include "core/prices.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+#include "net/bus.h"
+#include "runtime/resource_agent.h"
+
+namespace lla::runtime {
+
+class TaskController {
+ public:
+  TaskController(const Workload& workload, const LatencyModel& model,
+                 TaskId task, AgentStepConfig step_config,
+                 LatencySolverConfig solver_config = {});
+
+  /// Wires the controller to the bus.  `resource_endpoints[r]` is the
+  /// endpoint of resource r's agent.
+  void Bind(net::InProcessBus* bus, net::EndpointId self,
+            std::vector<net::EndpointId> resource_endpoints);
+
+  /// Handles a ResourcePriceUpdate destined for this controller.
+  void OnMessage(const net::Message& message);
+
+  /// One latency allocation + path price update + broadcast.
+  void AllocateAndSend();
+
+  TaskId task() const { return task_; }
+  /// Latencies of this task's subtasks (indexed by local subtask order).
+  const std::vector<double>& latencies() const { return local_latencies_; }
+  /// Path prices of this task's paths (indexed by local path order).
+  const std::vector<double>& lambdas() const { return local_lambdas_; }
+  double mu_seen(ResourceId r) const { return prices_.mu[r.value()]; }
+
+ private:
+  const Workload* workload_;
+  const LatencyModel* model_;
+  TaskId task_;
+  AgentStepConfig step_config_;
+  LatencySolver solver_;
+
+  net::InProcessBus* bus_ = nullptr;
+  net::EndpointId self_ = 0;
+  std::vector<net::EndpointId> resource_endpoints_;
+  std::vector<ResourceId> used_resources_;
+
+  /// Full-size price vector so SolveTask can be reused unchanged; only the
+  /// entries of used resources / own paths are ever non-zero.
+  PriceVector prices_;
+  Assignment scratch_latencies_;
+  std::vector<double> local_latencies_;
+  std::vector<double> local_lambdas_;
+  /// Latest congestion flag per resource (from the price messages).
+  std::vector<bool> resource_congested_;
+  /// Adaptive multiplier per local path.
+  std::vector<double> path_gamma_multiplier_;
+};
+
+}  // namespace lla::runtime

@@ -1,0 +1,42 @@
+#include "sim/trigger_source.h"
+
+namespace lla::sim {
+
+TriggerSource::TriggerSource(const TriggerSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+double TriggerSource::NextReleaseMs() {
+  switch (spec_.kind) {
+    case TriggerSpec::Kind::kPeriodic: {
+      if (!started_) {
+        started_ = true;
+        next_ms_ = spec_.phase_ms;
+      } else {
+        next_ms_ += spec_.period_ms;
+      }
+      return next_ms_;
+    }
+    case TriggerSpec::Kind::kPoisson: {
+      const double mean_gap_ms = 1000.0 / spec_.rate_per_s;
+      next_ms_ += rng_.Exponential(mean_gap_ms);
+      return next_ms_;
+    }
+    case TriggerSpec::Kind::kBursty: {
+      if (!started_) {
+        started_ = true;
+        burst_start_ms_ = 0.0;
+        burst_index_ = 0;
+      }
+      if (burst_index_ >= spec_.burst_size) {
+        burst_start_ms_ += spec_.period_ms;
+        burst_index_ = 0;
+      }
+      const double at = burst_start_ms_ + burst_index_ * spec_.burst_spread_ms;
+      ++burst_index_;
+      return at;
+    }
+  }
+  return next_ms_;
+}
+
+}  // namespace lla::sim

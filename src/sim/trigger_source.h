@@ -1,0 +1,31 @@
+// Generates task release times from a TriggerSpec (paper Sec. 2).
+//
+// Periodic: phase, phase + T, phase + 2T, ...
+// Poisson:  exponential inter-arrival gaps with the configured mean rate.
+// Bursty:   every period, `burst_size` releases spaced `burst_spread_ms`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "model/trigger.h"
+
+namespace lla::sim {
+
+class TriggerSource {
+ public:
+  TriggerSource(const TriggerSpec& spec, std::uint64_t seed);
+
+  /// Absolute time (ms) of the next release; each call advances the source.
+  double NextReleaseMs();
+
+ private:
+  TriggerSpec spec_;
+  Rng rng_;
+  double next_ms_ = 0.0;
+  int burst_index_ = 0;
+  double burst_start_ms_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace lla::sim

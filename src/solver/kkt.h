@@ -1,0 +1,44 @@
+// KKT condition checker for the latency-assignment problem.
+//
+// At the optimum of Eqs. 2-4 there exist prices (mu, lambda) such that:
+//   stationarity:  w_s f_i'(X_i) - Lambda_s - mu_r share_s'(lat_s) = 0
+//                  (relaxed to an inequality at a box bound),
+//   primal feasibility:  Eq. 3 and Eq. 4 hold,
+//   dual feasibility:    mu, lambda >= 0,
+//   complementary slackness:  mu_r * slack_r = 0,  lambda_p * slack_p = 0.
+//
+// Tests use this to certify that LLA's iterates converge to a true optimum
+// and that the engine's prices are meaningful duals.
+#pragma once
+
+#include <string>
+
+#include "core/latency_solver.h"
+#include "core/prices.h"
+#include "model/evaluation.h"
+#include "model/latency_model.h"
+#include "model/workload.h"
+
+namespace lla {
+
+struct KktReport {
+  double max_stationarity_violation = 0.0;
+  double max_primal_violation = 0.0;        ///< constraint excess (abs terms)
+  double max_dual_violation = 0.0;          ///< negative price magnitude
+  double max_complementarity_violation = 0.0;
+  bool Satisfied(double tol) const {
+    return max_stationarity_violation <= tol &&
+           max_primal_violation <= tol && max_dual_violation <= tol &&
+           max_complementarity_violation <= tol;
+  }
+  std::string Summary() const;
+};
+
+/// Evaluates the KKT residuals of (latencies, prices).  `solver` supplies
+/// the same box bounds the engine used, so stationarity at a clamped
+/// latency is judged by the sign of the Lagrangian derivative instead.
+KktReport CheckKkt(const Workload& workload, const LatencyModel& model,
+                   const LatencySolver& solver, const Assignment& latencies,
+                   const PriceVector& prices, UtilityVariant variant);
+
+}  // namespace lla

@@ -1,0 +1,155 @@
+#include "workloads/paper.h"
+
+#include <cassert>
+#include <string>
+
+#include "model/trigger.h"
+#include "model/utility.h"
+
+namespace lla {
+namespace {
+
+struct SubtaskDef {
+  int resource;
+  double wcet;
+};
+
+struct TaskDef {
+  const char* name;
+  double critical_time;
+  std::vector<SubtaskDef> subtasks;
+  std::vector<std::pair<int, int>> edges;
+};
+
+// Figure 4 / Table 1.  Resource ids and execution times are verbatim from
+// Table 1; the graphs are the reconstruction documented in paper.h.
+const std::vector<TaskDef>& BaseTaskDefs() {
+  static const std::vector<TaskDef> defs = {
+      {"push-multicast",
+       45.0,
+       {{0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 4}, {5, 3}, {6, 2}},
+       {{0, 1}, {1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}}},
+      {"complex-pull",
+       76.0,
+       {{0, 2}, {1, 4}, {2, 3}, {4, 6}, {5, 7}, {6, 5}, {3, 2}, {7, 3}},
+       {{0, 1}, {1, 2}, {1, 3}, {3, 4}, {3, 5}, {5, 6}, {6, 7}}},
+      {"client-server",
+       53.0,
+       {{0, 3}, {1, 2}, {2, 2}, {4, 3}, {6, 4}, {7, 4}},
+       {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}},
+  };
+  return defs;
+}
+
+constexpr int kNumResources = 8;
+
+std::vector<ResourceSpec> MakeResources(const SimWorkloadOptions& options) {
+  std::vector<ResourceSpec> resources;
+  resources.reserve(kNumResources);
+  for (int r = 0; r < kNumResources; ++r) {
+    ResourceSpec spec;
+    spec.name = (r % 2 == 0 ? "cpu" : "link") + std::to_string(r);
+    spec.kind = r % 2 == 0 ? ResourceKind::kCpu : ResourceKind::kNetworkLink;
+    spec.capacity = options.capacity;
+    spec.lag_ms = options.lag_ms;
+    resources.push_back(std::move(spec));
+  }
+  return resources;
+}
+
+TaskSpec MakeTask(const TaskDef& def, const SimWorkloadOptions& options,
+                  int replica) {
+  TaskSpec task;
+  task.name = std::string(def.name) +
+              (replica == 0 ? "" : "#" + std::to_string(replica));
+  task.critical_time_ms = def.critical_time;
+  task.edges = def.edges;
+  task.utility = MakePaperSimUtility(def.critical_time, options.k);
+  task.trigger = TriggerSpec::Periodic(options.period_ms);
+  for (std::size_t i = 0; i < def.subtasks.size(); ++i) {
+    SubtaskSpec sub;
+    sub.name = task.name + ".s" + std::to_string(i);
+    sub.resource = ResourceId(static_cast<std::size_t>(def.subtasks[i].resource));
+    sub.wcet_ms = def.subtasks[i].wcet;
+    sub.min_share =
+        options.with_min_share ? def.subtasks[i].wcet / options.period_ms : 0.0;
+    task.subtasks.push_back(std::move(sub));
+  }
+  return task;
+}
+
+}  // namespace
+
+Expected<Workload> MakeSimWorkload(SimWorkloadOptions options) {
+  return MakeScaledSimWorkload(1, false, options);
+}
+
+Expected<Workload> MakeScaledSimWorkload(int replication,
+                                         bool scale_critical_times,
+                                         SimWorkloadOptions options) {
+  assert(replication >= 1);
+  std::vector<TaskSpec> tasks;
+  for (int replica = 0; replica < replication; ++replica) {
+    for (const TaskDef& def : BaseTaskDefs()) {
+      TaskSpec task = MakeTask(def, options, replica);
+      if (scale_critical_times && replication > 1) {
+        task.critical_time_ms *= replication;
+        task.utility =
+            MakePaperSimUtility(task.critical_time_ms, options.k);
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+  return Workload::Create(MakeResources(options), std::move(tasks));
+}
+
+Expected<Workload> MakePrototypeWorkload(PrototypeWorkloadOptions opts) {
+  std::vector<ResourceSpec> resources;
+  for (int r = 0; r < 3; ++r) {
+    ResourceSpec spec;
+    spec.name = "cpu" + std::to_string(r);
+    spec.kind = ResourceKind::kCpu;
+    spec.capacity = 1.0 - opts.gc_share;
+    spec.lag_ms = opts.lag_ms;
+    resources.push_back(std::move(spec));
+  }
+
+  std::vector<TaskSpec> tasks;
+  for (int t = 0; t < 4; ++t) {
+    const bool fast = t < 2;
+    const double wcet = fast ? opts.fast_wcet_ms : opts.slow_wcet_ms;
+    const double rate = fast ? opts.fast_rate_per_s : opts.slow_rate_per_s;
+    TaskSpec task;
+    task.name = (fast ? "fast" : "slow") + std::to_string(t + 1);
+    task.critical_time_ms =
+        fast ? opts.fast_critical_ms : opts.slow_critical_ms;
+    task.utility = MakePrototypeUtility();
+    task.trigger = TriggerSpec::Periodic(1000.0 / rate,
+                                         /*phase_ms=*/t * 2.5);
+    for (int j = 0; j < 3; ++j) {
+      SubtaskSpec sub;
+      sub.name = task.name + ".s" + std::to_string(j);
+      sub.resource = ResourceId(static_cast<std::size_t>(j));
+      sub.wcet_ms = wcet;
+      sub.min_share = rate * wcet / 1000.0;  // 0.2 fast, 0.13 slow
+      task.subtasks.push_back(std::move(sub));
+    }
+    task.edges = {{0, 1}, {1, 2}};
+    tasks.push_back(std::move(task));
+  }
+  return Workload::Create(std::move(resources), std::move(tasks));
+}
+
+const Table1Reference& GetTable1Reference() {
+  static const Table1Reference ref = {
+      // T11..T17, T21..T28, T31..T36 (ms)
+      {9.7, 13.8, 19.5, 14.4, 21.4, 10.5, 19.2,           // task 1
+       10.3, 15.0, 15.1, 19.3, 12.8, 16.6, 5.1, 9.3,      // task 2
+       9.9, 7.9, 6.2, 9.8, 10.3, 8.7},                    // task 3
+      {45.0, 76.0, 53.0},
+      {44.9, 75.6, 52.8},
+  };
+  return ref;
+}
+
+}  // namespace lla

@@ -1,0 +1,75 @@
+// The paper's evaluation workloads, reconstructed from Figure 4, Table 1 and
+// Sec. 6.2.
+//
+// Table 1 lists resources, execution times and the converged latencies; the
+// unstated parameters are recovered by inversion: with lag l_r = 1 ms and
+// B_r = 1.0, the published latencies put every one of the 8 resources at a
+// share sum of ~1.00 ("all resources are close to congestion"), and the
+// published critical paths (44.9 / 75.6 / 52.8 ms) are exactly realizable
+// with the graphs below:
+//
+//   Task 1 (push/multicast, C=45):  T11 -> T12 -> {T13..T17}
+//   Task 2 (complex pull,  C=76):   T21 -> T22 -> {T23, T24},
+//                                   T24 -> {T25, T26}, T26 -> T27 -> T28
+//   Task 3 (client-server, C=53):   chain T31 -> ... -> T36
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/expected.h"
+#include "model/workload.h"
+
+namespace lla {
+
+struct SimWorkloadOptions {
+  /// Utility f_i(x) = k*C_i - x (paper uses k = 2).
+  double k = 2.0;
+  /// All-resource scheduling lag (recovered value: 1 ms).
+  double lag_ms = 1.0;
+  /// All-resource availability (recovered value: 1.0).
+  double capacity = 1.0;
+  /// Trigger period (paper: 100 ms).
+  double period_ms = 100.0;
+  /// Install sustainable-rate share floors (wcet/period).
+  bool with_min_share = true;
+};
+
+/// The basic 3-task / 8-resource simulation workload (Figure 4, Table 1).
+Expected<Workload> MakeSimWorkload(SimWorkloadOptions options = {});
+
+/// The scaled workload of Sec. 5.3 / 5.4: `replication` copies of each base
+/// task (2 -> 6 tasks, 4 -> 12 tasks).  When `scale_critical_times` is true
+/// the critical times are multiplied by `replication` (the paper's
+/// overprovisioning, keeping the workload schedulable); when false the
+/// original critical times are kept, yielding the unschedulable workload of
+/// Figure 7.
+Expected<Workload> MakeScaledSimWorkload(int replication,
+                                         bool scale_critical_times,
+                                         SimWorkloadOptions options = {});
+
+struct PrototypeWorkloadOptions {
+  double lag_ms = 5.0;        ///< Sec. 6.3
+  double gc_share = 0.1;      ///< reserved for the Metronome GC (Sec. 6.2)
+  double fast_wcet_ms = 5.0;  ///< tasks 1, 2
+  double slow_wcet_ms = 13.0; ///< tasks 3, 4
+  double fast_rate_per_s = 40.0;
+  double slow_rate_per_s = 10.0;
+  double fast_critical_ms = 105.0;
+  double slow_critical_ms = 800.0;
+};
+
+/// The prototype workload of Sec. 6.2: 4 linear tasks x 3 subtasks over
+/// 3 CPUs; each CPU runs one subtask of every task; f_i(lat) = -lat.
+Expected<Workload> MakePrototypeWorkload(PrototypeWorkloadOptions opts = {});
+
+/// Table 1's published optimization results, for comparison in tests and
+/// benches.  Latencies are in task order (T11..T17, T21..T28, T31..T36).
+struct Table1Reference {
+  std::vector<double> latencies_ms;
+  std::array<double, 3> critical_times_ms;
+  std::array<double, 3> critical_paths_ms;
+};
+const Table1Reference& GetTable1Reference();
+
+}  // namespace lla

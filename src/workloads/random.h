@@ -1,0 +1,42 @@
+// Random workload generation for property tests and stress benches.
+//
+// Generates tasks with random DAG shapes (chains, trees, general DAGs) and
+// random execution times, then calibrates critical times so that the
+// equal-split share assignment (every subtask on resource r receives
+// B_r / n_r) meets all deadlines with a configurable margin — a
+// constructive witness that the workload is schedulable.  Setting
+// `target_utilization` above 1 instead produces (likely) unschedulable
+// workloads for negative testing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expected.h"
+#include "model/workload.h"
+
+namespace lla {
+
+struct RandomWorkloadConfig {
+  std::uint64_t seed = 1;
+  int num_resources = 8;
+  int num_tasks = 4;
+  int min_subtasks = 3;
+  int max_subtasks = 6;  ///< must be <= num_resources
+  double min_wcet_ms = 1.0;
+  double max_wcet_ms = 8.0;
+  double lag_ms = 1.0;
+  double capacity = 1.0;
+  /// Probability that a non-root node gets a second incoming edge,
+  /// producing general DAGs instead of trees.
+  double extra_edge_prob = 0.25;
+  /// Critical time = equal-split critical path / target_utilization.
+  /// < 1 leaves slack (schedulable); > 1 overconstrains.
+  double target_utilization = 0.8;
+  double trigger_period_ms = 100.0;
+  /// Utility f_i(x) = k*C_i - x.
+  double utility_k = 2.0;
+};
+
+Expected<Workload> MakeRandomWorkload(const RandomWorkloadConfig& config);
+
+}  // namespace lla

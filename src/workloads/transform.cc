@@ -1,0 +1,91 @@
+#include "workloads/transform.h"
+
+#include <cassert>
+
+#include "model/utility.h"
+
+namespace lla {
+
+WorkloadSpecs ExtractSpecs(const Workload& workload) {
+  WorkloadSpecs specs;
+  specs.resources.reserve(workload.resource_count());
+  for (const ResourceInfo& resource : workload.resources()) {
+    specs.resources.push_back(
+        {resource.name, resource.kind, resource.capacity, resource.lag_ms});
+  }
+  specs.tasks.reserve(workload.task_count());
+  for (const TaskInfo& task : workload.tasks()) {
+    TaskSpec spec;
+    spec.name = task.name;
+    spec.critical_time_ms = task.critical_time_ms;
+    spec.utility = task.utility;
+    spec.trigger = task.trigger;
+    spec.edges = task.dag.edges();
+    for (SubtaskId sid : task.subtasks) {
+      const SubtaskInfo& sub = workload.subtask(sid);
+      spec.subtasks.push_back(
+          {sub.name, sub.resource, sub.wcet_ms, sub.min_share});
+    }
+    specs.tasks.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Expected<Workload> Rebuild(
+    const Workload& workload,
+    const std::function<void(ResourceId, ResourceSpec&)>& edit_resource,
+    const std::function<void(TaskId, TaskSpec&)>& edit_task) {
+  WorkloadSpecs specs = ExtractSpecs(workload);
+  if (edit_resource) {
+    for (std::size_t r = 0; r < specs.resources.size(); ++r) {
+      edit_resource(ResourceId(r), specs.resources[r]);
+    }
+  }
+  if (edit_task) {
+    for (std::size_t t = 0; t < specs.tasks.size(); ++t) {
+      edit_task(TaskId(t), specs.tasks[t]);
+    }
+  }
+  return Workload::Create(std::move(specs.resources),
+                          std::move(specs.tasks));
+}
+
+Expected<Workload> WithResourceCapacity(const Workload& workload,
+                                        ResourceId resource,
+                                        double capacity) {
+  return Rebuild(workload,
+                 [&](ResourceId id, ResourceSpec& spec) {
+                   if (id == resource) spec.capacity = capacity;
+                 });
+}
+
+Expected<Workload> WithScaledCriticalTimes(const Workload& workload,
+                                           double factor,
+                                           bool rescale_linear_utility) {
+  assert(factor > 0.0);
+  return Rebuild(
+      workload, nullptr, [&](TaskId, TaskSpec& spec) {
+        spec.critical_time_ms *= factor;
+        if (rescale_linear_utility) {
+          // Recognize f = offset - slope*x and rescale the offset with C so
+          // the 2C-x family keeps its meaning; other shapes stay untouched.
+          if (const auto* linear =
+                  dynamic_cast<const LinearUtility*>(spec.utility.get())) {
+            spec.utility = std::make_shared<LinearUtility>(
+                linear->offset() * factor, linear->slope());
+          }
+        }
+      });
+}
+
+Expected<Workload> WithoutTask(const Workload& workload, TaskId task) {
+  if (!task.valid() || task.value() >= workload.task_count()) {
+    return Expected<Workload>::Error("WithoutTask: invalid task id");
+  }
+  WorkloadSpecs specs = ExtractSpecs(workload);
+  specs.tasks.erase(specs.tasks.begin() + task.value());
+  return Workload::Create(std::move(specs.resources),
+                          std::move(specs.tasks));
+}
+
+}  // namespace lla

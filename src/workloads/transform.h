@@ -1,0 +1,46 @@
+// Workload transforms: Workload is immutable, so runtime changes (a link
+// losing capacity, an SLA renegotiation, a task joining/leaving) are
+// expressed as clone-with-edit.  Combined with LlaEngine::WarmStart the
+// optimizer resumes from its previous prices and re-converges quickly —
+// the paper's "adapts to both workload and resource variations" (Sec. 1).
+#pragma once
+
+#include <functional>
+
+#include "common/expected.h"
+#include "model/workload.h"
+
+namespace lla {
+
+/// The raw specs a Workload was built from (reconstructed losslessly).
+struct WorkloadSpecs {
+  std::vector<ResourceSpec> resources;
+  std::vector<TaskSpec> tasks;
+};
+
+/// Reconstructs editable specs from a validated workload.
+WorkloadSpecs ExtractSpecs(const Workload& workload);
+
+/// Clone-with-edit: the editors may mutate any spec; the result is
+/// re-validated from scratch.  Pass nullptr to skip an editor.
+Expected<Workload> Rebuild(
+    const Workload& workload,
+    const std::function<void(ResourceId, ResourceSpec&)>& edit_resource,
+    const std::function<void(TaskId, TaskSpec&)>& edit_task = nullptr);
+
+/// Convenience: one resource's capacity changes (failure / failover /
+/// recovery).  Capacity must stay in (0, 1].
+Expected<Workload> WithResourceCapacity(const Workload& workload,
+                                        ResourceId resource, double capacity);
+
+/// Convenience: scales every task's critical time by `factor` and, when
+/// `rescale_linear_utility` is set, rebuilds f = 2C - x style linear
+/// utilities around the new C (non-linear utilities are kept as-is).
+Expected<Workload> WithScaledCriticalTimes(const Workload& workload,
+                                           double factor,
+                                           bool rescale_linear_utility = true);
+
+/// Convenience: removes one task (admission control evicting it).
+Expected<Workload> WithoutTask(const Workload& workload, TaskId task);
+
+}  // namespace lla

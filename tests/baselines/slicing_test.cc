@@ -1,0 +1,117 @@
+#include "baselines/slicing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla::baselines {
+namespace {
+
+TEST(SlicingTest, EqualSliceMeetsDeadlinesByConstruction) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  const Assignment latencies = Slice(w, SlicingPolicy::kEqual);
+  for (const PathInfo& path : w.paths()) {
+    EXPECT_LE(PathLatency(w, path.id, latencies),
+              path.critical_time_ms * (1.0 + 1e-9));
+  }
+}
+
+TEST(SlicingTest, EqualSliceChainSplitsEvenly) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  const Assignment latencies = Slice(w, SlicingPolicy::kEqual);
+  // Task 3 is a 6-hop chain with C = 53: every subtask gets 53/6.
+  for (unsigned s = 15; s < 21; ++s) {
+    EXPECT_NEAR(latencies[s], 53.0 / 6.0, 1e-12);
+  }
+}
+
+TEST(SlicingTest, WcetProportionalMeetsDeadlines) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  const Assignment latencies = Slice(w, SlicingPolicy::kWcetProportional);
+  for (const PathInfo& path : w.paths()) {
+    EXPECT_LE(PathLatency(w, path.id, latencies),
+              path.critical_time_ms * (1.0 + 1e-9));
+  }
+  // Heavier subtasks get more budget: T25 (wcet 7) vs T27 (wcet 2).
+  EXPECT_GT(latencies[11], latencies[13]);
+}
+
+TEST(SlicingTest, LaxityFairMeetsDeadlines) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  const Assignment latencies = Slice(w, SlicingPolicy::kLaxityFair);
+  for (const PathInfo& path : w.paths()) {
+    EXPECT_LE(PathLatency(w, path.id, latencies),
+              path.critical_time_ms * (1.0 + 1e-6));
+  }
+  // Every latency covers at least the work term.
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    EXPECT_GE(latencies[sub.id.value()], sub.work_ms);
+  }
+}
+
+TEST(SlicingTest, RepairFixesOverloadOnSlackWorkload) {
+  RandomWorkloadConfig config;
+  config.seed = 31;
+  config.target_utilization = 0.6;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  for (SlicingPolicy policy :
+       {SlicingPolicy::kEqual, SlicingPolicy::kWcetProportional,
+        SlicingPolicy::kLaxityFair}) {
+    const BaselineResult result = EvaluateBaseline(
+        w, model, policy, UtilityVariant::kPathWeighted, /*repair=*/true);
+    EXPECT_TRUE(result.feasible) << ToString(policy);
+  }
+}
+
+TEST(SlicingTest, LlaBeatsAllBaselines) {
+  // The headline comparison: LLA's optimized assignment dominates every
+  // offline slicing baseline on utility (it optimizes exactly that).
+  RandomWorkloadConfig config;
+  config.seed = 47;
+  config.target_utilization = 0.7;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  LlaConfig lla_config;
+  lla_config.step_policy = StepPolicyKind::kAdaptive;
+  lla_config.gamma0 = 3.0;
+  lla_config.record_history = false;
+  LlaEngine engine(w, model, lla_config);
+  const RunResult run = engine.Run(12000);
+  ASSERT_TRUE(run.converged);
+
+  for (SlicingPolicy policy :
+       {SlicingPolicy::kEqual, SlicingPolicy::kWcetProportional,
+        SlicingPolicy::kLaxityFair}) {
+    const BaselineResult baseline = EvaluateBaseline(
+        w, model, policy, UtilityVariant::kPathWeighted);
+    if (!baseline.feasible) continue;  // infeasible baselines lose by default
+    EXPECT_GE(run.final_utility, baseline.utility - 1e-6)
+        << ToString(policy);
+  }
+}
+
+TEST(SlicingTest, PolicyNames) {
+  EXPECT_STREQ(ToString(SlicingPolicy::kEqual), "equal-slice");
+  EXPECT_STREQ(ToString(SlicingPolicy::kWcetProportional),
+               "wcet-proportional");
+  EXPECT_STREQ(ToString(SlicingPolicy::kLaxityFair), "laxity-fair");
+}
+
+}  // namespace
+}  // namespace lla::baselines

@@ -1,0 +1,48 @@
+#include "common/expected.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lla {
+namespace {
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  auto e = Expected<int>::Error("boom");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error(), "boom");
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::vector<int>> e = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(e).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ExpectedTest, MutableAccess) {
+  Expected<std::string> e = std::string("a");
+  e.value() += "b";
+  EXPECT_EQ(e.value(), "ab");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::Error("bad");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "bad");
+}
+
+}  // namespace
+}  // namespace lla

@@ -1,0 +1,190 @@
+#include "core/engine.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workloads/paper.h"
+
+namespace lla {
+namespace {
+
+LlaConfig PaperConfig() {
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.gamma0 = 3.0;
+  config.adaptive_max_multiplier = 8.0;
+  return config;
+}
+
+TEST(EngineTest, ConvergesOnPaperWorkload) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaEngine engine(w, model, PaperConfig());
+  const RunResult result = engine.Run(12000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.final_feasibility.feasible);
+  // All eight resources end close to full (the paper's near-congestion
+  // parametrization).
+  for (double sum : result.final_feasibility.resource_share_sums) {
+    EXPECT_GT(sum, 0.9);
+    EXPECT_LE(sum, 1.0 + 1e-3);
+  }
+}
+
+TEST(EngineTest, CriticalPathsApproachCriticalTimes) {
+  // The paper's Sec. 3.2 claim: critical paths converge to within 1% of the
+  // critical times.
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaEngine engine(w, model, PaperConfig());
+  engine.Run(12000);
+  ASSERT_TRUE(engine.Converged());
+  for (const TaskInfo& task : w.tasks()) {
+    const double crit = CriticalPathLatency(w, task.id, engine.latencies());
+    EXPECT_LE(crit, task.critical_time_ms * (1.0 + 1e-3)) << task.name;
+    EXPECT_GT(crit, task.critical_time_ms * 0.97) << task.name;
+  }
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaEngine a(w, model, PaperConfig());
+  LlaEngine b(w, model, PaperConfig());
+  for (int i = 0; i < 200; ++i) {
+    const auto sa = a.Step();
+    const auto sb = b.Step();
+    ASSERT_DOUBLE_EQ(sa.total_utility, sb.total_utility) << "iter " << i;
+  }
+  EXPECT_EQ(a.latencies(), b.latencies());
+}
+
+TEST(EngineTest, ResetRestartsIdentically) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaEngine engine(w, model, PaperConfig());
+  std::vector<double> first;
+  for (int i = 0; i < 50; ++i) first.push_back(engine.Step().total_utility);
+  engine.Reset();
+  EXPECT_EQ(engine.iteration(), 0);
+  EXPECT_FALSE(engine.Converged());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(engine.Step().total_utility, first[i]) << i;
+  }
+}
+
+TEST(EngineTest, HistoryRecordsEveryIteration) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaConfig config = PaperConfig();
+  LlaEngine engine(w, model, config);
+  for (int i = 0; i < 25; ++i) engine.Step();
+  ASSERT_EQ(engine.history().size(), 25u);
+  EXPECT_EQ(engine.history().front().iteration, 1);
+  EXPECT_EQ(engine.history().back().iteration, 25);
+}
+
+TEST(EngineTest, HistoryCanBeDisabled) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaConfig config = PaperConfig();
+  config.record_history = false;
+  LlaEngine engine(w, model, config);
+  for (int i = 0; i < 10; ++i) engine.Step();
+  EXPECT_TRUE(engine.history().empty());
+}
+
+TEST(EngineTest, SumAndPathWeightedBothConverge) {
+  // Sec. 5.2: "results were not different in terms of convergence".
+  for (UtilityVariant variant :
+       {UtilityVariant::kSum, UtilityVariant::kPathWeighted}) {
+    auto workload = MakeSimWorkload();
+    ASSERT_TRUE(workload.ok());
+    const Workload& w = workload.value();
+    LatencyModel model(w);
+    LlaConfig config = PaperConfig();
+    config.solver.variant = variant;
+    LlaEngine engine(w, model, config);
+    const RunResult result = engine.Run(12000);
+    EXPECT_TRUE(result.converged) << ToString(variant);
+    EXPECT_TRUE(result.final_feasibility.feasible) << ToString(variant);
+  }
+}
+
+TEST(EngineTest, FixedLargeStepOscillates) {
+  // The Figure 5 shape: a too-large fixed step never settles.
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kFixed;
+  config.gamma0 = 100.0;
+  LlaEngine engine(w, model, config);
+  const RunResult result = engine.Run(1500);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(EngineTest, ModelCorrectionShiftsConvergedAllocation) {
+  // Apply an additive error mid-run; the engine must settle at a different
+  // allocation (Sec. 6.4's mechanism, on the simulation workload).
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaEngine engine(w, model, PaperConfig());
+  engine.Run(12000);
+  ASSERT_TRUE(engine.Converged());
+  const Assignment before = engine.latencies();
+
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    model.SetAdditiveError(sub.id, -1.0);
+  }
+  engine.Run(12000);
+  const Assignment after = engine.latencies();
+  double max_shift = 0.0;
+  for (std::size_t s = 0; s < before.size(); ++s) {
+    max_shift = std::max(max_shift, std::fabs(after[s] - before[s]));
+  }
+  EXPECT_GT(max_shift, 0.1);
+  EXPECT_TRUE(engine.Feasibility().feasible);
+}
+
+TEST(EngineTest, PrototypeWorkloadConvergesAndHonorsFloors) {
+  auto workload = MakePrototypeWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaConfig config = PaperConfig();
+  LlaEngine engine(w, model, config);
+  const RunResult result = engine.Run(12000);
+  EXPECT_TRUE(result.final_feasibility.feasible);
+  // Shares must respect the sustainable minimum (0.2 fast / 0.13 slow).
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    const double share =
+        model.share(sub.id).Share(engine.latencies()[sub.id.value()]);
+    EXPECT_GE(share, sub.min_share - 1e-9) << sub.name;
+  }
+  // Fast tasks meet their 105 ms critical time.
+  for (const TaskInfo& task : w.tasks()) {
+    EXPECT_LE(CriticalPathLatency(w, task.id, engine.latencies()),
+              task.critical_time_ms * (1.0 + 1e-3))
+        << task.name;
+  }
+}
+
+}  // namespace
+}  // namespace lla

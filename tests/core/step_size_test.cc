@@ -1,0 +1,128 @@
+#include "core/step_size.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/paper.h"
+
+namespace lla {
+namespace {
+
+class StepSizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = MakeSimWorkload();
+    ASSERT_TRUE(workload.ok()) << workload.error();
+    workload_ = std::make_unique<Workload>(std::move(workload).value());
+  }
+  const Workload& workload() const { return *workload_; }
+  std::unique_ptr<Workload> workload_;
+};
+
+TEST_F(StepSizeTest, FixedIsConstant) {
+  FixedStepSize policy(2.5);
+  policy.Reset(workload());
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), true);
+  policy.Update(workload(), congested, &steps);
+  for (double g : steps.resource) EXPECT_DOUBLE_EQ(g, 2.5);
+  for (double g : steps.path) EXPECT_DOUBLE_EQ(g, 2.5);
+  // Congestion has no effect.
+  policy.Update(workload(), congested, &steps);
+  for (double g : steps.resource) EXPECT_DOUBLE_EQ(g, 2.5);
+}
+
+TEST_F(StepSizeTest, AdaptiveDoublesWhileCongested) {
+  AdaptiveStepSize policy(1.0, /*max_multiplier=*/64.0);
+  policy.Reset(workload());
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), false);
+  congested[0] = true;
+
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 2.0);
+  EXPECT_DOUBLE_EQ(steps.resource[1], 1.0);
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 4.0);
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 8.0);
+}
+
+TEST_F(StepSizeTest, AdaptiveRevertsOnUncongestion) {
+  AdaptiveStepSize policy(1.0, 64.0);
+  policy.Reset(workload());
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), false);
+  congested[0] = true;
+  policy.Update(workload(), congested, &steps);
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 4.0);
+  congested[0] = false;
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 1.0);
+}
+
+TEST_F(StepSizeTest, AdaptiveHonorsCap) {
+  AdaptiveStepSize policy(1.0, 8.0);
+  policy.Reset(workload());
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), true);
+  for (int i = 0; i < 20; ++i) policy.Update(workload(), congested, &steps);
+  for (double g : steps.resource) EXPECT_DOUBLE_EQ(g, 8.0);
+  for (double g : steps.path) EXPECT_DOUBLE_EQ(g, 8.0);
+}
+
+TEST_F(StepSizeTest, AdaptivePathsFollowTraversedResources) {
+  AdaptiveStepSize policy(1.0, 64.0);
+  policy.Reset(workload());
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), false);
+  // Resource 7 is used only by task 2 (T28) and task 3 (T36): the paths of
+  // task 1 must not double.
+  congested[7] = true;
+  policy.Update(workload(), congested, &steps);
+  const Workload& w = workload();
+  for (const PathInfo& path : w.paths()) {
+    bool traverses = false;
+    for (SubtaskId sid : path.subtasks) {
+      if (w.subtask(sid).resource.value() == 7u) traverses = true;
+    }
+    EXPECT_DOUBLE_EQ(steps.path[path.id.value()], traverses ? 2.0 : 1.0)
+        << "path " << path.id;
+  }
+}
+
+TEST_F(StepSizeTest, DiminishingSchedule) {
+  DiminishingStepSize policy(10.0, 5.0);
+  policy.Reset(workload());
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), false);
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 10.0);  // t = 0
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 10.0 / (1.0 + 1.0 / 5.0));
+  for (int i = 0; i < 48; ++i) policy.Update(workload(), congested, &steps);
+  EXPECT_NEAR(steps.resource[0], 10.0 / (1.0 + 49.0 / 5.0), 1e-12);
+}
+
+TEST_F(StepSizeTest, DiminishingResetRestartsSchedule) {
+  DiminishingStepSize policy(10.0, 5.0);
+  policy.Reset(workload());
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), false);
+  policy.Update(workload(), congested, &steps);
+  policy.Update(workload(), congested, &steps);
+  policy.Reset(workload());
+  policy.Update(workload(), congested, &steps);
+  EXPECT_DOUBLE_EQ(steps.resource[0], 10.0);
+}
+
+TEST_F(StepSizeTest, DescribeMentionsParameters) {
+  EXPECT_NE(FixedStepSize(2.0).Describe().find("2"), std::string::npos);
+  EXPECT_NE(AdaptiveStepSize(1.0, 8.0).Describe().find("adaptive"),
+            std::string::npos);
+  EXPECT_NE(DiminishingStepSize(1.0, 9.0).Describe().find("diminishing"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lla

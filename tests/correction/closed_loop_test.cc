@@ -1,0 +1,114 @@
+// End-to-end reproduction test of the paper's Sec. 6 experiment shape
+// (Figure 8): with error correction enabled, the optimizer reduces the fast
+// tasks' shares to their sustainable minimum and reassigns the surplus to
+// the slow tasks.
+#include "correction/closed_loop.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workloads/paper.h"
+
+namespace lla::correction {
+namespace {
+
+ClosedLoopConfig TestConfig() {
+  ClosedLoopConfig config;
+  config.lla.step_policy = StepPolicyKind::kAdaptive;
+  config.lla.gamma0 = 3.0;
+  config.lla.record_history = false;
+  config.sim.duration_ms = 15000.0;
+  config.epochs = 12;
+  config.enable_correction_at_epoch = 3;
+  return config;
+}
+
+class ClosedLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = MakePrototypeWorkload();
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::make_unique<Workload>(std::move(workload).value());
+  }
+  std::unique_ptr<Workload> workload_;
+};
+
+TEST_F(ClosedLoopTest, ReproducesFigure8ShareShift) {
+  ClosedLoop loop(*workload_, TestConfig());
+  const auto records = loop.Run();
+  ASSERT_EQ(records.size(), 12u);
+
+  // Uncorrected epochs: fast at the theoretical equilibrium 0.2857 (the
+  // fast critical time binds), slow at ~0.1643.
+  const auto& before = records[2];
+  EXPECT_FALSE(before.correction_active);
+  EXPECT_NEAR(before.shares[0], 0.2857, 0.005);
+  EXPECT_NEAR(before.shares[6], 0.1643, 0.005);
+
+  // Corrected steady state: fast at the sustainable minimum 0.2, slow
+  // absorbing the surplus (0.25).
+  const auto& after = records.back();
+  EXPECT_TRUE(after.correction_active);
+  EXPECT_NEAR(after.shares[0], 0.20, 0.01);
+  EXPECT_NEAR(after.shares[6], 0.25, 0.01);
+
+  // Directions match the paper (-23% / +32% there).
+  EXPECT_LT(after.shares[0], before.shares[0]);
+  EXPECT_GT(after.shares[6], before.shares[6]);
+}
+
+TEST_F(ClosedLoopTest, ErrorsAreNegativeAndStabilize) {
+  ClosedLoop loop(*workload_, TestConfig());
+  const auto records = loop.Run();
+  const auto& last = records.back();
+  const auto& prev = records[records.size() - 2];
+  for (const SubtaskInfo& sub : workload_->subtasks()) {
+    const std::size_t s = sub.id.value();
+    // Over-prediction: errors negative once learned.
+    EXPECT_LT(last.errors_ms[s], 0.0) << sub.name;
+    // Stabilizing: late epochs change slowly.
+    EXPECT_NEAR(last.errors_ms[s], prev.errors_ms[s],
+                0.15 * std::fabs(prev.errors_ms[s]) + 0.5)
+        << sub.name;
+  }
+}
+
+TEST_F(ClosedLoopTest, ThroughputSustainedThroughout) {
+  ClosedLoop loop(*workload_, TestConfig());
+  const auto records = loop.Run();
+  // 2 fast tasks at 40/s + 2 slow at 10/s = 100 job sets per second; with
+  // 15 s epochs every epoch must complete ~1500 job sets (no starvation).
+  for (const auto& record : records) {
+    EXPECT_GT(record.job_sets_completed, 1350u) << "epoch " << record.epoch;
+  }
+}
+
+TEST_F(ClosedLoopTest, CorrectionDisabledKeepsUncorrectedShares) {
+  ClosedLoopConfig config = TestConfig();
+  config.enable_correction_at_epoch = -1;
+  config.epochs = 6;
+  ClosedLoop loop(*workload_, config);
+  const auto records = loop.Run();
+  for (const auto& record : records) {
+    EXPECT_FALSE(record.correction_active);
+    EXPECT_NEAR(record.shares[0], 0.2857, 0.005);
+    for (double e : record.errors_ms) EXPECT_DOUBLE_EQ(e, 0.0);
+  }
+}
+
+TEST_F(ClosedLoopTest, MeasuredLatenciesBelowPredictedBeforeCorrection) {
+  ClosedLoopConfig config = TestConfig();
+  config.epochs = 2;
+  config.enable_correction_at_epoch = -1;
+  ClosedLoop loop(*workload_, config);
+  const auto records = loop.Run();
+  for (const SubtaskInfo& sub : workload_->subtasks()) {
+    EXPECT_LT(records[0].measured_ms[sub.id.value()],
+              records[0].predicted_ms[sub.id.value()])
+        << sub.name;
+  }
+}
+
+}  // namespace
+}  // namespace lla::correction

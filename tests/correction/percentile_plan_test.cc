@@ -1,0 +1,70 @@
+#include "correction/percentile_plan.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/percentile.h"
+#include "workloads/paper.h"
+
+namespace lla::correction {
+namespace {
+
+TEST(PercentilePlanTest, PaperWorkloadHopCounts) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  const auto plan = PlanSubtaskPercentiles(w, 0.99);
+  // Task 1: every subtask lies on a 3-hop path -> q = 0.99^(1/3).
+  for (unsigned s = 0; s < 7; ++s) {
+    EXPECT_NEAR(plan[s], std::pow(0.99, 1.0 / 3.0), 1e-12) << s;
+  }
+  // Task 2: T21/T22 sit on the 6-hop critical path; T23 only on 3-hop.
+  EXPECT_NEAR(plan[7], std::pow(0.99, 1.0 / 6.0), 1e-12);
+  EXPECT_NEAR(plan[9], std::pow(0.99, 1.0 / 3.0), 1e-12);
+  // Task 3: the 6-hop chain throughout.
+  for (unsigned s = 15; s < 21; ++s) {
+    EXPECT_NEAR(plan[s], std::pow(0.99, 1.0 / 6.0), 1e-12) << s;
+  }
+}
+
+TEST(PercentilePlanTest, LongerPathsGetTighterPercentiles) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const auto plan = PlanSubtaskPercentiles(workload.value(), 0.9);
+  // 6-hop subtask percentile > 3-hop subtask percentile (more stringent).
+  EXPECT_GT(plan[7], plan[9]);
+  for (double q : plan) {
+    EXPECT_GT(q, 0.9);
+    EXPECT_LT(q, 1.0);
+  }
+}
+
+TEST(PercentilePlanTest, PerTaskTargets) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  std::vector<double> targets = {0.99, 0.5, 0.9};
+  const auto plan = PlanSubtaskPercentiles(w, targets);
+  EXPECT_NEAR(plan[0], std::pow(0.99, 1.0 / 3.0), 1e-12);   // task 1
+  EXPECT_NEAR(plan[7], std::pow(0.50, 1.0 / 6.0), 1e-12);   // task 2
+  EXPECT_NEAR(plan[15], std::pow(0.90, 1.0 / 6.0), 1e-12);  // task 3
+}
+
+TEST(PercentilePlanTest, ConsistentWithPercentileComposition) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  const double target = 0.95;
+  const auto plan = PlanSubtaskPercentiles(w, target);
+  // For every path: the product of member percentile fractions (assuming
+  // independence) is at least the task target.
+  for (const PathInfo& path : w.paths()) {
+    double product = 1.0;
+    for (SubtaskId sid : path.subtasks) product *= plan[sid.value()];
+    EXPECT_GE(product, target - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lla::correction

@@ -1,0 +1,127 @@
+#include "model/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "model/trigger.h"
+#include "model/utility.h"
+#include "workloads/paper.h"
+
+namespace lla {
+namespace {
+
+// Two tasks sharing resource 0; task "fan" has a fork so sum and
+// path-weighted differ.
+Workload MakeFixture() {
+  std::vector<ResourceSpec> resources = {
+      {"r0", ResourceKind::kCpu, 1.0, 1.0},
+      {"r1", ResourceKind::kCpu, 0.9, 0.0},
+      {"r2", ResourceKind::kNetworkLink, 1.0, 2.0}};
+  TaskSpec chain;
+  chain.name = "chain";
+  chain.critical_time_ms = 30.0;
+  chain.utility = MakePaperSimUtility(30.0);  // f(x) = 60 - x
+  chain.trigger = TriggerSpec::Periodic(100.0);
+  chain.subtasks = {{"c0", ResourceId(0u), 2.0, 0.0},
+                    {"c1", ResourceId(1u), 3.0, 0.0}};
+  chain.edges = {{0, 1}};
+
+  TaskSpec fan;
+  fan.name = "fan";
+  fan.critical_time_ms = 40.0;
+  fan.utility = MakePaperSimUtility(40.0);  // f(x) = 80 - x
+  fan.trigger = TriggerSpec::Periodic(100.0);
+  fan.subtasks = {{"f0", ResourceId(0u), 1.0, 0.0},
+                  {"f1", ResourceId(1u), 2.0, 0.0},
+                  {"f2", ResourceId(2u), 4.0, 0.0}};
+  fan.edges = {{0, 1}, {0, 2}};
+
+  auto workload = Workload::Create(std::move(resources), {chain, fan});
+  EXPECT_TRUE(workload.ok()) << workload.error();
+  return std::move(workload).value();
+}
+
+TEST(EvaluationTest, TaskUtilitySumVariant) {
+  const Workload w = MakeFixture();
+  const Assignment lat = {10.0, 5.0, 4.0, 6.0, 8.0};
+  // chain: 60 - (10 + 5) = 45.
+  EXPECT_DOUBLE_EQ(
+      TaskUtility(w, TaskId(0u), lat, UtilityVariant::kSum), 45.0);
+  // fan: 80 - (4 + 6 + 8) = 62.
+  EXPECT_DOUBLE_EQ(
+      TaskUtility(w, TaskId(1u), lat, UtilityVariant::kSum), 62.0);
+  EXPECT_DOUBLE_EQ(TotalUtility(w, lat, UtilityVariant::kSum), 107.0);
+}
+
+TEST(EvaluationTest, TaskUtilityPathWeightedVariant) {
+  const Workload w = MakeFixture();
+  const Assignment lat = {10.0, 5.0, 4.0, 6.0, 8.0};
+  // fan root f0 lies on 2 paths: 80 - (2*4 + 6 + 8) = 58.
+  EXPECT_DOUBLE_EQ(
+      TaskUtility(w, TaskId(1u), lat, UtilityVariant::kPathWeighted), 58.0);
+  // chain is a single path: same as sum.
+  EXPECT_DOUBLE_EQ(
+      TaskUtility(w, TaskId(0u), lat, UtilityVariant::kPathWeighted), 45.0);
+}
+
+TEST(EvaluationTest, ResourceShareSum) {
+  const Workload w = MakeFixture();
+  LatencyModel model(w);
+  const Assignment lat = {10.0, 5.0, 4.0, 6.0, 8.0};
+  // r0 hosts c0 (work 3) at lat 10 and f0 (work 2) at lat 4:
+  // 3/10 + 2/4 = 0.8.
+  EXPECT_DOUBLE_EQ(
+      ResourceShareSum(w, model, ResourceId(0u), lat), 0.8);
+  // r2 hosts f2 (work 6) at lat 8.
+  EXPECT_DOUBLE_EQ(ResourceShareSum(w, model, ResourceId(2u), lat), 0.75);
+}
+
+TEST(EvaluationTest, PathAndCriticalPathLatency) {
+  const Workload w = MakeFixture();
+  const Assignment lat = {10.0, 5.0, 4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(PathLatency(w, PathId(0u), lat), 15.0);  // chain
+  // fan paths: f0->f1 = 10, f0->f2 = 12.
+  EXPECT_DOUBLE_EQ(CriticalPathLatency(w, TaskId(1u), lat), 12.0);
+}
+
+TEST(EvaluationTest, FeasibilityDetectsResourceOverload) {
+  const Workload w = MakeFixture();
+  LatencyModel model(w);
+  // Tiny latencies on r0: 3/1 + 2/1 = 5 > 1.
+  const Assignment lat = {1.0, 5.0, 1.0, 6.0, 8.0};
+  const auto report = CheckFeasibility(w, model, lat);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NEAR(report.max_resource_excess, 4.0, 1e-12);
+}
+
+TEST(EvaluationTest, FeasibilityDetectsDeadlineViolation) {
+  const Workload w = MakeFixture();
+  LatencyModel model(w);
+  // chain latency 35 > critical time 30, resources fine.
+  const Assignment lat = {20.0, 15.0, 4.0, 6.0, 8.0};
+  const auto report = CheckFeasibility(w, model, lat);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NEAR(report.max_path_ratio, 35.0 / 30.0, 1e-12);
+}
+
+TEST(EvaluationTest, FeasibleAssignmentPasses) {
+  const Workload w = MakeFixture();
+  LatencyModel model(w);
+  const Assignment lat = {10.0, 8.0, 6.0, 8.0, 10.0};
+  const auto report = CheckFeasibility(w, model, lat);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_DOUBLE_EQ(report.max_resource_excess, 0.0);
+  EXPECT_EQ(report.resource_share_sums.size(), 3u);
+  EXPECT_EQ(report.critical_paths.size(), 2u);
+}
+
+TEST(EvaluationTest, ToleranceAllowsBoundarySlack) {
+  const Workload w = MakeFixture();
+  LatencyModel model(w);
+  // chain at exactly 30.02 with C=30: 0.1% tolerance admits it, 0.01% not.
+  const Assignment lat = {20.0, 10.02, 4.0, 6.0, 8.0};
+  EXPECT_TRUE(CheckFeasibility(w, model, lat, 1e-3).feasible);
+  EXPECT_FALSE(CheckFeasibility(w, model, lat, 1e-5).feasible);
+}
+
+}  // namespace
+}  // namespace lla

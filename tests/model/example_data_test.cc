@@ -1,0 +1,45 @@
+// Keeps the shipped example workload files (examples/data/*.lla) loadable
+// and schedulable — they are user-facing documentation.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "model/serialization.h"
+
+#ifndef LLA_SOURCE_DIR
+#define LLA_SOURCE_DIR "."
+#endif
+
+namespace lla {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(LLA_SOURCE_DIR) + "/examples/data/" + name;
+}
+
+TEST(ExampleDataTest, TradingWorkloadLoadsAndSolves) {
+  auto workload = LoadWorkloadFromFile(DataPath("trading.lla"));
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  EXPECT_EQ(w.task_count(), 3u);
+  EXPECT_EQ(w.resource_count(), 5u);
+  LatencyModel model(w);
+  LlaConfig config;
+  config.gamma0 = 3.0;
+  LlaEngine engine(w, model, config);
+  const RunResult run = engine.Run(12000);
+  EXPECT_TRUE(run.converged);
+  EXPECT_TRUE(run.final_feasibility.feasible);
+}
+
+TEST(ExampleDataTest, PaperTable1ExportMatchesBuilder) {
+  auto from_file = LoadWorkloadFromFile(DataPath("paper_table1.lla"));
+  ASSERT_TRUE(from_file.ok()) << from_file.error();
+  EXPECT_EQ(from_file.value().task_count(), 3u);
+  EXPECT_EQ(from_file.value().subtask_count(), 21u);
+  EXPECT_EQ(from_file.value().path_count(), 9u);
+  EXPECT_DOUBLE_EQ(from_file.value().task(TaskId(1u)).critical_time_ms,
+                   76.0);
+}
+
+}  // namespace
+}  // namespace lla

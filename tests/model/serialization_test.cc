@@ -1,0 +1,170 @@
+#include "model/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "model/utility.h"
+#include "workloads/paper.h"
+
+namespace lla {
+namespace {
+
+constexpr const char* kSample = R"(
+# two resources, two tasks
+resource cpu0 cpu 0.9 1.0
+resource link0 link 1.0 0.5
+
+task pipeline 40
+  utility linear 80 1
+  trigger periodic 50 0
+  subtask parse cpu0 4 0.08
+  subtask publish link0 6 0.12
+  edge 0 1
+end
+
+task analytics 200
+  utility power 400 0.005 2
+  trigger poisson 10
+  subtask model-update cpu0 9
+end
+)";
+
+TEST(SerializationTest, LoadsSample) {
+  auto workload = LoadWorkloadFromString(kSample);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  EXPECT_EQ(w.resource_count(), 2u);
+  EXPECT_EQ(w.task_count(), 2u);
+  EXPECT_EQ(w.subtask_count(), 3u);
+  EXPECT_EQ(w.resource(ResourceId(1u)).kind, ResourceKind::kNetworkLink);
+  EXPECT_DOUBLE_EQ(w.resource(ResourceId(0u)).capacity, 0.9);
+  const TaskInfo& pipeline = w.task(TaskId(0u));
+  EXPECT_DOUBLE_EQ(pipeline.critical_time_ms, 40.0);
+  EXPECT_DOUBLE_EQ(pipeline.utility->Value(0.0), 80.0);
+  EXPECT_EQ(pipeline.trigger.kind, TriggerSpec::Kind::kPeriodic);
+  EXPECT_DOUBLE_EQ(w.subtask(SubtaskId(0u)).min_share, 0.08);
+  EXPECT_DOUBLE_EQ(w.subtask(SubtaskId(2u)).min_share, 0.0);
+  const TaskInfo& analytics = w.task(TaskId(1u));
+  EXPECT_EQ(analytics.trigger.kind, TriggerSpec::Kind::kPoisson);
+}
+
+TEST(SerializationTest, SaveLoadRoundTripsPaperWorkload) {
+  auto original = MakeSimWorkload();
+  ASSERT_TRUE(original.ok());
+  auto text = SaveWorkloadToString(original.value());
+  ASSERT_TRUE(text.ok()) << text.error();
+  auto reloaded = LoadWorkloadFromString(text.value());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error();
+  const Workload& a = original.value();
+  const Workload& b = reloaded.value();
+  ASSERT_EQ(a.subtask_count(), b.subtask_count());
+  ASSERT_EQ(a.path_count(), b.path_count());
+  for (std::size_t s = 0; s < a.subtask_count(); ++s) {
+    EXPECT_EQ(a.subtask(SubtaskId(s)).name, b.subtask(SubtaskId(s)).name);
+    EXPECT_DOUBLE_EQ(a.subtask(SubtaskId(s)).wcet_ms,
+                     b.subtask(SubtaskId(s)).wcet_ms);
+    EXPECT_EQ(a.subtask(SubtaskId(s)).resource,
+              b.subtask(SubtaskId(s)).resource);
+  }
+  for (std::size_t t = 0; t < a.task_count(); ++t) {
+    EXPECT_DOUBLE_EQ(a.task(TaskId(t)).utility->Value(17.0),
+                     b.task(TaskId(t)).utility->Value(17.0));
+  }
+}
+
+TEST(SerializationTest, AllUtilityShapesRoundTrip) {
+  const char* text = R"(
+resource r cpu 1 0
+task t1 100
+  utility power 10 0.5 1.5
+  trigger periodic 100
+  subtask s r 1
+end
+task t2 100
+  utility negexp 5 0.05
+  trigger periodic 100
+  subtask s r 1
+end
+task t3 100
+  utility inelastic 50 20 2
+  trigger bursty 100 3 2
+  subtask s r 1
+end
+)";
+  // Three tasks share resource r — allowed; the same-resource restriction
+  // only applies within one task.
+  auto workload = LoadWorkloadFromString(text);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  auto saved = SaveWorkloadToString(workload.value());
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  auto reloaded = LoadWorkloadFromString(saved.value());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error();
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (double x : {0.0, 10.0, 25.0, 60.0}) {
+      EXPECT_DOUBLE_EQ(
+          workload.value().task(TaskId(t)).utility->Value(x),
+          reloaded.value().task(TaskId(t)).utility->Value(x))
+          << "task " << t << " x " << x;
+    }
+  }
+  EXPECT_EQ(reloaded.value().task(TaskId(2u)).trigger.kind,
+            TriggerSpec::Kind::kBursty);
+}
+
+TEST(SerializationTest, ErrorsCarryLineNumbers) {
+  const auto missing_end = LoadWorkloadFromString(
+      "resource r cpu 1 0\ntask t 10\n  subtask s r 1\n");
+  ASSERT_FALSE(missing_end.ok());
+  EXPECT_NE(missing_end.error().find("missing 'end'"), std::string::npos);
+
+  const auto bad_keyword =
+      LoadWorkloadFromString("resource r cpu 1 0\nfrobnicate\n");
+  ASSERT_FALSE(bad_keyword.ok());
+  EXPECT_NE(bad_keyword.error().find("line 2"), std::string::npos);
+
+  const auto bad_resource = LoadWorkloadFromString(
+      "resource r cpu 1 0\ntask t 10\n  subtask s missing 1\nend\n");
+  ASSERT_FALSE(bad_resource.ok());
+  EXPECT_NE(bad_resource.error().find("unknown resource"),
+            std::string::npos);
+
+  const auto bad_number =
+      LoadWorkloadFromString("resource r cpu one 0\n");
+  ASSERT_FALSE(bad_number.ok());
+  EXPECT_NE(bad_number.error().find("line 1"), std::string::npos);
+
+  const auto bad_kind = LoadWorkloadFromString("resource r gpu 1 0\n");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.error().find("cpu or link"), std::string::npos);
+}
+
+TEST(SerializationTest, ValidationStillApplies) {
+  // Parses fine, but the DAG has a cycle: Workload::Create must reject.
+  const auto cyclic = LoadWorkloadFromString(R"(
+resource r0 cpu 1 0
+resource r1 cpu 1 0
+task t 10
+  utility linear 20 1
+  trigger periodic 100
+  subtask a r0 1
+  subtask b r1 1
+  edge 0 1
+  edge 1 0
+end
+)");
+  EXPECT_FALSE(cyclic.ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  auto original = MakeSimWorkload();
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/workload.lla";
+  ASSERT_TRUE(SaveWorkloadToFile(original.value(), path).ok());
+  auto reloaded = LoadWorkloadFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error();
+  EXPECT_EQ(reloaded.value().subtask_count(),
+            original.value().subtask_count());
+  EXPECT_FALSE(LoadWorkloadFromFile("/nonexistent/nope.lla").ok());
+}
+
+}  // namespace
+}  // namespace lla

@@ -1,0 +1,104 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace lla::net {
+namespace {
+
+Message MakeLatencyMessage() {
+  LatencyUpdate update;
+  update.task = TaskId(2u);
+  update.subtasks = {SubtaskId(5u), SubtaskId(9u)};
+  update.latencies_ms = {12.75, 3.5};
+  Message message;
+  message.sender = 7;
+  message.receiver = 3;
+  message.payload = std::move(update);
+  return message;
+}
+
+Message MakePriceMessage() {
+  ResourcePriceUpdate update;
+  update.resource = ResourceId(4u);
+  update.mu = 179.25;
+  update.epoch = 42;
+  update.congested = true;
+  Message message;
+  message.sender = 1;
+  message.receiver = 2;
+  message.payload = update;
+  return message;
+}
+
+TEST(MessageTest, LatencyUpdateRoundTrips) {
+  const Message original = MakeLatencyMessage();
+  const auto bytes = Serialize(original);
+  const auto decoded = Deserialize(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(MessageTest, PriceUpdateRoundTrips) {
+  const Message original = MakePriceMessage();
+  const auto decoded = Deserialize(Serialize(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+  const auto& price = std::get<ResourcePriceUpdate>(decoded->payload);
+  EXPECT_TRUE(price.congested);
+  EXPECT_EQ(price.epoch, 42u);
+}
+
+TEST(MessageTest, EmptyLatencyUpdateRoundTrips) {
+  Message message;
+  message.payload = LatencyUpdate{TaskId(0u), {}, {}};
+  const auto decoded = Deserialize(Serialize(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(MessageTest, WireSizeMatchesSerializedLength) {
+  for (const Message& message : {MakeLatencyMessage(), MakePriceMessage()}) {
+    EXPECT_EQ(WireSize(message), Serialize(message).size());
+  }
+}
+
+TEST(MessageTest, RejectsTruncatedInput) {
+  auto bytes = Serialize(MakeLatencyMessage());
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + cut);
+    EXPECT_FALSE(Deserialize(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(MessageTest, RejectsTrailingGarbage) {
+  auto bytes = Serialize(MakePriceMessage());
+  bytes.push_back(0xab);
+  EXPECT_FALSE(Deserialize(bytes).has_value());
+}
+
+TEST(MessageTest, RejectsUnknownTag) {
+  auto bytes = Serialize(MakePriceMessage());
+  bytes[8] = 0x7f;  // tag byte follows the two endpoint ids
+  EXPECT_FALSE(Deserialize(bytes).has_value());
+}
+
+TEST(MessageTest, RejectsEmptyInput) {
+  EXPECT_FALSE(Deserialize({}).has_value());
+}
+
+TEST(MessageTest, NegativeAndSpecialDoublesSurvive) {
+  LatencyUpdate update;
+  update.task = TaskId(0u);
+  update.subtasks = {SubtaskId(0u)};
+  update.latencies_ms = {-17.125};
+  Message message;
+  message.payload = std::move(update);
+  const auto decoded = Deserialize(Serialize(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(
+      std::get<LatencyUpdate>(decoded->payload).latencies_ms[0], -17.125);
+}
+
+}  // namespace
+}  // namespace lla::net

@@ -1,0 +1,79 @@
+// Property suite for the distributed runtime: across random workloads the
+// synchronous message-passing deployment must match the single-process
+// engine, and the asynchronous deployment (delays + loss) must reach the
+// same optimum.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "runtime/coordinator.h"
+#include "workloads/random.h"
+
+namespace lla::runtime {
+namespace {
+
+class DistributedEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DistributedEquivalence, SyncMatchesEngine) {
+  RandomWorkloadConfig workload_config;
+  workload_config.seed = GetParam();
+  workload_config.target_utilization = 0.75;
+  auto workload = MakeRandomWorkload(workload_config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  LlaConfig engine_config;
+  engine_config.step_policy = StepPolicyKind::kAdaptive;
+  engine_config.gamma0 = 3.0;
+  engine_config.record_history = false;
+  LlaEngine engine(w, model, engine_config);
+  const RunResult engine_run = engine.Run(12000);
+  ASSERT_TRUE(engine_run.converged);
+
+  CoordinatorConfig coordinator_config;
+  coordinator_config.step.gamma0 = 3.0;
+  coordinator_config.bus.base_delay_ms = 0.0;
+  Coordinator coordinator(w, model, coordinator_config);
+  const RunResult sync_run = coordinator.RunSync(12000);
+  EXPECT_TRUE(sync_run.converged);
+  EXPECT_NEAR(sync_run.final_utility, engine_run.final_utility,
+              5e-3 * std::max(1.0, std::fabs(engine_run.final_utility)));
+}
+
+TEST_P(DistributedEquivalence, AsyncWithLossMatchesSync) {
+  RandomWorkloadConfig workload_config;
+  workload_config.seed = GetParam();
+  workload_config.target_utilization = 0.75;
+  auto workload = MakeRandomWorkload(workload_config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  CoordinatorConfig sync_config;
+  sync_config.step.gamma0 = 3.0;
+  sync_config.bus.base_delay_ms = 0.0;
+  Coordinator sync(w, model, sync_config);
+  const RunResult sync_run = sync.RunSync(12000);
+  ASSERT_TRUE(sync_run.converged);
+
+  CoordinatorConfig async_config;
+  async_config.step.gamma0 = 3.0;
+  async_config.bus.base_delay_ms = 1.0;
+  async_config.bus.jitter_ms = 1.5;
+  async_config.bus.drop_probability = 0.03;
+  async_config.bus.seed = GetParam() * 31 + 7;
+  Coordinator async(w, model, async_config);
+  async.RunAsync(120000.0);
+  EXPECT_TRUE(async.CurrentFeasibility().feasible);
+  EXPECT_NEAR(async.CurrentUtility(), sync_run.final_utility,
+              0.02 * std::max(1.0, std::fabs(sync_run.final_utility)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedEquivalence,
+                         ::testing::Values(401, 402, 403, 404, 405));
+
+}  // namespace
+}  // namespace lla::runtime

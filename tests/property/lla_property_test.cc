@@ -1,0 +1,123 @@
+// Cross-module property suite: on randomly generated schedulable workloads,
+// LLA must (a) converge, (b) end feasible, (c) satisfy the KKT conditions
+// within dual-iteration tolerance, and (d) match the independent barrier
+// solver's utility.  This is the repository's strongest end-to-end
+// correctness statement.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "solver/barrier.h"
+#include "solver/kkt.h"
+#include "workloads/random.h"
+
+namespace lla {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  UtilityVariant variant;
+  double utilization;
+};
+
+void PrintTo(const PropertyCase& c, std::ostream* os) {
+  *os << "seed=" << c.seed << " variant=" << ToString(c.variant)
+      << " util=" << c.utilization;
+}
+
+class LlaOptimalityProperty : public ::testing::TestWithParam<PropertyCase> {
+};
+
+TEST_P(LlaOptimalityProperty, ConvergesFeasiblyToOptimum) {
+  const PropertyCase& param = GetParam();
+  RandomWorkloadConfig config;
+  config.seed = param.seed;
+  config.num_tasks = 4;
+  config.target_utilization = param.utilization;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  LlaConfig lla_config;
+  lla_config.solver.variant = param.variant;
+  lla_config.step_policy = StepPolicyKind::kAdaptive;
+  lla_config.gamma0 = 3.0;
+  lla_config.record_history = false;
+  LlaEngine engine(w, model, lla_config);
+  const RunResult run = engine.Run(12000);
+
+  // (a)+(b) converged and feasible.
+  EXPECT_TRUE(run.converged);
+  EXPECT_TRUE(run.final_feasibility.feasible);
+
+  // (c) KKT residuals small (dual iteration tolerance).
+  LatencySolver solver(w, model, lla_config.solver);
+  const KktReport kkt = CheckKkt(w, model, solver, engine.latencies(),
+                                 engine.prices(), param.variant);
+  EXPECT_LT(kkt.max_primal_violation, 2e-3) << kkt.Summary();
+  EXPECT_LT(kkt.max_dual_violation, 1e-12) << kkt.Summary();
+
+  // (d) utility within 1.5% of the independent reference optimum.
+  BarrierSolverConfig barrier_config;
+  barrier_config.variant = param.variant;
+  BarrierSolver barrier(w, model, barrier_config);
+  auto reference = barrier.Solve();
+  ASSERT_TRUE(reference.ok()) << reference.error();
+  const double scale = std::max(1.0, std::fabs(reference.value().utility));
+  EXPECT_NEAR(run.final_utility, reference.value().utility, 0.015 * scale);
+  // LLA must not beat the true optimum by more than numerical slack
+  // (it may appear to, slightly, because its iterate can sit marginally
+  // outside the feasible set within the convergence tolerance).
+  EXPECT_LT(run.final_utility, reference.value().utility + 0.015 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, LlaOptimalityProperty,
+    ::testing::Values(
+        PropertyCase{101, UtilityVariant::kPathWeighted, 0.75},
+        PropertyCase{102, UtilityVariant::kPathWeighted, 0.8},
+        PropertyCase{103, UtilityVariant::kPathWeighted, 0.6},
+        PropertyCase{104, UtilityVariant::kSum, 0.75},
+        PropertyCase{105, UtilityVariant::kSum, 0.8},
+        PropertyCase{106, UtilityVariant::kSum, 0.9},
+        PropertyCase{107, UtilityVariant::kPathWeighted, 0.9},
+        PropertyCase{108, UtilityVariant::kSum, 0.6}));
+
+// Monotonicity property: relaxing every critical time can only improve (or
+// preserve) the optimal utility... but since utility depends on C through
+// f_i = 2C - x, compare via the barrier solver on identical utilities:
+// instead we check that loosening utilization (smaller target) never lowers
+// LLA's achieved total utility for the same seed.
+class UtilizationMonotonicity : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(UtilizationMonotonicity, TighterDeadlinesNeverHelp) {
+  double previous = -1e300;
+  // target_utilization 0.9 -> tight deadlines; 0.5 -> loose.  Utility
+  // offsets grow with C (f = 2C - x), so looser must score higher.
+  for (double utilization : {0.9, 0.7, 0.5}) {
+    RandomWorkloadConfig config;
+    config.seed = GetParam();
+    config.target_utilization = utilization;
+    auto workload = MakeRandomWorkload(config);
+    ASSERT_TRUE(workload.ok()) << workload.error();
+    LatencyModel model(workload.value());
+    LlaConfig lla_config;
+    lla_config.step_policy = StepPolicyKind::kAdaptive;
+    lla_config.gamma0 = 3.0;
+    lla_config.record_history = false;
+    LlaEngine engine(workload.value(), model, lla_config);
+    const RunResult run = engine.Run(12000);
+    EXPECT_TRUE(run.final_feasibility.feasible);
+    EXPECT_GE(run.final_utility, previous - 1e-6);
+    previous = run.final_utility;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtilizationMonotonicity,
+                         ::testing::Values(201, 202, 203));
+
+}  // namespace
+}  // namespace lla

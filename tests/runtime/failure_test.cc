@@ -1,0 +1,147 @@
+// Failure-injection tests: the price protocol must recover from endpoint
+// blackouts (crashed or partitioned nodes) because every message carries
+// absolute state — the first exchange after healing repairs everything.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/bus.h"
+#include "runtime/coordinator.h"
+#include "workloads/paper.h"
+
+namespace lla::runtime {
+namespace {
+
+TEST(BusBlackoutTest, DropsMessagesDuringWindow) {
+  net::InProcessBus bus;
+  int received = 0;
+  const net::EndpointId a =
+      bus.Register("a", [&](const net::Message&) { ++received; });
+  const net::EndpointId b = bus.Register("b", nullptr);
+
+  bus.BlackoutEndpoint(a, 10.0);
+  EXPECT_TRUE(bus.IsBlackedOut(a));
+
+  net::Message message;
+  message.sender = b;
+  message.receiver = a;
+  message.payload = net::ResourcePriceUpdate{ResourceId(0u), 1.0, 0, false};
+  bus.Send(message);
+  bus.RunAll();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.stats().dropped, 1u);
+
+  // After the window, delivery resumes.
+  bus.RunUntil(11.0);
+  EXPECT_FALSE(bus.IsBlackedOut(a));
+  bus.Send(message);
+  bus.RunAll();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(BusBlackoutTest, InFlightMessagesIntoWindowAreDropped) {
+  net::BusConfig config;
+  config.base_delay_ms = 5.0;
+  net::InProcessBus bus(config);
+  int received = 0;
+  const net::EndpointId a =
+      bus.Register("a", [&](const net::Message&) { ++received; });
+  net::Message message;
+  message.sender = a;
+  message.receiver = a;
+  message.payload = net::ResourcePriceUpdate{ResourceId(0u), 1.0, 0, false};
+  bus.Send(message);            // delivery at t=5
+  bus.BlackoutEndpoint(a, 8.0);  // window covers the delivery
+  bus.RunAll();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.stats().dropped, 1u);
+}
+
+TEST(BusBlackoutTest, TimersKeepFiringDuringBlackout) {
+  net::InProcessBus bus;
+  int fired = 0;
+  const net::EndpointId a =
+      bus.Register("a", nullptr, [&](std::uint64_t) { ++fired; });
+  bus.BlackoutEndpoint(a, 100.0);
+  bus.ScheduleTimer(a, 10.0, 1);
+  bus.RunUntil(20.0);
+  EXPECT_EQ(fired, 1);  // the node is partitioned, not stopped
+}
+
+TEST(FailureRecoveryTest, ResourcePartitionHealsAndReconverges) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  CoordinatorConfig config;
+  config.step.gamma0 = 3.0;
+  config.bus.base_delay_ms = 1.0;
+  config.bus.seed = 3;
+  Coordinator coordinator(w, model, config);
+
+  // Converge, then partition the busiest resource for 5 s of virtual time.
+  coordinator.RunAsync(250000.0);
+  ASSERT_TRUE(coordinator.Converged());
+  const double before = coordinator.CurrentUtility();
+
+  coordinator.PartitionResource(ResourceId(0u), 5000.0);
+  coordinator.RunAsync(5000.0);
+  // During the partition the controllers stop hearing resource 0's price;
+  // they keep optimizing against a stale mu.  After healing, the system
+  // must return to the same optimum.
+  coordinator.RunAsync(250000.0);
+  EXPECT_TRUE(coordinator.Converged());
+  EXPECT_TRUE(coordinator.CurrentFeasibility().feasible);
+  EXPECT_NEAR(coordinator.CurrentUtility(), before,
+              0.01 * std::fabs(before));
+  EXPECT_GT(coordinator.bus().stats().dropped, 0u);
+}
+
+TEST(FailureRecoveryTest, ControllerPartitionHealsAndReconverges) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  CoordinatorConfig config;
+  config.step.gamma0 = 3.0;
+  config.bus.base_delay_ms = 1.0;
+  config.bus.seed = 5;
+  Coordinator coordinator(w, model, config);
+  coordinator.RunAsync(250000.0);
+  ASSERT_TRUE(coordinator.Converged());
+  const double before = coordinator.CurrentUtility();
+
+  coordinator.PartitionController(TaskId(1u), 8000.0);
+  coordinator.RunAsync(8000.0);
+  coordinator.RunAsync(250000.0);
+  EXPECT_TRUE(coordinator.Converged());
+  EXPECT_TRUE(coordinator.CurrentFeasibility().feasible);
+  EXPECT_NEAR(coordinator.CurrentUtility(), before,
+              0.01 * std::fabs(before));
+}
+
+TEST(FailureRecoveryTest, RepeatedPartitionsDoNotWedgeTheProtocol) {
+  auto workload = MakePrototypeWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  CoordinatorConfig config;
+  config.step.gamma0 = 3.0;
+  config.bus.base_delay_ms = 1.0;
+  config.bus.seed = 7;
+  Coordinator coordinator(w, model, config);
+  for (int round = 0; round < 5; ++round) {
+    coordinator.PartitionResource(
+        ResourceId(static_cast<std::size_t>(round % 3)), 2000.0);
+    coordinator.RunAsync(30000.0);
+  }
+  coordinator.RunAsync(120000.0);
+  EXPECT_TRUE(coordinator.CurrentFeasibility().feasible);
+  // Fast subtasks end at the uncorrected equilibrium as usual.
+  const Assignment assignment = coordinator.CurrentAssignment();
+  EXPECT_NEAR(model.share(SubtaskId(0u)).Share(assignment[0]), 0.2857,
+              0.02);
+}
+
+}  // namespace
+}  // namespace lla::runtime

@@ -1,0 +1,236 @@
+#include "sim/system_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "model/trigger.h"
+#include "model/utility.h"
+#include "workloads/paper.h"
+
+namespace lla::sim {
+namespace {
+
+// Single task, single subtask, one CPU: fully analyzable.
+Workload OneSubtaskWorkload(double period_ms = 50.0) {
+  std::vector<ResourceSpec> resources = {{"cpu", ResourceKind::kCpu, 1.0, 0.0}};
+  TaskSpec task;
+  task.name = "t";
+  task.critical_time_ms = 1000.0;
+  task.utility = MakePrototypeUtility();
+  task.trigger = TriggerSpec::Periodic(period_ms);
+  task.subtasks = {{"s", ResourceId(0u), 5.0, 0.0}};
+  auto workload = Workload::Create(std::move(resources), {task});
+  EXPECT_TRUE(workload.ok());
+  return std::move(workload).value();
+}
+
+TEST(SystemSimTest, SingleSubtaskLatencyMatchesShare) {
+  const Workload w = OneSubtaskWorkload();
+  SimConfig config;
+  config.duration_ms = 20000.0;
+  config.service_jitter = 0.0;  // every job exactly at WCET
+  config.model_background_load = false;
+  SystemSimulator simulator(w, config);
+  const SimResult result = simulator.Run({0.25});
+  // Jobs are spaced 50 ms apart, each needs 5 ms of work at rate 0.25
+  // (no other flow -> work conserving gives full rate, job completes in 5).
+  ASSERT_GT(result.jobs_completed, 100u);
+  EXPECT_NEAR(result.subtask_latencies[0].Value(0.5), 5.0, 1e-6);
+  EXPECT_NEAR(result.task_latencies[0].Value(0.99), 5.0, 1e-6);
+}
+
+TEST(SystemSimTest, BackgroundLoadSlowsJobs) {
+  // capacity 0.8 => background flow weight 0.2; subtask share 0.4 ->
+  // effective rate 0.4/(0.4+0.2) = 2/3 -> latency 7.5 ms.
+  std::vector<ResourceSpec> resources = {{"cpu", ResourceKind::kCpu, 0.8, 0.0}};
+  TaskSpec task;
+  task.name = "t";
+  task.critical_time_ms = 1000.0;
+  task.utility = MakePrototypeUtility();
+  task.trigger = TriggerSpec::Periodic(50.0);
+  task.subtasks = {{"s", ResourceId(0u), 5.0, 0.0}};
+  auto workload = Workload::Create(std::move(resources), {task});
+  ASSERT_TRUE(workload.ok());
+  SimConfig config;
+  config.duration_ms = 20000.0;
+  config.service_jitter = 0.0;
+  SystemSimulator simulator(workload.value(), config);
+  const SimResult result = simulator.Run({0.4});
+  EXPECT_NEAR(result.subtask_latencies[0].Value(0.5), 7.5, 1e-6);
+}
+
+TEST(SystemSimTest, ChainRespectsPrecedence) {
+  // Two-subtask chain on two CPUs: end-to-end = sum of stage latencies.
+  std::vector<ResourceSpec> resources = {
+      {"cpu0", ResourceKind::kCpu, 1.0, 0.0},
+      {"cpu1", ResourceKind::kCpu, 1.0, 0.0}};
+  TaskSpec task;
+  task.name = "chain";
+  task.critical_time_ms = 1000.0;
+  task.utility = MakePrototypeUtility();
+  task.trigger = TriggerSpec::Periodic(40.0);
+  task.subtasks = {{"a", ResourceId(0u), 4.0, 0.0},
+                   {"b", ResourceId(1u), 6.0, 0.0}};
+  task.edges = {{0, 1}};
+  auto workload = Workload::Create(std::move(resources), {task});
+  ASSERT_TRUE(workload.ok());
+  SimConfig config;
+  config.duration_ms = 20000.0;
+  config.service_jitter = 0.0;
+  config.model_background_load = false;
+  SystemSimulator simulator(workload.value(), config);
+  const SimResult result = simulator.Run({1.0, 1.0});
+  EXPECT_NEAR(result.subtask_latencies[0].Value(0.5), 4.0, 1e-6);
+  EXPECT_NEAR(result.subtask_latencies[1].Value(0.5), 6.0, 1e-6);
+  EXPECT_NEAR(result.task_latencies[0].Value(0.5), 10.0, 1e-6);
+}
+
+TEST(SystemSimTest, FanOutCompletesAllLeaves) {
+  std::vector<ResourceSpec> resources = {
+      {"cpu0", ResourceKind::kCpu, 1.0, 0.0},
+      {"cpu1", ResourceKind::kCpu, 1.0, 0.0},
+      {"cpu2", ResourceKind::kCpu, 1.0, 0.0}};
+  TaskSpec task;
+  task.name = "fan";
+  task.critical_time_ms = 1000.0;
+  task.utility = MakePrototypeUtility();
+  task.trigger = TriggerSpec::Periodic(50.0);
+  task.subtasks = {{"root", ResourceId(0u), 2.0, 0.0},
+                   {"l1", ResourceId(1u), 3.0, 0.0},
+                   {"l2", ResourceId(2u), 7.0, 0.0}};
+  task.edges = {{0, 1}, {0, 2}};
+  auto workload = Workload::Create(std::move(resources), {task});
+  ASSERT_TRUE(workload.ok());
+  SimConfig config;
+  config.duration_ms = 10000.0;
+  config.service_jitter = 0.0;
+  config.model_background_load = false;
+  SystemSimulator simulator(workload.value(), config);
+  const SimResult result = simulator.Run({1.0, 1.0, 1.0});
+  // Job set latency = root + slowest leaf = 2 + 7.
+  EXPECT_NEAR(result.task_latencies[0].Value(0.5), 9.0, 1e-6);
+  EXPECT_GT(result.job_sets_completed, 100u);
+}
+
+TEST(SystemSimTest, DeterministicPerSeed) {
+  const Workload w = OneSubtaskWorkload();
+  SimConfig config;
+  config.duration_ms = 5000.0;
+  config.seed = 77;
+  SystemSimulator a(w, config);
+  SystemSimulator b(w, config);
+  const SimResult ra = a.Run({0.3});
+  const SimResult rb = b.Run({0.3});
+  EXPECT_EQ(ra.jobs_completed, rb.jobs_completed);
+  EXPECT_DOUBLE_EQ(ra.subtask_latencies[0].Value(0.9),
+                   rb.subtask_latencies[0].Value(0.9));
+}
+
+TEST(SystemSimTest, UndersizedShareGrowsQueue) {
+  // Rate 20/s, wcet 5 -> sustainable share 0.1; give far less while a
+  // background flow keeps the resource busy (no work-conserving rescue).
+  std::vector<ResourceSpec> resources = {{"cpu", ResourceKind::kCpu, 0.5, 0.0}};
+  TaskSpec task;
+  task.name = "t";
+  task.critical_time_ms = 10000.0;
+  task.utility = MakePrototypeUtility();
+  task.trigger = TriggerSpec::Periodic(50.0);
+  task.subtasks = {{"s", ResourceId(0u), 5.0, 0.0}};
+  auto workload = Workload::Create(std::move(resources), {task});
+  ASSERT_TRUE(workload.ok());
+  SimConfig config;
+  config.duration_ms = 30000.0;
+  config.service_jitter = 0.0;
+  SystemSimulator simulator(workload.value(), config);
+  // share 0.05 against background 0.5 -> effective rate ~0.09 < demand 0.1.
+  const SimResult result = simulator.Run({0.05});
+  EXPECT_GT(result.max_queue_length, 5u);
+}
+
+TEST(SystemSimTest, PrototypeWorkloadMeasuredBelowModel) {
+  // The Sec. 6.3 effect: measured latencies undershoot (wcet+lag)/share.
+  auto workload = MakePrototypeWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  SimConfig config;
+  config.duration_ms = 20000.0;
+  SystemSimulator simulator(w, config);
+  // Uncorrected-optimum shares: fast 0.2857, slow 0.1643.
+  std::vector<double> shares(w.subtask_count());
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    shares[sub.id.value()] = sub.min_share > 0.15 ? 0.2857 : 0.1643;
+  }
+  const SimResult result = simulator.Run(shares);
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    const double measured =
+        result.subtask_latencies[sub.id.value()].Value(0.95);
+    const double predicted = sub.work_ms / shares[sub.id.value()];
+    EXPECT_LT(measured, predicted) << sub.name;
+    EXPECT_GT(measured, 0.0) << sub.name;
+  }
+}
+
+TEST(SystemSimTest, SfsCloseToGpsOnAggregate) {
+  const Workload w = OneSubtaskWorkload();
+  SimConfig gps_config;
+  gps_config.duration_ms = 20000.0;
+  gps_config.service_jitter = 0.0;
+  gps_config.model_background_load = false;
+  SimConfig sfs_config = gps_config;
+  sfs_config.scheduler = SchedulerKind::kSurplusFair;
+  sfs_config.sfs_quantum_ms = 0.5;
+  const SimResult gps = SystemSimulator(w, gps_config).Run({0.25});
+  const SimResult sfs = SystemSimulator(w, sfs_config).Run({0.25});
+  EXPECT_EQ(gps.job_sets_completed, sfs.job_sets_completed);
+  EXPECT_NEAR(sfs.subtask_latencies[0].Value(0.5),
+              gps.subtask_latencies[0].Value(0.5), 1.0);
+}
+
+TEST(SystemSimTest, DeadlineMissAccounting) {
+  // Critical time below the achievable latency: every job set misses.
+  std::vector<ResourceSpec> resources = {{"cpu", ResourceKind::kCpu, 1.0, 0.0}};
+  TaskSpec task;
+  task.name = "t";
+  task.critical_time_ms = 3.0;  // job needs 5 ms even alone
+  task.utility = MakePrototypeUtility();
+  task.trigger = TriggerSpec::Periodic(50.0);
+  task.subtasks = {{"s", ResourceId(0u), 5.0, 0.0}};
+  auto workload = Workload::Create(std::move(resources), {task});
+  ASSERT_TRUE(workload.ok());
+  SimConfig config;
+  config.duration_ms = 10000.0;
+  config.service_jitter = 0.0;
+  config.model_background_load = false;
+  SystemSimulator simulator(workload.value(), config);
+  const SimResult result = simulator.Run({1.0});
+  EXPECT_EQ(result.deadline_misses[0], result.completed_per_task[0]);
+  EXPECT_DOUBLE_EQ(result.MissRatio(TaskId(0u)), 1.0);
+}
+
+TEST(SystemSimTest, NoMissesWithGenerousDeadline) {
+  const Workload w = OneSubtaskWorkload();
+  SimConfig config;
+  config.duration_ms = 10000.0;
+  config.service_jitter = 0.0;
+  config.model_background_load = false;
+  SystemSimulator simulator(w, config);
+  const SimResult result = simulator.Run({0.25});
+  EXPECT_EQ(result.deadline_misses[0], 0u);
+  EXPECT_DOUBLE_EQ(result.MissRatio(TaskId(0u)), 0.0);
+  EXPECT_GT(result.completed_per_task[0], 100u);
+}
+
+TEST(SystemSimTest, ResourceUtilizationMatchesDemand) {
+  // wcet 5 every 50 ms -> 10% demand on the CPU.
+  const Workload w = OneSubtaskWorkload(/*period_ms=*/50.0);
+  SimConfig config;
+  config.duration_ms = 60000.0;
+  config.service_jitter = 0.0;
+  config.model_background_load = false;
+  SystemSimulator simulator(w, config);
+  const SimResult result = simulator.Run({0.5});
+  ASSERT_EQ(result.resource_utilization.size(), 1u);
+  EXPECT_NEAR(result.resource_utilization[0], 0.10, 0.005);
+}
+
+}  // namespace
+}  // namespace lla::sim

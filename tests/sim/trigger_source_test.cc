@@ -1,0 +1,62 @@
+#include "sim/trigger_source.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lla::sim {
+namespace {
+
+TEST(TriggerSourceTest, PeriodicSequence) {
+  TriggerSource source(TriggerSpec::Periodic(100.0, 7.0), 1);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 7.0);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 107.0);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 207.0);
+}
+
+TEST(TriggerSourceTest, PeriodicZeroPhaseStartsAtZero) {
+  TriggerSource source(TriggerSpec::Periodic(25.0), 1);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 0.0);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 25.0);
+}
+
+TEST(TriggerSourceTest, PoissonMeanRate) {
+  TriggerSource source(TriggerSpec::Poisson(40.0), 5);
+  double last = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double t = source.NextReleaseMs();
+    EXPECT_GT(t, last);
+    last = t;
+  }
+  // n arrivals at 40/s should span ~n/40 seconds.
+  EXPECT_NEAR(last / 1000.0, n / 40.0, 0.05 * n / 40.0);
+}
+
+TEST(TriggerSourceTest, PoissonDeterministicPerSeed) {
+  TriggerSource a(TriggerSpec::Poisson(10.0), 9);
+  TriggerSource b(TriggerSpec::Poisson(10.0), 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextReleaseMs(), b.NextReleaseMs());
+  }
+}
+
+TEST(TriggerSourceTest, BurstyEmitsBurstsThenGaps) {
+  TriggerSource source(TriggerSpec::Bursty(100.0, 3, 2.0), 1);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 0.0);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 2.0);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 4.0);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 100.0);
+  EXPECT_DOUBLE_EQ(source.NextReleaseMs(), 102.0);
+}
+
+TEST(TriggerSourceTest, BurstSizeOneIsPeriodic) {
+  TriggerSource bursty(TriggerSpec::Bursty(50.0, 1, 0.0), 1);
+  TriggerSource periodic(TriggerSpec::Periodic(50.0), 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(bursty.NextReleaseMs(), periodic.NextReleaseMs());
+  }
+}
+
+}  // namespace
+}  // namespace lla::sim

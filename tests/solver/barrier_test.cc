@@ -1,0 +1,102 @@
+#include "solver/barrier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla {
+namespace {
+
+TEST(BarrierTest, InteriorPointIsStrictlyFeasible) {
+  RandomWorkloadConfig config;
+  config.seed = 11;
+  config.target_utilization = 0.7;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  BarrierSolver solver(w, model);
+  auto interior = solver.FindInteriorPoint();
+  ASSERT_TRUE(interior.ok()) << interior.error();
+  const auto report = CheckFeasibility(w, model, interior.value(), 0.0);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_LT(report.max_path_ratio, 1.0);
+}
+
+TEST(BarrierTest, SolutionIsFeasible) {
+  RandomWorkloadConfig config;
+  config.seed = 23;
+  config.target_utilization = 0.8;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  BarrierSolver solver(w, model);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.error();
+  const auto report = CheckFeasibility(w, model, result.value().latencies,
+                                       1e-6);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(BarrierTest, RejectsInfeasibleStart) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  BarrierSolver solver(w, model);
+  Assignment bad(w.subtask_count(), 0.01);  // absurd shares
+  EXPECT_FALSE(solver.SolveFrom(bad).ok());
+  Assignment wrong_size(3, 10.0);
+  EXPECT_FALSE(solver.SolveFrom(wrong_size).ok());
+}
+
+TEST(BarrierTest, MatchesEngineOnSlackWorkload) {
+  // On a workload with slack both methods must find the same optimum.
+  RandomWorkloadConfig config;
+  config.seed = 5;
+  config.num_tasks = 3;
+  config.target_utilization = 0.75;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  BarrierSolver barrier(w, model);
+  auto reference = barrier.Solve();
+  ASSERT_TRUE(reference.ok()) << reference.error();
+
+  LlaConfig lla_config;
+  lla_config.step_policy = StepPolicyKind::kAdaptive;
+  lla_config.gamma0 = 3.0;
+  LlaEngine engine(w, model, lla_config);
+  engine.Run(12000);
+
+  const double engine_utility = engine.TotalUtilityNow();
+  const double scale = std::max(1.0, std::fabs(reference.value().utility));
+  EXPECT_NEAR(engine_utility, reference.value().utility, 0.01 * scale);
+}
+
+TEST(BarrierTest, UtilityNeverBelowInteriorStart) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  SimWorkloadOptions opts;  // defaults
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  BarrierSolverConfig config;
+  BarrierSolver solver(w, model, config);
+  auto interior = solver.FindInteriorPoint();
+  if (!interior.ok()) GTEST_SKIP() << interior.error();
+  const double start_utility =
+      TotalUtility(w, interior.value(), config.variant);
+  auto result = solver.SolveFrom(interior.value());
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_GE(result.value().utility, start_utility - 1e-6);
+}
+
+}  // namespace
+}  // namespace lla

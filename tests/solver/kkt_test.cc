@@ -1,0 +1,123 @@
+#include "solver/kkt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "model/trigger.h"
+#include "model/utility.h"
+#include "workloads/paper.h"
+
+namespace lla {
+namespace {
+
+// Hand-constructed optimum: one subtask (work 4) on one resource (B = 1),
+// linear utility slope 1, large critical time (path constraint slack).
+// With mu = work/lat^2 * ... stationarity: -1 - 0 + mu*4/lat^2 = 0 and the
+// resource is saturated: 4/lat = 1 => lat = 4 => mu = lat^2/4 = 4.
+Workload OneSubtask() {
+  std::vector<ResourceSpec> resources = {{"r0", ResourceKind::kCpu, 1.0, 1.0}};
+  TaskSpec task;
+  task.name = "t";
+  task.critical_time_ms = 100.0;
+  task.utility = MakePaperSimUtility(100.0);
+  task.trigger = TriggerSpec::Periodic(100.0);
+  task.subtasks = {{"s", ResourceId(0u), 3.0, 0.0}};  // work = 4
+  auto workload = Workload::Create(std::move(resources), {task});
+  EXPECT_TRUE(workload.ok());
+  return std::move(workload).value();
+}
+
+TEST(KktTest, AcceptsHandComputedOptimum) {
+  const Workload w = OneSubtask();
+  LatencyModel model(w);
+  LatencySolver solver(w, model);
+  Assignment lat = {4.0};
+  PriceVector prices = PriceVector::Zero(w);
+  prices.mu[0] = 4.0;
+  const auto report =
+      CheckKkt(w, model, solver, lat, prices, UtilityVariant::kPathWeighted);
+  EXPECT_TRUE(report.Satisfied(1e-9)) << report.Summary();
+}
+
+TEST(KktTest, DetectsWrongPrice) {
+  const Workload w = OneSubtask();
+  LatencyModel model(w);
+  LatencySolver solver(w, model);
+  Assignment lat = {4.0};
+  PriceVector prices = PriceVector::Zero(w);
+  prices.mu[0] = 10.0;  // too expensive: stationarity violated
+  const auto report =
+      CheckKkt(w, model, solver, lat, prices, UtilityVariant::kPathWeighted);
+  EXPECT_GT(report.max_stationarity_violation, 0.1);
+}
+
+TEST(KktTest, DetectsPrimalViolation) {
+  const Workload w = OneSubtask();
+  LatencyModel model(w);
+  LatencySolver solver(w, model);
+  Assignment lat = {2.0};  // share = 2 > 1
+  PriceVector prices = PriceVector::Zero(w);
+  prices.mu[0] = 1.0;
+  const auto report =
+      CheckKkt(w, model, solver, lat, prices, UtilityVariant::kPathWeighted);
+  EXPECT_GT(report.max_primal_violation, 0.9);
+}
+
+TEST(KktTest, DetectsComplementaritySlackViolation) {
+  const Workload w = OneSubtask();
+  LatencyModel model(w);
+  LatencySolver solver(w, model);
+  Assignment lat = {8.0};  // share = 0.5: resource slack 0.5
+  PriceVector prices = PriceVector::Zero(w);
+  prices.mu[0] = 16.0;  // positive price despite slack
+  const auto report =
+      CheckKkt(w, model, solver, lat, prices, UtilityVariant::kPathWeighted);
+  EXPECT_GT(report.max_complementarity_violation, 1.0);
+}
+
+TEST(KktTest, DetectsNegativePrices) {
+  const Workload w = OneSubtask();
+  LatencyModel model(w);
+  LatencySolver solver(w, model);
+  Assignment lat = {4.0};
+  PriceVector prices = PriceVector::Zero(w);
+  prices.mu[0] = -0.5;
+  const auto report =
+      CheckKkt(w, model, solver, lat, prices, UtilityVariant::kPathWeighted);
+  EXPECT_DOUBLE_EQ(report.max_dual_violation, 0.5);
+}
+
+TEST(KktTest, EngineConvergedStateSatisfiesKkt) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.gamma0 = 3.0;
+  config.convergence.rel_tol = 1e-6;
+  LlaEngine engine(w, model, config);
+  engine.Run(12000);
+  LatencySolver solver(w, model, config.solver);
+  const auto report = CheckKkt(w, model, solver, engine.latencies(),
+                               engine.prices(), config.solver.variant);
+  // The dual iteration converges to the KKT point; tolerances reflect the
+  // finite step size.
+  EXPECT_LT(report.max_primal_violation, 2e-3) << report.Summary();
+  EXPECT_LT(report.max_dual_violation, 1e-12) << report.Summary();
+  EXPECT_LT(report.max_stationarity_violation, 0.2) << report.Summary();
+  EXPECT_LT(report.max_complementarity_violation, 0.6) << report.Summary();
+}
+
+TEST(KktTest, SummaryListsAllResiduals) {
+  KktReport report;
+  report.max_stationarity_violation = 1.0;
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("stationarity"), std::string::npos);
+  EXPECT_NE(summary.find("primal"), std::string::npos);
+  EXPECT_NE(summary.find("dual"), std::string::npos);
+  EXPECT_NE(summary.find("complementarity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lla

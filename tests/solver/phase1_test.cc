@@ -1,0 +1,112 @@
+#include "solver/phase1.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/barrier.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla {
+namespace {
+
+TEST(Phase1Test, FindsInteriorOnSlackWorkload) {
+  RandomWorkloadConfig config;
+  config.seed = 5;
+  config.target_utilization = 0.7;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  Phase1Solver solver(w, model);
+  const Phase1Result result = solver.Solve();
+  EXPECT_TRUE(result.strictly_feasible);
+  EXPECT_LT(result.max_violation, 0.0);
+  const auto report = CheckFeasibility(w, model, result.latencies, 0.0);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(Phase1Test, FindsInteriorOnTightPaperWorkload) {
+  // The Table 1 workload sits exactly at capacity; the scaled equal-split
+  // witness fails but a strictly interior point exists and Phase-I must
+  // find it.
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  Phase1Solver solver(w, model);
+  const Phase1Result result = solver.Solve();
+  EXPECT_TRUE(result.strictly_feasible)
+      << "residual " << result.max_violation;
+}
+
+TEST(Phase1Test, CertifiesInfeasibleWorkload) {
+  // Figure 7's unschedulable instance: Phase-I cannot reach a negative
+  // violation.
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/false);
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  Phase1Solver solver(w, model);
+  const Phase1Result result = solver.Solve();
+  EXPECT_FALSE(result.strictly_feasible);
+  EXPECT_GT(result.max_violation, 0.01);
+}
+
+TEST(Phase1Test, BarrierUsesPhase1Fallback) {
+  // End to end: BarrierSolver now solves the exactly-at-capacity paper
+  // workload via the Phase-I interior point.
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  BarrierSolver barrier(w, model);
+  auto interior = barrier.FindInteriorPoint();
+  ASSERT_TRUE(interior.ok()) << interior.error();
+  auto result = barrier.Solve();
+  ASSERT_TRUE(result.ok()) << result.error();
+  // The optimum should be at least as good as LLA's converged value
+  // (engine reaches ~ -75.93 on this instance; allow numerical slack).
+  EXPECT_GT(result.value().utility, -78.0);
+  EXPECT_LT(result.value().utility, -74.0);
+}
+
+// Property: Phase-I verdict agrees with the generator's constructive
+// schedulability across seeds and utilizations.
+struct Phase1Case {
+  std::uint64_t seed;
+  double utilization;
+  bool expect_feasible;
+};
+
+void PrintTo(const Phase1Case& c, std::ostream* os) {
+  *os << "seed=" << c.seed << "_util=" << c.utilization;
+}
+
+class Phase1Agreement : public ::testing::TestWithParam<Phase1Case> {};
+
+TEST_P(Phase1Agreement, VerdictMatchesConstruction) {
+  const Phase1Case& param = GetParam();
+  RandomWorkloadConfig config;
+  config.seed = param.seed;
+  config.target_utilization = param.utilization;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  LatencyModel model(workload.value());
+  Phase1Solver solver(workload.value(), model);
+  const Phase1Result result = solver.Solve();
+  EXPECT_EQ(result.strictly_feasible, param.expect_feasible)
+      << "residual " << result.max_violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Phase1Agreement,
+    ::testing::Values(Phase1Case{301, 0.5, true}, Phase1Case{302, 0.7, true},
+                      Phase1Case{303, 0.9, true},
+                      // target > 1 overconstrains deadlines below the
+                      // equal-split witness -> infeasible by construction
+                      // is not guaranteed, but 2.5x is far past capacity.
+                      Phase1Case{304, 2.5, false},
+                      Phase1Case{305, 3.0, false}));
+
+}  // namespace
+}  // namespace lla

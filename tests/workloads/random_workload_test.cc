@@ -1,0 +1,111 @@
+#include "workloads/random.h"
+
+#include <gtest/gtest.h>
+
+#include "model/evaluation.h"
+#include "model/latency_model.h"
+
+namespace lla {
+namespace {
+
+TEST(RandomWorkloadTest, Deterministic) {
+  RandomWorkloadConfig config;
+  config.seed = 99;
+  auto a = MakeRandomWorkload(config);
+  auto b = MakeRandomWorkload(config);
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().subtask_count(), b.value().subtask_count());
+  for (std::size_t s = 0; s < a.value().subtask_count(); ++s) {
+    EXPECT_DOUBLE_EQ(a.value().subtask(SubtaskId(s)).wcet_ms,
+                     b.value().subtask(SubtaskId(s)).wcet_ms);
+    EXPECT_EQ(a.value().subtask(SubtaskId(s)).resource,
+              b.value().subtask(SubtaskId(s)).resource);
+  }
+}
+
+TEST(RandomWorkloadTest, DifferentSeedsDiffer) {
+  RandomWorkloadConfig config;
+  config.seed = 1;
+  auto a = MakeRandomWorkload(config);
+  config.seed = 2;
+  auto b = MakeRandomWorkload(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff =
+      a.value().subtask_count() != b.value().subtask_count();
+  if (!any_diff) {
+    for (std::size_t s = 0; s < a.value().subtask_count(); ++s) {
+      if (a.value().subtask(SubtaskId(s)).wcet_ms !=
+          b.value().subtask(SubtaskId(s)).wcet_ms) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomWorkloadTest, RejectsImpossibleConfig) {
+  RandomWorkloadConfig config;
+  config.num_resources = 3;
+  config.max_subtasks = 5;
+  EXPECT_FALSE(MakeRandomWorkload(config).ok());
+  config = {};
+  config.min_subtasks = 0;
+  EXPECT_FALSE(MakeRandomWorkload(config).ok());
+  config = {};
+  config.min_subtasks = 7;
+  config.max_subtasks = 6;
+  EXPECT_FALSE(MakeRandomWorkload(config).ok());
+}
+
+// Property: for utilization < 1 the equal-split witness meets all deadlines
+// — the generator's constructive schedulability guarantee.
+class RandomWorkloadSchedulable : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomWorkloadSchedulable, EqualSplitWitnessIsFeasible) {
+  RandomWorkloadConfig config;
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  config.target_utilization = 0.8;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  Assignment witness(w.subtask_count(), 0.0);
+  for (const ResourceInfo& resource : w.resources()) {
+    const double n_r = static_cast<double>(resource.subtasks.size());
+    for (SubtaskId sid : resource.subtasks) {
+      witness[sid.value()] =
+          model.share(sid).LatencyForShare(resource.capacity / n_r);
+    }
+  }
+  const auto report = CheckFeasibility(w, model, witness, 1e-9);
+  EXPECT_TRUE(report.feasible) << "seed " << GetParam();
+  // Deadlines hold with margin ~ target_utilization.
+  EXPECT_LE(report.max_path_ratio, config.target_utilization + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadSchedulable,
+                         ::testing::Range(1, 21));
+
+TEST(RandomWorkloadTest, StructurallyValidAcrossSeeds) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    RandomWorkloadConfig config;
+    config.seed = seed;
+    auto workload = MakeRandomWorkload(config);
+    ASSERT_TRUE(workload.ok()) << "seed " << seed << ": " << workload.error();
+    const Workload& w = workload.value();
+    EXPECT_EQ(w.task_count(), static_cast<std::size_t>(config.num_tasks));
+    for (const TaskInfo& task : w.tasks()) {
+      EXPECT_GE(static_cast<int>(task.subtasks.size()), config.min_subtasks);
+      EXPECT_LE(static_cast<int>(task.subtasks.size()), config.max_subtasks);
+      EXPECT_GT(task.critical_time_ms, 0.0);
+      EXPECT_GE(task.paths.size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lla

@@ -1,0 +1,155 @@
+#include "workloads/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla {
+namespace {
+
+TEST(TransformTest, ExtractRebuildRoundTrips) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& original = workload.value();
+  auto rebuilt = Rebuild(original, nullptr, nullptr);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.error();
+  const Workload& copy = rebuilt.value();
+  ASSERT_EQ(copy.subtask_count(), original.subtask_count());
+  ASSERT_EQ(copy.path_count(), original.path_count());
+  for (std::size_t s = 0; s < original.subtask_count(); ++s) {
+    const SubtaskInfo& a = original.subtask(SubtaskId(s));
+    const SubtaskInfo& b = copy.subtask(SubtaskId(s));
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.wcet_ms, b.wcet_ms);
+    EXPECT_EQ(a.resource, b.resource);
+    EXPECT_DOUBLE_EQ(a.min_share, b.min_share);
+    EXPECT_EQ(a.path_count, b.path_count);
+  }
+  for (std::size_t r = 0; r < original.resource_count(); ++r) {
+    EXPECT_DOUBLE_EQ(original.resource(ResourceId(r)).capacity,
+                     copy.resource(ResourceId(r)).capacity);
+  }
+}
+
+TEST(TransformTest, WithResourceCapacity) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  auto changed = WithResourceCapacity(workload.value(), ResourceId(3u), 0.5);
+  ASSERT_TRUE(changed.ok()) << changed.error();
+  EXPECT_DOUBLE_EQ(changed.value().resource(ResourceId(3u)).capacity, 0.5);
+  EXPECT_DOUBLE_EQ(changed.value().resource(ResourceId(0u)).capacity, 1.0);
+}
+
+TEST(TransformTest, WithResourceCapacityValidates) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  EXPECT_FALSE(
+      WithResourceCapacity(workload.value(), ResourceId(3u), 0.0).ok());
+  EXPECT_FALSE(
+      WithResourceCapacity(workload.value(), ResourceId(3u), 1.5).ok());
+}
+
+TEST(TransformTest, WithScaledCriticalTimesRescalesLinearUtility) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  auto scaled = WithScaledCriticalTimes(workload.value(), 2.0);
+  ASSERT_TRUE(scaled.ok()) << scaled.error();
+  const TaskInfo& task = scaled.value().task(TaskId(0u));
+  EXPECT_DOUBLE_EQ(task.critical_time_ms, 90.0);
+  // f = 2C - x becomes 2*(2C) - x: value at 0 doubles.
+  EXPECT_DOUBLE_EQ(task.utility->Value(0.0), 180.0);
+}
+
+TEST(TransformTest, WithoutTaskRemovesOne) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  auto smaller = WithoutTask(workload.value(), TaskId(1u));
+  ASSERT_TRUE(smaller.ok()) << smaller.error();
+  EXPECT_EQ(smaller.value().task_count(), 2u);
+  EXPECT_EQ(smaller.value().task(TaskId(0u)).name, "push-multicast");
+  EXPECT_EQ(smaller.value().task(TaskId(1u)).name, "client-server");
+  EXPECT_EQ(smaller.value().subtask_count(), 13u);
+  EXPECT_FALSE(WithoutTask(workload.value(), TaskId(9u)).ok());
+  EXPECT_FALSE(WithoutTask(workload.value(), TaskId()).ok());
+}
+
+TEST(TransformTest, WarmStartReconvergesAfterCapacityChange) {
+  // The adaptation story: converge on a workload with slack, degrade one
+  // resource by 15%, and re-converge warm vs cold.  Warm starting lands on
+  // the same optimum in no more (typically fewer) iterations.
+  RandomWorkloadConfig random_config;
+  random_config.seed = 42;
+  random_config.target_utilization = 0.7;
+  auto workload = MakeRandomWorkload(random_config);
+  ASSERT_TRUE(workload.ok());
+  const Workload& base = workload.value();
+  LatencyModel base_model(base);
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.gamma0 = 3.0;
+  config.record_history = false;
+  LlaEngine engine(base, base_model, config);
+  const RunResult first = engine.Run(12000);
+  ASSERT_TRUE(first.converged);
+
+  auto degraded = WithResourceCapacity(base, ResourceId(0u), 0.85);
+  ASSERT_TRUE(degraded.ok());
+  const Workload& changed = degraded.value();
+  LatencyModel changed_model(changed);
+
+  LlaEngine cold(changed, changed_model, config);
+  const RunResult cold_run = cold.Run(12000);
+  ASSERT_TRUE(cold_run.converged);
+
+  LlaEngine warm(changed, changed_model, config);
+  warm.WarmStart(engine.prices());
+  const RunResult warm_run = warm.Run(12000);
+
+  EXPECT_TRUE(warm_run.converged);
+  EXPECT_TRUE(warm_run.final_feasibility.feasible);
+  // Same optimum either way, and the warm start never pays more.
+  EXPECT_NEAR(warm_run.final_utility, cold_run.final_utility,
+              0.01 * std::abs(cold_run.final_utility));
+  EXPECT_LE(warm_run.iterations, cold_run.iterations);
+}
+
+TEST(TransformTest, WarmStartFromOwnOptimumConvergesImmediately) {
+  RandomWorkloadConfig random_config;
+  random_config.seed = 42;
+  random_config.target_utilization = 0.7;
+  auto workload = MakeRandomWorkload(random_config);
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.gamma0 = 3.0;
+  config.record_history = false;
+  LlaEngine engine(w, model, config);
+  ASSERT_TRUE(engine.Run(12000).converged);
+
+  LlaEngine resumed(w, model, config);
+  resumed.WarmStart(engine.prices());
+  const RunResult run = resumed.Run(12000);
+  EXPECT_TRUE(run.converged);
+  // Re-detecting convergence needs at least the detector window; allow a
+  // small multiple of it.
+  EXPECT_LE(run.iterations, 3 * config.convergence.window);
+}
+
+TEST(TransformTest, WarmStartProjectsNegativePrices) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  LlaEngine engine(w, model, LlaConfig{});
+  PriceVector prices = PriceVector::Uniform(w, -1.0, -2.0);
+  engine.WarmStart(prices);
+  for (double mu : engine.prices().mu) EXPECT_GE(mu, 0.0);
+  for (double lambda : engine.prices().lambda) EXPECT_GE(lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace lla

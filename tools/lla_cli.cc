@@ -1,0 +1,256 @@
+// lla — command-line front end for the library.
+//
+//   lla solve <workload-file> [--variant sum|path-weighted] [--iters N]
+//       Optimize and print the latency assignment, shares and prices.
+//   lla check <workload-file> [--iters N]
+//       Schedulability verdict (LLA run + Phase-I cross-check).
+//   lla simulate <workload-file> <seconds> [--sfs]
+//       Optimize, enact, execute on the DES substrate, report percentiles.
+//   lla describe <workload-file>
+//       Validate and summarize the workload.
+//   lla generate <output-file> [--seed N] [--tasks N] [--resources N]
+//       Generate a random schedulable workload file.
+//
+// Example files live in examples/data/.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/schedulability.h"
+#include "model/evaluation.h"
+#include "model/serialization.h"
+#include "workloads/random.h"
+#include "sim/system_sim.h"
+#include "solver/phase1.h"
+
+using namespace lla;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lla solve <file> [--variant sum|path-weighted] [--iters N]\n"
+               "  lla check <file> [--iters N]\n"
+               "  lla simulate <file> <seconds> [--sfs]\n"
+               "  lla describe <file>\n"
+               "  lla generate <file> [--seed N] [--tasks N] "
+               "[--resources N]\n");
+  return 2;
+}
+
+Expected<Workload> Load(const char* path) {
+  auto workload = LoadWorkloadFromFile(path);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", path,
+                 workload.error().c_str());
+  }
+  return workload;
+}
+
+int Describe(const Workload& w) {
+  std::printf("resources: %zu   tasks: %zu   subtasks: %zu   paths: %zu\n\n",
+              w.resource_count(), w.task_count(), w.subtask_count(),
+              w.path_count());
+  for (const ResourceInfo& r : w.resources()) {
+    std::printf("resource %-16s %-4s capacity %.2f lag %.2f ms, %zu "
+                "subtasks (min-share demand %.3f)\n",
+                r.name.c_str(), ToString(r.kind), r.capacity, r.lag_ms,
+                r.subtasks.size(), w.MinShareDemand(r.id));
+  }
+  std::printf("\n");
+  for (const TaskInfo& t : w.tasks()) {
+    std::printf("task %-20s C=%.1f ms  %zu subtasks, %zu paths, utility %s, "
+                "%.1f releases/s\n",
+                t.name.c_str(), t.critical_time_ms, t.subtasks.size(),
+                t.paths.size(), t.utility->Describe().c_str(),
+                t.trigger.MeanRatePerSecond());
+  }
+  return 0;
+}
+
+int Solve(const Workload& w, UtilityVariant variant, int iters) {
+  LatencyModel model(w);
+  LlaConfig config;
+  config.solver.variant = variant;
+  config.gamma0 = 3.0;
+  LlaEngine engine(w, model, config);
+  const RunResult run = engine.Run(iters);
+  std::printf("%s after %d iterations; utility %.3f (%s variant); "
+              "feasible: %s\n\n",
+              run.converged ? "converged" : "NOT converged", run.iterations,
+              run.final_utility, ToString(variant),
+              run.final_feasibility.feasible ? "yes" : "no");
+  std::printf("%-24s %12s %10s\n", "subtask", "latency(ms)", "share");
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    const double latency = engine.latencies()[sub.id.value()];
+    std::printf("%-24s %12.3f %10.4f\n", sub.name.c_str(), latency,
+                model.share(sub.id).Share(latency));
+  }
+  std::printf("\n%-24s %14s %14s\n", "task", "critical path", "deadline");
+  for (const TaskInfo& task : w.tasks()) {
+    std::printf("%-24s %14.2f %14.1f\n", task.name.c_str(),
+                CriticalPathLatency(w, task.id, engine.latencies()),
+                task.critical_time_ms);
+  }
+  std::printf("\n%-16s %12s %10s\n", "resource", "share sum", "price");
+  const auto report = engine.Feasibility();
+  for (const ResourceInfo& resource : w.resources()) {
+    std::printf("%-16s %9.4f/%.2f %10.2f\n", resource.name.c_str(),
+                report.resource_share_sums[resource.id.value()],
+                resource.capacity, engine.prices().mu[resource.id.value()]);
+  }
+  return run.converged && run.final_feasibility.feasible ? 0 : 1;
+}
+
+int Check(const Workload& w, int iters) {
+  LatencyModel model(w);
+  SchedulabilityConfig config;
+  config.lla.gamma0 = 3.0;
+  config.max_iterations = iters;
+  SchedulabilityTester tester(w, model, config);
+  const SchedulabilityReport report = tester.Test();
+  std::printf("LLA verdict: %s\n  %s\n", ToString(report.verdict),
+              report.explanation.c_str());
+
+  Phase1Solver phase1(w, model);
+  const Phase1Result result = phase1.Solve();
+  std::printf("Phase-I cross-check: %s (max normalized violation %+.4f)\n",
+              result.strictly_feasible ? "strictly feasible point exists"
+                                       : "no interior point found",
+              result.max_violation);
+  return report.verdict == Schedulability::kSchedulable ? 0 : 1;
+}
+
+int Simulate(const Workload& w, double seconds, bool use_sfs) {
+  LatencyModel model(w);
+  LlaConfig config;
+  config.gamma0 = 3.0;
+  LlaEngine engine(w, model, config);
+  const RunResult run = engine.Run(12000);
+  if (!run.final_feasibility.feasible) {
+    std::printf("optimizer did not reach a feasible allocation; refusing to "
+                "simulate\n");
+    return 1;
+  }
+  std::vector<double> shares(w.subtask_count());
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    shares[sub.id.value()] =
+        model.share(sub.id).Share(engine.latencies()[sub.id.value()]);
+  }
+  sim::SimConfig sim_config;
+  sim_config.duration_ms = seconds * 1000.0;
+  if (use_sfs) sim_config.scheduler = sim::SchedulerKind::kSurplusFair;
+  sim::SystemSimulator simulator(w, sim_config);
+  const sim::SimResult result = simulator.Run(shares);
+
+  std::printf("simulated %.1f s under the optimized shares (%s scheduler): "
+              "%llu job sets\n\n",
+              seconds, use_sfs ? "surplus-fair" : "fluid GPS",
+              static_cast<unsigned long long>(result.job_sets_completed));
+  std::printf("%-24s %10s %10s %10s %12s\n", "task", "p50(ms)", "p95(ms)",
+              "p99(ms)", "deadline");
+  for (const TaskInfo& task : w.tasks()) {
+    const auto& q = result.task_latencies[task.id.value()];
+    std::printf("%-24s %10.2f %10.2f %10.2f %12.1f  %s\n",
+                task.name.c_str(), q.Value(0.50), q.Value(0.95),
+                q.Value(0.99), task.critical_time_ms,
+                q.Value(0.99) <= task.critical_time_ms ? "ok" : "MISS");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  if (command == "generate") {
+    RandomWorkloadConfig config;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        config.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
+        config.num_tasks = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--resources") == 0 && i + 1 < argc) {
+        config.num_resources = std::atoi(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    if (config.num_tasks < 1 || config.num_resources < 1) return Usage();
+    auto generated = MakeRandomWorkload(config);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   generated.error().c_str());
+      return 1;
+    }
+    const Status saved = SaveWorkloadToFile(generated.value(), argv[2]);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.error().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu tasks, %zu subtasks, %d resources, "
+                "seed %llu)\n",
+                argv[2], generated.value().task_count(),
+                generated.value().subtask_count(), config.num_resources,
+                static_cast<unsigned long long>(config.seed));
+    return 0;
+  }
+
+  auto workload = Load(argv[2]);
+  if (!workload.ok()) return 1;
+  const Workload& w = workload.value();
+
+  if (command == "describe") return Describe(w);
+
+  if (command == "solve") {
+    UtilityVariant variant = UtilityVariant::kPathWeighted;
+    int iters = 12000;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
+        variant = std::strcmp(argv[++i], "sum") == 0
+                      ? UtilityVariant::kSum
+                      : UtilityVariant::kPathWeighted;
+      } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+        iters = std::atoi(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    if (iters < 1) return Usage();
+    return Solve(w, variant, iters);
+  }
+
+  if (command == "check") {
+    int iters = 2000;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+        iters = std::atoi(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    if (iters < 1) return Usage();
+    return Check(w, iters);
+  }
+
+  if (command == "simulate") {
+    if (argc < 4) return Usage();
+    const double seconds = std::atof(argv[3]);
+    if (seconds <= 0.0) return Usage();
+    bool use_sfs = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--sfs") == 0) {
+        use_sfs = true;
+      } else {
+        return Usage();
+      }
+    }
+    return Simulate(w, seconds, use_sfs);
+  }
+
+  return Usage();
+}
