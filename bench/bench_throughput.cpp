@@ -1,0 +1,258 @@
+// Measures full LLA iterations per second (one Step = latency allocation +
+// price computation + stats) on the large paper and random workloads, for
+// the scalar reference path and the fused StepWorkspace engine across
+// thread counts.  Also writes BENCH_throughput.json so the perf trajectory
+// is machine-readable.
+//
+// The "scalar reference" stepper replicates the pre-StepWorkspace engine:
+// the solver recomputes its box bounds on every evaluation
+// (cache_invariants = false) and every per-step consumer — congestion
+// detection, price update, utility stats, feasibility, convergence — walks
+// the workload independently.  Both paths produce bit-identical
+// trajectories (asserted below), so the speedup is pure constant-factor.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+using namespace lla;
+
+namespace {
+
+// The pre-StepWorkspace LlaEngine::Step(), reassembled from the scalar
+// oracles (kept in the library as the reference path).
+class ScalarReferenceEngine {
+ public:
+  ScalarReferenceEngine(const Workload& workload, const LatencyModel& model,
+                        LlaConfig config)
+      : workload_(&workload),
+        model_(&model),
+        config_(config),
+        solver_(workload, model,
+                [&config] {
+                  LatencySolverConfig solver_config = config.solver;
+                  solver_config.cache_invariants = false;
+                  return solver_config;
+                }()),
+        updater_(workload, model),
+        step_policy_(MakeStepPolicy(config)) {
+    prices_ = PriceVector::Uniform(workload, config.initial_mu,
+                                   config.initial_lambda);
+    latencies_.assign(workload.subtask_count(), 0.0);
+    step_policy_->Reset(workload);
+    solver_.SolveAll(prices_, &latencies_);
+  }
+
+  IterationStats Step() {
+    solver_.SolveAll(prices_, &latencies_);
+    const std::vector<bool> congested =
+        updater_.ResourceCongestion(latencies_);
+    step_policy_->Update(*workload_, congested, &steps_);
+    updater_.Update(latencies_, steps_, &prices_);
+    ++iteration_;
+
+    IterationStats stats;
+    stats.iteration = iteration_;
+    stats.total_utility =
+        TotalUtility(*workload_, latencies_, config_.solver.variant);
+    const FeasibilityReport feasibility =
+        CheckFeasibility(*workload_, *model_, latencies_,
+                         config_.convergence.feasibility_tol);
+    stats.max_resource_excess = feasibility.max_resource_excess;
+    stats.max_path_ratio = feasibility.max_path_ratio;
+    stats.feasible = feasibility.feasible;
+    UpdateConvergence(stats.total_utility);
+    return stats;
+  }
+
+ private:
+  void UpdateConvergence(double utility) {
+    const ConvergenceConfig& conv = config_.convergence;
+    recent_utilities_.push_back(utility);
+    while (static_cast<int>(recent_utilities_.size()) > conv.window) {
+      recent_utilities_.pop_front();
+    }
+    if (static_cast<int>(recent_utilities_.size()) < conv.window) return;
+    double lo = recent_utilities_.front(), hi = recent_utilities_.front();
+    for (double u : recent_utilities_) {
+      lo = std::min(lo, u);
+      hi = std::max(hi, u);
+    }
+    bool settled = (hi - lo) <= conv.rel_tol * std::max(1.0, std::fabs(hi));
+    if (settled && conv.require_complementary_slackness) {
+      double residual = 0.0;
+      for (const ResourceInfo& resource : workload_->resources()) {
+        const double slack =
+            resource.capacity - ResourceShareSum(*workload_, *model_,
+                                                 resource.id, latencies_);
+        residual = std::max(residual,
+                            prices_.mu[resource.id.value()] *
+                                std::max(0.0, slack) / resource.capacity);
+      }
+      for (const PathInfo& path : workload_->paths()) {
+        const double slack = 1.0 - PathLatency(*workload_, path.id,
+                                               latencies_) /
+                                       path.critical_time_ms;
+        residual = std::max(residual, prices_.lambda[path.id.value()] *
+                                          std::max(0.0, slack));
+      }
+      settled = residual <= conv.complementarity_tol;
+    }
+    if (settled && conv.require_feasible) {
+      settled = CheckFeasibility(*workload_, *model_, latencies_,
+                                 conv.feasibility_tol)
+                    .feasible;
+    }
+  }
+
+  const Workload* workload_;
+  const LatencyModel* model_;
+  LlaConfig config_;
+  LatencySolver solver_;
+  PriceUpdater updater_;
+  std::unique_ptr<StepSizePolicy> step_policy_;
+  StepSizes steps_;
+  PriceVector prices_;
+  Assignment latencies_;
+  int iteration_ = 0;
+  std::deque<double> recent_utilities_;
+};
+
+template <typename Stepper>
+double MeasureStepsPerSec(Stepper& stepper, int warmup, int iters) {
+  double last_utility = 0.0;
+  for (int i = 0; i < warmup; ++i) last_utility = stepper.Step().total_utility;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) last_utility = stepper.Step().total_utility;
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  (void)last_utility;
+  return iters / seconds;
+}
+
+struct WorkloadCase {
+  std::string name;
+  const Workload* workload;
+  int warmup;
+  int iters;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "bench_throughput — full LLA iterations per second",
+      "engine hot path (StepWorkspace fusion + invariant caching + "
+      "parallel SolveAll)",
+      "fused >= 2x the scalar reference single-threaded; more with threads "
+      "on multicore hardware");
+
+  auto fig6 = MakeScaledSimWorkload(4, /*scale_critical_times=*/true);
+  if (!fig6.ok()) {
+    std::printf("workload error: %s\n", fig6.error().c_str());
+    return 1;
+  }
+  RandomWorkloadConfig random_config;
+  random_config.seed = 7;
+  random_config.num_resources = 24;
+  random_config.num_tasks = 96;
+  random_config.min_subtasks = 4;
+  random_config.max_subtasks = 8;
+  random_config.target_utilization = 0.7;
+  auto random_workload = MakeRandomWorkload(random_config);
+  if (!random_workload.ok()) {
+    std::printf("workload error: %s\n", random_workload.error().c_str());
+    return 1;
+  }
+
+  const std::vector<WorkloadCase> cases = {
+      {"fig6_12task", &fig6.value(), 500, 20000},
+      {"random_96task", &random_workload.value(), 100, 2000},
+  };
+  const std::vector<int> thread_counts = {1, 2, 4};
+
+  bench::JsonValue results = bench::JsonValue::Array();
+  for (const WorkloadCase& wc : cases) {
+    const Workload& w = *wc.workload;
+    LatencyModel model(w);
+    LlaConfig config = bench::PaperLlaConfig();
+    config.record_history = false;
+
+    std::printf("\n%s: %zu tasks, %zu subtasks, %zu resources, %zu paths\n",
+                wc.name.c_str(), w.task_count(), w.subtask_count(),
+                w.resource_count(), w.path_count());
+
+    // Sanity: the fused engine and the scalar reference must agree exactly.
+    {
+      ScalarReferenceEngine scalar(w, model, config);
+      LlaEngine fused(w, model, config);
+      for (int i = 0; i < 200; ++i) {
+        const double a = scalar.Step().total_utility;
+        const double b = fused.Step().total_utility;
+        if (a != b) {
+          std::printf("MISMATCH at step %d: scalar %.17g fused %.17g\n", i,
+                      a, b);
+          return 1;
+        }
+      }
+    }
+
+    ScalarReferenceEngine scalar(w, model, config);
+    const double scalar_rate =
+        MeasureStepsPerSec(scalar, wc.warmup, wc.iters);
+    std::printf("  %-28s %12.0f steps/sec\n", "scalar reference",
+                scalar_rate);
+
+    bench::JsonValue threads = bench::JsonValue::Array();
+    double fused_serial_rate = 0.0;
+    for (int num_threads : thread_counts) {
+      config.num_threads = num_threads;
+      LlaEngine engine(w, model, config);
+      const double rate = MeasureStepsPerSec(engine, wc.warmup, wc.iters);
+      if (num_threads == 1) fused_serial_rate = rate;
+      std::printf("  fused, num_threads=%-12d %12.0f steps/sec  (%.2fx "
+                  "scalar)\n",
+                  num_threads, rate, rate / scalar_rate);
+      threads.Push(bench::JsonValue::Object()
+                       .Add("num_threads", bench::JsonValue::Number(
+                                               num_threads))
+                       .Add("steps_per_sec", bench::JsonValue::Number(rate)));
+    }
+    config.num_threads = 1;
+
+    results.Push(
+        bench::JsonValue::Object()
+            .Add("workload", bench::JsonValue::String(wc.name))
+            .Add("tasks", bench::JsonValue::Number(
+                              static_cast<double>(w.task_count())))
+            .Add("subtasks", bench::JsonValue::Number(
+                                 static_cast<double>(w.subtask_count())))
+            .Add("scalar_steps_per_sec", bench::JsonValue::Number(scalar_rate))
+            .Add("fused_steps_per_sec",
+                 bench::JsonValue::Number(fused_serial_rate))
+            .Add("single_thread_speedup",
+                 bench::JsonValue::Number(fused_serial_rate / scalar_rate))
+            .Add("threads", std::move(threads)));
+  }
+
+  bench::JsonValue root = bench::JsonValue::Object();
+  root.Add("bench", bench::JsonValue::String("throughput"));
+  root.Add("unit", bench::JsonValue::String("steps_per_sec"));
+  root.Add("results", std::move(results));
+  const std::string json_path = "BENCH_throughput.json";
+  if (bench::WriteJson(json_path, root)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::printf("\nfailed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 // Shared helpers for the paper-reproduction benches: consistent headers and
-// series printing so every bench emits a self-describing report.
+// series printing so every bench emits a self-describing report, plus a
+// minimal JSON value type so benches can also write machine-readable
+// BENCH_*.json artifacts for the perf trajectory.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -64,6 +67,122 @@ inline LlaConfig PaperLlaConfig() {
   config.gamma0 = 4.0;
   config.adaptive_max_multiplier = 8.0;
   return config;
+}
+
+/// Minimal JSON value (number / string / bool / array / object) for the
+/// BENCH_*.json artifacts.  Build with the static factories and the chaining
+/// Add/Push helpers, then serialize with WriteJson.
+struct JsonValue {
+  enum class Kind { kNumber, kString, kBool, kArray, kObject };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string string;
+  bool boolean = false;
+  std::vector<JsonValue> items;                          ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> fields; ///< kObject
+
+  static JsonValue Number(double value) {
+    JsonValue v;
+    v.kind = Kind::kNumber;
+    v.number = value;
+    return v;
+  }
+  static JsonValue String(std::string value) {
+    JsonValue v;
+    v.kind = Kind::kString;
+    v.string = std::move(value);
+    return v;
+  }
+  static JsonValue Bool(bool value) {
+    JsonValue v;
+    v.kind = Kind::kBool;
+    v.boolean = value;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind = Kind::kObject;
+    return v;
+  }
+
+  JsonValue& Add(std::string key, JsonValue value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  JsonValue& Push(JsonValue value) {
+    items.push_back(std::move(value));
+    return *this;
+  }
+};
+
+inline void WriteJsonValue(std::FILE* file, const JsonValue& value,
+                           int indent) {
+  const auto pad = [&](int depth) {
+    for (int i = 0; i < depth; ++i) std::fputs("  ", file);
+  };
+  switch (value.kind) {
+    case JsonValue::Kind::kNumber:
+      std::fprintf(file, "%.17g", value.number);
+      break;
+    case JsonValue::Kind::kBool:
+      std::fputs(value.boolean ? "true" : "false", file);
+      break;
+    case JsonValue::Kind::kString:
+      std::fputc('"', file);
+      for (char c : value.string) {
+        if (c == '"' || c == '\\') std::fputc('\\', file);
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(file, "\\u%04x", c);
+        } else {
+          std::fputc(c, file);
+        }
+      }
+      std::fputc('"', file);
+      break;
+    case JsonValue::Kind::kArray:
+      std::fputc('[', file);
+      for (std::size_t i = 0; i < value.items.size(); ++i) {
+        std::fputs(i == 0 ? "\n" : ",\n", file);
+        pad(indent + 1);
+        WriteJsonValue(file, value.items[i], indent + 1);
+      }
+      if (!value.items.empty()) {
+        std::fputc('\n', file);
+        pad(indent);
+      }
+      std::fputc(']', file);
+      break;
+    case JsonValue::Kind::kObject:
+      std::fputc('{', file);
+      for (std::size_t i = 0; i < value.fields.size(); ++i) {
+        std::fputs(i == 0 ? "\n" : ",\n", file);
+        pad(indent + 1);
+        std::fprintf(file, "\"%s\": ", value.fields[i].first.c_str());
+        WriteJsonValue(file, value.fields[i].second, indent + 1);
+      }
+      if (!value.fields.empty()) {
+        std::fputc('\n', file);
+        pad(indent);
+      }
+      std::fputc('}', file);
+      break;
+  }
+}
+
+/// Writes `value` to `path` (pretty-printed, trailing newline).  Returns
+/// false when the file cannot be opened.
+inline bool WriteJson(const std::string& path, const JsonValue& value) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  WriteJsonValue(file, value, 0);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
 }
 
 }  // namespace lla::bench

@@ -1,0 +1,83 @@
+#include "common/parallel.h"
+
+#include <cassert>
+
+namespace lla {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      body = body_;
+      n = body_n_;
+    }
+    // Worker i runs chunk i + 1; the caller runs chunk 0.
+    const auto [begin, end] = ChunkRange(n, size(), worker_index + 1);
+    if (begin < end) (*body)(begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (workers_.empty() || n == 0) {
+    if (n > 0) body(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(pending_ == 0 && "ParallelFor is not reentrant");
+    body_ = &body;
+    body_n_ = n;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  const auto [begin, end] = ChunkRange(n, size(), 0);
+  if (begin < end) body(begin, end);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+}
+
+void StaticParallelFor(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool == nullptr || pool->size() <= 1) {
+    if (n > 0) body(0, n);
+    return;
+  }
+  pool->ParallelFor(n, body);
+}
+
+}  // namespace lla

@@ -1,0 +1,74 @@
+// A small reusable thread pool with deterministic static partitioning.
+//
+// The LLA iteration decomposes per task (latency allocation) and per
+// resource/path (price sweeps); given the prices those pieces are
+// independent, which is exactly the structure the paper exploits for
+// distribution.  ParallelFor splits [0, n) into size() contiguous chunks —
+// chunk t is [t*n/T, (t+1)*n/T) — so the work-to-chunk mapping depends only
+// on n and the pool size, never on scheduling.  Workers write disjoint
+// output slots and callers reduce per-item results serially in index order,
+// which makes every result bit-identical for any thread count (including
+// the no-pool serial path).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lla {
+
+/// The half-open index range of chunk `index` when [0, n) is split into
+/// `chunks` contiguous pieces (sizes differ by at most one).
+inline std::pair<std::size_t, std::size_t> ChunkRange(std::size_t n,
+                                                      int chunks, int index) {
+  const std::size_t t = static_cast<std::size_t>(chunks);
+  const std::size_t i = static_cast<std::size_t>(index);
+  return {n * i / t, n * (i + 1) / t};
+}
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread is the last
+  /// participant).  `num_threads <= 1` spawns nothing and ParallelFor runs
+  /// serially.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of participants (workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `body(begin, end)` over [0, n) split into size() static chunks;
+  /// blocks until every chunk finishes.  `body` must not throw and chunks
+  /// must only write disjoint state.  Not reentrant.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t body_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+/// ParallelFor through an optional pool: serial (one `body(0, n)` call) when
+/// `pool` is null or single-threaded, so call sites need no branching.
+void StaticParallelFor(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace lla

@@ -28,6 +28,10 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
       solver_(workload, model, config.solver),
       updater_(workload, model),
       step_policy_(MakeStepPolicy(config)) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  workspace_.Resize(workload);
   Reset();
 }
 
@@ -41,13 +45,15 @@ void LlaEngine::Reset() {
   recent_utilities_.clear();
   history_.clear();
   // Start from the price-greedy allocation so latencies_ is always valid.
-  solver_.SolveAll(prices_, &latencies_);
+  solver_.SolveAll(prices_, &latencies_, pool_.get());
 }
 
 void LlaEngine::ClearConvergenceWindow() {
   recent_utilities_.clear();
   converged_ = false;
 }
+
+void LlaEngine::InvalidateModelCache() { solver_.InvalidateModelCache(); }
 
 void LlaEngine::WarmStart(const PriceVector& prices) {
   assert(prices.mu.size() == workload_->resource_count());
@@ -57,36 +63,40 @@ void LlaEngine::WarmStart(const PriceVector& prices) {
   for (double& lambda : prices_.lambda) lambda = std::max(0.0, lambda);
   step_policy_->Reset(*workload_);
   ClearConvergenceWindow();
-  solver_.SolveAll(prices_, &latencies_);
+  solver_.SolveAll(prices_, &latencies_, pool_.get());
 }
 
 IterationStats LlaEngine::Step() {
   // 1. Latency allocation at current prices (every task controller).
-  solver_.SolveAll(prices_, &latencies_);
+  solver_.SolveAll(prices_, &latencies_, pool_.get());
+
+  // One fused evaluation sweep: share sums, path latencies and utility
+  // aggregates land in the workspace; everything below reads the arrays.
+  FillStepWorkspace(*workload_, *model_, latencies_, config_.solver.variant,
+                    config_.convergence.feasibility_tol, pool_.get(),
+                    &workspace_);
 
   // 2. Price computation: congestion feedback chooses the step sizes, then
   //    gradient projection moves the prices.
-  const std::vector<bool> congested = updater_.ResourceCongestion(latencies_);
-  step_policy_->Update(*workload_, congested, &steps_);
-  updater_.Update(latencies_, steps_, &prices_);
+  step_policy_->Update(*workload_, workspace_.resource_congested, &steps_);
+  updater_.Update(workspace_.resource_share_sums, workspace_.path_latencies,
+                  steps_, &prices_);
 
   ++iteration_;
 
   IterationStats stats;
   stats.iteration = iteration_;
-  stats.total_utility =
-      TotalUtility(*workload_, latencies_, config_.solver.variant);
-  const FeasibilityReport feasibility = Feasibility();
-  stats.max_resource_excess = feasibility.max_resource_excess;
-  stats.max_path_ratio = feasibility.max_path_ratio;
-  stats.feasible = feasibility.feasible;
+  stats.total_utility = workspace_.total_utility;
+  stats.max_resource_excess = workspace_.feasibility.max_resource_excess;
+  stats.max_path_ratio = workspace_.feasibility.max_path_ratio;
+  stats.feasible = workspace_.feasibility.feasible;
   if (config_.record_history) history_.push_back(stats);
 
   UpdateConvergence(stats.total_utility, stats.feasible);
   return stats;
 }
 
-void LlaEngine::UpdateConvergence(double utility, bool /*feasible*/) {
+void LlaEngine::UpdateConvergence(double utility, bool feasible) {
   const ConvergenceConfig& conv = config_.convergence;
   recent_utilities_.push_back(utility);
   while (static_cast<int>(recent_utilities_.size()) > conv.window) {
@@ -103,29 +113,26 @@ void LlaEngine::UpdateConvergence(double utility, bool /*feasible*/) {
   bool settled = spread <= conv.rel_tol * scale;
   if (settled && conv.require_complementary_slackness) {
     // At a dual fixed point every constraint is tight or its price ~0.
+    // The workspace holds this step's share sums / path latencies.
     double residual = 0.0;
     for (const ResourceInfo& resource : workload_->resources()) {
       const double slack =
-          resource.capacity - ResourceShareSum(*workload_, *model_,
-                                               resource.id, latencies_);
+          resource.capacity -
+          workspace_.resource_share_sums[resource.id.value()];
       residual = std::max(residual,
                           prices_.mu[resource.id.value()] *
                               std::max(0.0, slack) / resource.capacity);
     }
     for (const PathInfo& path : workload_->paths()) {
-      const double slack =
-          1.0 - PathLatency(*workload_, path.id, latencies_) /
-                    path.critical_time_ms;
+      const double slack = 1.0 - workspace_.path_latencies[path.id.value()] /
+                                     path.critical_time_ms;
       residual = std::max(residual, prices_.lambda[path.id.value()] *
                                         std::max(0.0, slack));
     }
     settled = residual <= conv.complementarity_tol;
   }
   if (settled && conv.require_feasible) {
-    const FeasibilityReport report =
-        CheckFeasibility(*workload_, *model_, latencies_,
-                         conv.feasibility_tol);
-    settled = report.feasible;
+    settled = feasible;
   }
   converged_ = settled;
 }

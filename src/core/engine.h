@@ -7,21 +7,35 @@
 //      prices by gradient projection (PriceUpdater), with step sizes chosen
 //      by the configured policy.
 //
+// Between the half-steps the engine fills a StepWorkspace once — resource
+// share sums, path latencies, task utility aggregates — and every per-step
+// consumer (congestion detection, price update, iteration stats,
+// feasibility, complementary slackness) reads those arrays instead of
+// re-walking the workload.  The workspace buffers are reused, so the
+// steady-state iteration is allocation-free.  With num_threads > 1 the
+// per-task solves and the evaluation sweeps fan out across a thread pool
+// with static partitioning; results are bit-identical for any thread count.
+//
 // The engine is the single-process reference implementation used by the
 // simulation experiments (Secs. 5.2-5.4); the message-passing deployment of
-// the same iteration lives in src/runtime.  The LatencyModel is read through
-// a const reference each step, so online error correction applied between
-// steps (Sec. 6.3) is picked up automatically.
+// the same iteration lives in src/runtime.  Online error correction applied
+// between steps (Sec. 6.3) is picked up automatically: the solver's cached
+// model invariants are keyed to LatencyModel::revision().  Call
+// InvalidateModelCache() only when a share function object was mutated in
+// place (a replacement via SetShareFunction/SetAdditiveError bumps the
+// revision by itself).
 #pragma once
 
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/latency_solver.h"
 #include "core/price_update.h"
 #include "core/prices.h"
 #include "core/step_size.h"
+#include "core/step_workspace.h"
 #include "model/evaluation.h"
 #include "model/latency_model.h"
 #include "model/workload.h"
@@ -58,6 +72,10 @@ struct LlaConfig {
   ConvergenceConfig convergence;
   /// Record per-iteration stats (utility traces for the figures).
   bool record_history = true;
+  /// Threads for the per-task solves and the evaluation sweeps.  1 (the
+  /// default) runs serially with no pool; any value produces bit-identical
+  /// results (static partitioning, serial reductions).
+  int num_threads = 1;
 };
 
 /// Per-iteration diagnostics (the quantities Figures 5-7 plot).
@@ -98,6 +116,11 @@ class LlaEngine {
   /// price state instead of reporting stale convergence).
   void ClearConvergenceWindow();
 
+  /// Drops the solver's cached model invariants (box bounds, share
+  /// pointers).  Needed only when a share function was mutated in place;
+  /// replacing one through the LatencyModel is detected automatically.
+  void InvalidateModelCache();
+
   /// Seeds the dual state from a previous run (typically on a transformed
   /// workload with the same structure: after a capacity or critical-time
   /// change the old prices are near the new optimum and re-convergence is
@@ -127,9 +150,11 @@ class LlaEngine {
   LatencySolver solver_;
   PriceUpdater updater_;
   std::unique_ptr<StepSizePolicy> step_policy_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads <= 1
   StepSizes steps_;
   PriceVector prices_;
   Assignment latencies_;
+  StepWorkspace workspace_;
   int iteration_ = 0;
   bool converged_ = false;
   std::deque<double> recent_utilities_;

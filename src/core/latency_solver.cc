@@ -13,9 +13,18 @@ LatencySolver::LatencySolver(const Workload& workload,
                              LatencySolverConfig config)
     : workload_(&workload), model_(&model), config_(config) {
   assert(config.lat_cap_factor >= 1.0);
+  const std::size_t n = workload.subtask_count();
+  weight_.reserve(n);
+  path_offset_.reserve(n + 1);
+  path_offset_.push_back(0);
+  for (const SubtaskInfo& sub : workload.subtasks()) {
+    weight_.push_back(workload.Weight(sub.id, config_.variant));
+    for (PathId pid : sub.paths) path_index_.push_back(pid.value());
+    path_offset_.push_back(path_index_.size());
+  }
 }
 
-double LatencySolver::LatLo(SubtaskId id) const {
+double LatencySolver::ComputeLatLo(SubtaskId id) const {
   const SubtaskInfo& sub = workload_->subtask(id);
   const ShareFunction& share = model_->share(id);
   const double cap = workload_->resource(sub.resource).capacity;
@@ -26,27 +35,63 @@ double LatencySolver::LatLo(SubtaskId id) const {
   return std::max(share.LatencyForShare(cap), floor);
 }
 
-double LatencySolver::LatHi(SubtaskId id) const {
+double LatencySolver::ComputeLatHi(SubtaskId id) const {
   const SubtaskInfo& sub = workload_->subtask(id);
   const ShareFunction& share = model_->share(id);
   const double critical_time =
       workload_->task(sub.task).critical_time_ms;
   double hi = sub.min_share > 0.0 ? share.LatencyForShare(sub.min_share)
                                   : config_.lat_cap_factor * critical_time;
-  return std::max(hi, LatLo(id));
+  return std::max(hi, ComputeLatLo(id));
+}
+
+void LatencySolver::EnsureCacheFresh() const {
+  if (!config_.cache_invariants) return;
+  if (cache_valid_ && cached_revision_ == model_->revision()) return;
+  const std::size_t n = workload_->subtask_count();
+  lat_lo_.resize(n);
+  lat_hi_.resize(n);
+  share_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const SubtaskId id(s);
+    lat_lo_[s] = ComputeLatLo(id);
+    lat_hi_[s] = ComputeLatHi(id);
+    share_[s] = &model_->share(id);
+  }
+  cached_revision_ = model_->revision();
+  cache_valid_ = true;
+}
+
+void LatencySolver::InvalidateModelCache() { cache_valid_ = false; }
+
+double LatencySolver::LatLo(SubtaskId id) const {
+  if (!config_.cache_invariants) return ComputeLatLo(id);
+  EnsureCacheFresh();
+  return lat_lo_[id.value()];
+}
+
+double LatencySolver::LatHi(SubtaskId id) const {
+  if (!config_.cache_invariants) return ComputeLatHi(id);
+  EnsureCacheFresh();
+  return lat_hi_[id.value()];
 }
 
 double LatencySolver::SolveSubtask(SubtaskId id, double utility_slope,
                                    const PriceVector& prices) const {
-  const SubtaskInfo& sub = workload_->subtask(id);
-  const ShareFunction& share = model_->share(id);
-  const double lo = LatLo(id);
-  const double hi = LatHi(id);
+  const std::size_t s = id.value();
+  const bool cached = config_.cache_invariants;
+  const ShareFunction& share = cached ? *share_[s] : model_->share(id);
+  const double lo = cached ? lat_lo_[s] : ComputeLatLo(id);
+  const double hi = cached ? lat_hi_[s] : ComputeLatHi(id);
   if (lo >= hi) return lo;
 
-  const double w = workload_->Weight(id, config_.variant);
-  const double lambda_sum = prices.PathPriceSum(*workload_, id);
-  const double mu = prices.mu[sub.resource.value()];
+  const double w = weight_[s];
+  double lambda_sum = 0.0;
+  for (std::size_t i = path_offset_[s]; i < path_offset_[s + 1]; ++i) {
+    lambda_sum += prices.lambda[path_index_[i]];
+  }
+  const double mu =
+      prices.mu[workload_->subtask(id).resource.value()];
 
   // Marginal benefit of shrinking this latency (>= 0 since f' <= 0).
   const double pressure = lambda_sum - w * utility_slope;
@@ -64,18 +109,19 @@ double LatencySolver::SolveSubtask(SubtaskId id, double utility_slope,
   return share.LatencyForNegSlope(pressure / mu, lo, hi);
 }
 
-void LatencySolver::SolveTask(TaskId task, const PriceVector& prices,
-                              Assignment* latencies) const {
+void LatencySolver::SolveTaskFresh(TaskId task, const PriceVector& prices,
+                                   Assignment* latencies) const {
   assert(latencies->size() == workload_->subtask_count());
   const TaskInfo& info = workload_->task(task);
   const UtilityFunction& f = *info.utility;
+  const bool cached = config_.cache_invariants;
 
   // Bracket the coupling value X = sum of weighted latencies.
   double x_lo = 0.0, x_hi = 0.0;
   for (SubtaskId sid : info.subtasks) {
-    const double w = workload_->Weight(sid, config_.variant);
-    x_lo += w * LatLo(sid);
-    x_hi += w * LatHi(sid);
+    const std::size_t s = sid.value();
+    x_lo += weight_[s] * (cached ? lat_lo_[s] : ComputeLatLo(sid));
+    x_hi += weight_[s] * (cached ? lat_hi_[s] : ComputeLatHi(sid));
   }
 
   // If f' is (numerically) constant over the bracket — the linear case —
@@ -91,8 +137,7 @@ void LatencySolver::SolveTask(TaskId task, const PriceVector& prices,
       const double fx = f.Derivative(x);
       double sum = 0.0;
       for (SubtaskId sid : info.subtasks) {
-        sum += workload_->Weight(sid, config_.variant) *
-               SolveSubtask(sid, fx, prices);
+        sum += weight_[sid.value()] * SolveSubtask(sid, fx, prices);
       }
       return sum;
     };
@@ -119,12 +164,24 @@ void LatencySolver::SolveTask(TaskId task, const PriceVector& prices,
   }
 }
 
-void LatencySolver::SolveAll(const PriceVector& prices,
-                             Assignment* latencies) const {
+void LatencySolver::SolveTask(TaskId task, const PriceVector& prices,
+                              Assignment* latencies) const {
+  EnsureCacheFresh();
+  SolveTaskFresh(task, prices, latencies);
+}
+
+void LatencySolver::SolveAll(const PriceVector& prices, Assignment* latencies,
+                             ThreadPool* pool) const {
   assert(latencies->size() == workload_->subtask_count());
-  for (const TaskInfo& task : workload_->tasks()) {
-    SolveTask(task.id, prices, latencies);
-  }
+  // Refresh serially before fanning out; workers then only read the cache.
+  EnsureCacheFresh();
+  const std::vector<TaskInfo>& tasks = workload_->tasks();
+  StaticParallelFor(pool, tasks.size(),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t t = begin; t < end; ++t) {
+                        SolveTaskFresh(tasks[t].id, prices, latencies);
+                      }
+                    });
 }
 
 }  // namespace lla

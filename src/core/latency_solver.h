@@ -17,10 +17,23 @@
 //   lat_lo: share may not exceed the resource capacity B_r;
 //   lat_hi: share may not drop below the sustainable minimum (min_share),
 //           else a configurable multiple of the critical time.
+//
+// The bounds, variant weights and the subtask->path price index depend only
+// on the workload, the model and the config, not on the prices, so the
+// solver caches them in flat arrays (the bisection's h(x) used to recompute
+// the bounds on every evaluation).  The cache is keyed to
+// LatencyModel::revision(), so replacing a share function (online error
+// correction, Sec. 6.3) is picked up on the next solve automatically;
+// InvalidateModelCache() covers share objects mutated in place, which no
+// revision bump can observe.  SolveAll optionally fans the independent
+// per-task solves out across a thread pool; tasks write disjoint latency
+// slots, so results are bit-identical for any thread count.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/prices.h"
 #include "model/evaluation.h"
 #include "model/latency_model.h"
@@ -35,12 +48,18 @@ struct LatencySolverConfig {
   /// Tolerance/iteration cap for the per-task fixed point (nonlinear f_i).
   double fixed_point_tol = 1e-10;
   int fixed_point_max_iter = 200;
+  /// Disables the per-subtask invariant cache: bounds, weights and path
+  /// price sums are recomputed on every evaluation, as the pre-workspace
+  /// solver did.  Reference/bench mode only — results are bit-identical
+  /// either way.
+  bool cache_invariants = true;
 };
 
 class LatencySolver {
  public:
   /// Both `workload` and `model` must outlive the solver.  The model is
-  /// consulted on every solve, so online corrections apply immediately.
+  /// consulted through a revision-checked cache, so online corrections
+  /// (which replace share functions) still apply on the next solve.
   LatencySolver(const Workload& workload, const LatencyModel& model,
                 LatencySolverConfig config = {});
 
@@ -50,23 +69,54 @@ class LatencySolver {
   void SolveTask(TaskId task, const PriceVector& prices,
                  Assignment* latencies) const;
 
-  /// SolveTask for every task.
-  void SolveAll(const PriceVector& prices, Assignment* latencies) const;
+  /// SolveTask for every task; with a pool the independent per-task solves
+  /// run in parallel (static partitioning, bit-identical results).
+  void SolveAll(const PriceVector& prices, Assignment* latencies,
+                ThreadPool* pool = nullptr) const;
 
   /// Clamping bounds for a subtask's latency.
   double LatLo(SubtaskId id) const;
   double LatHi(SubtaskId id) const;
 
+  /// Drops the cached per-subtask model invariants so the next solve
+  /// rebuilds them.  Share-function *replacements* are detected via
+  /// LatencyModel::revision() without this call; use it after mutating a
+  /// share object in place.
+  void InvalidateModelCache();
+
   const LatencySolverConfig& config() const { return config_; }
 
  private:
+  /// Rebuilds the cache if the model revision moved (serial; call before
+  /// entering any parallel region).
+  void EnsureCacheFresh() const;
+
+  /// Uncached bound computations (the cache builder and reference path).
+  double ComputeLatLo(SubtaskId id) const;
+  double ComputeLatHi(SubtaskId id) const;
+
   /// lat_s given the utility slope f_i'(X) at the coupling value X.
   double SolveSubtask(SubtaskId id, double utility_slope,
                       const PriceVector& prices) const;
+  /// SolveTask body, assuming the cache is fresh.
+  void SolveTaskFresh(TaskId task, const PriceVector& prices,
+                      Assignment* latencies) const;
 
   const Workload* workload_;
   const LatencyModel* model_;
   LatencySolverConfig config_;
+
+  // Workload/config invariants (built once in the constructor).
+  std::vector<double> weight_;           ///< w_s under config_.variant
+  std::vector<std::size_t> path_offset_; ///< CSR offsets, subtask -> paths
+  std::vector<std::size_t> path_index_;  ///< CSR values: global PathId values
+
+  // Model-derived invariants, rebuilt when the model revision moves.
+  mutable std::uint64_t cached_revision_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable std::vector<double> lat_lo_;
+  mutable std::vector<double> lat_hi_;
+  mutable std::vector<const ShareFunction*> share_;
 };
 
 }  // namespace lla

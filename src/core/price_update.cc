@@ -42,15 +42,41 @@ void PriceUpdater::Update(const Assignment& latencies, const StepSizes& steps,
   UpdatePathPrices(latencies, steps, prices);
 }
 
+void PriceUpdater::Update(const std::vector<double>& resource_share_sums,
+                          const std::vector<double>& path_latencies,
+                          const StepSizes& steps, PriceVector* prices) const {
+  assert(resource_share_sums.size() == workload_->resource_count());
+  assert(path_latencies.size() == workload_->path_count());
+  assert(steps.resource.size() == workload_->resource_count());
+  assert(steps.path.size() == workload_->path_count());
+  for (const ResourceInfo& resource : workload_->resources()) {
+    const std::size_t r = resource.id.value();
+    const double slack = resource.capacity - resource_share_sums[r];
+    prices->mu[r] = std::max(0.0, prices->mu[r] - steps.resource[r] * slack);
+  }
+  for (const PathInfo& path : workload_->paths()) {
+    const std::size_t p = path.id.value();
+    const double slack = 1.0 - path_latencies[p] / path.critical_time_ms;
+    prices->lambda[p] =
+        std::max(0.0, prices->lambda[p] - steps.path[p] * slack);
+  }
+}
+
 std::vector<bool> PriceUpdater::ResourceCongestion(
     const Assignment& latencies) const {
-  std::vector<bool> congested(workload_->resource_count(), false);
+  std::vector<bool> congested;
+  ResourceCongestion(latencies, &congested);
+  return congested;
+}
+
+void PriceUpdater::ResourceCongestion(const Assignment& latencies,
+                                      std::vector<bool>* congested) const {
+  congested->resize(workload_->resource_count());
   for (const ResourceInfo& resource : workload_->resources()) {
     const double share_sum =
         ResourceShareSum(*workload_, *model_, resource.id, latencies);
-    congested[resource.id.value()] = share_sum > resource.capacity;
+    (*congested)[resource.id.value()] = share_sum > resource.capacity;
   }
-  return congested;
 }
 
 }  // namespace lla

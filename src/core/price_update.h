@@ -5,6 +5,12 @@
 //
 // Prices rise while their constraint is violated and decay toward zero when
 // it is slack; the projection at zero keeps them dual-feasible.
+//
+// Each update exists in two forms: the scalar form recomputes the share
+// sums / path latencies from the assignment (reference oracle), and the
+// array form consumes sums already computed into a StepWorkspace so the
+// per-iteration sweep over the workload happens exactly once.  Both produce
+// bit-identical prices.
 #pragma once
 
 #include <vector>
@@ -29,13 +35,24 @@ class PriceUpdater {
   void UpdatePathPrices(const Assignment& latencies, const StepSizes& steps,
                         PriceVector* prices) const;
 
-  /// Both updates.
+  /// Both updates (scalar form: re-evaluates the workload).
   void Update(const Assignment& latencies, const StepSizes& steps,
               PriceVector* prices) const;
+
+  /// Both updates from precomputed per-resource share sums and per-path
+  /// latencies (as filled by FillStepWorkspace) — no workload re-walk.
+  void Update(const std::vector<double>& resource_share_sums,
+              const std::vector<double>& path_latencies,
+              const StepSizes& steps, PriceVector* prices) const;
 
   /// True for every resource whose share sum exceeds its capacity at the
   /// given latencies (the congestion signal the adaptive policy consumes).
   std::vector<bool> ResourceCongestion(const Assignment& latencies) const;
+
+  /// Allocation-free variant: writes into `congested` (resized to
+  /// resource_count); reuse the buffer across iterations.
+  void ResourceCongestion(const Assignment& latencies,
+                          std::vector<bool>* congested) const;
 
  private:
   const Workload* workload_;

@@ -1,0 +1,41 @@
+#include "core/step_workspace.h"
+
+#include <cassert>
+
+namespace lla {
+
+void StepWorkspace::Resize(const Workload& workload) {
+  resource_share_sums.resize(workload.resource_count());
+  path_latencies.resize(workload.path_count());
+  task_weighted_latencies.resize(workload.task_count());
+  task_utilities.resize(workload.task_count());
+  resource_congested.resize(workload.resource_count());
+}
+
+void FillStepWorkspace(const Workload& workload, const LatencyModel& model,
+                       const Assignment& latencies, UtilityVariant variant,
+                       double feasibility_tol, ThreadPool* pool,
+                       StepWorkspace* workspace) {
+  assert(latencies.size() == workload.subtask_count());
+  FillResourceShareSums(workload, model, latencies,
+                        &workspace->resource_share_sums, pool);
+  FillPathLatencies(workload, latencies, &workspace->path_latencies, pool);
+  FillTaskAggregates(workload, latencies, variant,
+                     &workspace->task_weighted_latencies,
+                     &workspace->task_utilities, pool);
+
+  // Serial reductions in index order: identical for every thread count.
+  const std::vector<ResourceInfo>& resources = workload.resources();
+  for (std::size_t r = 0; r < resources.size(); ++r) {
+    workspace->resource_congested[r] =
+        workspace->resource_share_sums[r] > resources[r].capacity;
+  }
+  double total = 0.0;
+  for (double utility : workspace->task_utilities) total += utility;
+  workspace->total_utility = total;
+  workspace->feasibility =
+      SummarizeFeasibility(workload, workspace->resource_share_sums,
+                           workspace->path_latencies, feasibility_tol);
+}
+
+}  // namespace lla

@@ -80,4 +80,114 @@ FeasibilityReport CheckFeasibility(const Workload& workload,
   return report;
 }
 
+void FillResourceShareSums(const Workload& workload, const LatencyModel& model,
+                           const Assignment& latencies,
+                           std::vector<double>* sums, ThreadPool* pool) {
+  assert(latencies.size() == workload.subtask_count());
+  sums->resize(workload.resource_count());
+  const std::vector<ResourceInfo>& resources = workload.resources();
+  StaticParallelFor(pool, resources.size(),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t r = begin; r < end; ++r) {
+                        double sum = 0.0;
+                        for (SubtaskId sid : resources[r].subtasks) {
+                          sum += model.share(sid).Share(latencies[sid.value()]);
+                        }
+                        (*sums)[r] = sum;
+                      }
+                    });
+}
+
+void FillPathLatencies(const Workload& workload, const Assignment& latencies,
+                       std::vector<double>* latencies_out, ThreadPool* pool) {
+  assert(latencies.size() == workload.subtask_count());
+  latencies_out->resize(workload.path_count());
+  const std::vector<PathInfo>& paths = workload.paths();
+  StaticParallelFor(pool, paths.size(),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t p = begin; p < end; ++p) {
+                        double sum = 0.0;
+                        for (SubtaskId sid : paths[p].subtasks) {
+                          sum += latencies[sid.value()];
+                        }
+                        (*latencies_out)[p] = sum;
+                      }
+                    });
+}
+
+void FillTaskAggregates(const Workload& workload, const Assignment& latencies,
+                        UtilityVariant variant,
+                        std::vector<double>* weighted_latencies,
+                        std::vector<double>* utilities, ThreadPool* pool) {
+  assert(latencies.size() == workload.subtask_count());
+  weighted_latencies->resize(workload.task_count());
+  utilities->resize(workload.task_count());
+  const std::vector<TaskInfo>& tasks = workload.tasks();
+  StaticParallelFor(
+      pool, tasks.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) {
+          double weighted = 0.0;
+          for (SubtaskId sid : tasks[t].subtasks) {
+            weighted += workload.Weight(sid, variant) * latencies[sid.value()];
+          }
+          (*weighted_latencies)[t] = weighted;
+          (*utilities)[t] = tasks[t].utility->Value(weighted);
+        }
+      });
+}
+
+FeasibilitySummary SummarizeFeasibility(
+    const Workload& workload, const std::vector<double>& resource_share_sums,
+    const std::vector<double>& path_latencies, double tolerance) {
+  assert(resource_share_sums.size() == workload.resource_count());
+  assert(path_latencies.size() == workload.path_count());
+  FeasibilitySummary summary;
+  for (const ResourceInfo& resource : workload.resources()) {
+    const double excess =
+        resource_share_sums[resource.id.value()] - resource.capacity;
+    summary.max_resource_excess =
+        std::max(summary.max_resource_excess, excess);
+    if (excess > tolerance * resource.capacity) summary.feasible = false;
+  }
+  for (const TaskInfo& task : workload.tasks()) {
+    double crit = 0.0;
+    for (PathId pid : task.paths) {
+      crit = std::max(crit, path_latencies[pid.value()]);
+    }
+    const double ratio = crit / task.critical_time_ms;
+    summary.max_path_ratio = std::max(summary.max_path_ratio, ratio);
+    if (ratio > 1.0 + tolerance) summary.feasible = false;
+  }
+  summary.max_resource_excess = std::max(summary.max_resource_excess, 0.0);
+  return summary;
+}
+
+FeasibilityReport FeasibilityFromArrays(
+    const Workload& workload, const std::vector<double>& resource_share_sums,
+    const std::vector<double>& path_latencies, double tolerance) {
+  assert(resource_share_sums.size() == workload.resource_count());
+  assert(path_latencies.size() == workload.path_count());
+  FeasibilityReport report;
+  report.resource_share_sums = resource_share_sums;
+  for (const ResourceInfo& resource : workload.resources()) {
+    const double excess =
+        resource_share_sums[resource.id.value()] - resource.capacity;
+    report.max_resource_excess = std::max(report.max_resource_excess, excess);
+    if (excess > tolerance * resource.capacity) report.feasible = false;
+  }
+  report.critical_paths.reserve(workload.task_count());
+  for (const TaskInfo& task : workload.tasks()) {
+    double crit = 0.0;
+    for (PathId pid : task.paths) {
+      crit = std::max(crit, path_latencies[pid.value()]);
+    }
+    report.critical_paths.push_back(crit);
+    const double ratio = crit / task.critical_time_ms;
+    report.max_path_ratio = std::max(report.max_path_ratio, ratio);
+    if (ratio > 1.0 + tolerance) report.feasible = false;
+  }
+  report.max_resource_excess = std::max(report.max_resource_excess, 0.0);
+  return report;
+}
+
 }  // namespace lla

@@ -4,11 +4,21 @@
 // These are the quantities in the paper's objective (Eq. 2) and constraints
 // (Eqs. 3-4), and the diagnostics its figures plot (total utility, per-
 // resource share sums, critical-path-to-critical-time ratios).
+//
+// Two forms are provided.  The scalar helpers (ResourceShareSum,
+// PathLatency, ...) evaluate one resource/path/task at a time and are the
+// reference oracles.  The Fill* variants evaluate everything into
+// caller-owned flat arrays in one sweep — no allocation in steady state and
+// each quantity computed exactly once per iteration — and the *FromArrays
+// helpers derive feasibility from those arrays instead of re-walking the
+// workload.  Every Fill*/FromArrays result is bit-identical to the scalar
+// oracle (same iteration order, same arithmetic), for any thread count.
 #pragma once
 
 #include <vector>
 
 #include "common/ids.h"
+#include "common/parallel.h"
 #include "model/latency_model.h"
 #include "model/workload.h"
 
@@ -58,5 +68,47 @@ FeasibilityReport CheckFeasibility(const Workload& workload,
                                    const LatencyModel& model,
                                    const Assignment& latencies,
                                    double tolerance = 1e-6);
+
+/// ResourceShareSum for every resource into `sums` (resized to
+/// resource_count; reuse the buffer to stay allocation-free).  With a pool
+/// the sweep is split over resources.
+void FillResourceShareSums(const Workload& workload, const LatencyModel& model,
+                           const Assignment& latencies,
+                           std::vector<double>* sums,
+                           ThreadPool* pool = nullptr);
+
+/// PathLatency for every path into `latencies_out` (resized to path_count).
+void FillPathLatencies(const Workload& workload, const Assignment& latencies,
+                       std::vector<double>* latencies_out,
+                       ThreadPool* pool = nullptr);
+
+/// Per-task latency aggregate X_i (the weighted subtask sum f_i is applied
+/// to) and utility f_i(X_i), both indexed by TaskId.  TotalUtility is the
+/// serial sum of `utilities` in task order.
+void FillTaskAggregates(const Workload& workload, const Assignment& latencies,
+                        UtilityVariant variant,
+                        std::vector<double>* weighted_latencies,
+                        std::vector<double>* utilities,
+                        ThreadPool* pool = nullptr);
+
+/// The three FeasibilityReport scalars without the per-resource/per-task
+/// vectors — the per-iteration form (no allocation).
+struct FeasibilitySummary {
+  bool feasible = true;
+  double max_resource_excess = 0.0;
+  double max_path_ratio = 0.0;
+};
+
+/// CheckFeasibility's verdict from already-computed share sums and path
+/// latencies (as filled by FillResourceShareSums / FillPathLatencies).
+FeasibilitySummary SummarizeFeasibility(
+    const Workload& workload, const std::vector<double>& resource_share_sums,
+    const std::vector<double>& path_latencies, double tolerance = 1e-6);
+
+/// Full CheckFeasibility report from the same arrays (for callers that need
+/// the per-resource/per-task vectors, e.g. the distributed coordinator).
+FeasibilityReport FeasibilityFromArrays(
+    const Workload& workload, const std::vector<double>& resource_share_sums,
+    const std::vector<double>& path_latencies, double tolerance = 1e-6);
 
 }  // namespace lla

@@ -16,6 +16,7 @@ void LatencyModel::SetShareFunction(SubtaskId id, SharePtr share) {
   assert(share != nullptr);
   assert(id.value() < shares_.size());
   shares_[id.value()] = std::move(share);
+  ++revision_;
 }
 
 void LatencyModel::SetAdditiveError(SubtaskId id, double error_ms) {
@@ -24,6 +25,7 @@ void LatencyModel::SetAdditiveError(SubtaskId id, double error_ms) {
   const double lag = workload_->resource(sub.resource).lag_ms;
   shares_[id.value()] =
       std::make_shared<CorrectedWcetLagShare>(sub.wcet_ms, lag, error_ms);
+  ++revision_;
 }
 
 double LatencyModel::AdditiveError(SubtaskId id) const {

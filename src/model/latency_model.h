@@ -7,6 +7,7 @@
 // improvements take effect on the next iteration.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -37,9 +38,16 @@ class LatencyModel {
 
   std::size_t size() const { return shares_.size(); }
 
+  /// Bumped every time a share function is replaced.  Consumers that cache
+  /// model-derived invariants (LatencySolver's box bounds) compare this to
+  /// their cached value and rebuild on mismatch, so online corrections keep
+  /// taking effect on the next solve without an explicit invalidation call.
+  std::uint64_t revision() const { return revision_; }
+
  private:
   const Workload* workload_;
   std::vector<SharePtr> shares_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace lla

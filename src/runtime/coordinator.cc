@@ -148,15 +148,24 @@ void Coordinator::RunAsync(double duration_ms) {
   bus_->RunUntil(bus_->now_ms() + duration_ms);
 }
 
-Assignment Coordinator::CurrentAssignment() const {
-  Assignment latencies(workload_->subtask_count(), 0.0);
+void Coordinator::CollectAssignment(Assignment* latencies) const {
+  latencies->resize(workload_->subtask_count());
   for (const TaskInfo& task : workload_->tasks()) {
     const auto& local = controllers_[task.id.value()]->latencies();
     for (std::size_t i = 0; i < task.subtasks.size(); ++i) {
-      latencies[task.subtasks[i].value()] = local[i];
+      (*latencies)[task.subtasks[i].value()] = local[i];
     }
   }
+}
+
+Assignment Coordinator::CurrentAssignment() const {
+  Assignment latencies;
+  CollectAssignment(&latencies);
   return latencies;
+}
+
+void Coordinator::InvalidateModelCache() {
+  for (auto& controller : controllers_) controller->InvalidateModelCache();
 }
 
 double Coordinator::CurrentUtility() const {
@@ -170,26 +179,36 @@ FeasibilityReport Coordinator::CurrentFeasibility() const {
 }
 
 void Coordinator::RecordSample(double at_ms) {
-  const Assignment latencies = CurrentAssignment();
-  const double utility =
-      TotalUtility(*workload_, latencies, config_.solver.variant);
-  const FeasibilityReport report = CheckFeasibility(
-      *workload_, *model_, latencies, config_.convergence.feasibility_tol);
+  // One fused evaluation sweep into reused buffers (same arrays the engine's
+  // StepWorkspace uses), instead of re-walking the workload per quantity.
+  CollectAssignment(&scratch_assignment_);
+  FillResourceShareSums(*workload_, *model_, scratch_assignment_,
+                        &scratch_share_sums_);
+  FillPathLatencies(*workload_, scratch_assignment_,
+                    &scratch_path_latencies_);
+  FillTaskAggregates(*workload_, scratch_assignment_, config_.solver.variant,
+                     &scratch_task_weighted_, &scratch_task_utilities_);
+  double utility = 0.0;
+  for (double task_utility : scratch_task_utilities_) utility += task_utility;
+  const FeasibilitySummary summary =
+      SummarizeFeasibility(*workload_, scratch_share_sums_,
+                           scratch_path_latencies_,
+                           config_.convergence.feasibility_tol);
   if (config_.record_history) {
     RoundStats stats;
     stats.round = round_;
     stats.at_ms = at_ms;
     stats.total_utility = utility;
-    stats.max_resource_excess = report.max_resource_excess;
-    stats.max_path_ratio = report.max_path_ratio;
-    stats.feasible = report.feasible;
+    stats.max_resource_excess = summary.max_resource_excess;
+    stats.max_path_ratio = summary.max_path_ratio;
+    stats.feasible = summary.feasible;
     history_.push_back(std::move(stats));
   }
-  UpdateConvergence(utility);
+  UpdateConvergence(utility, summary.feasible);
   MaybeEnact(at_ms);
 }
 
-void Coordinator::UpdateConvergence(double utility) {
+void Coordinator::UpdateConvergence(double utility, bool feasible) {
   const ConvergenceConfig& conv = config_.convergence;
   recent_utilities_.push_back(utility);
   while (static_cast<int>(recent_utilities_.size()) > conv.window) {
@@ -205,7 +224,7 @@ void Coordinator::UpdateConvergence(double utility) {
   const double scale = std::max(1.0, std::fabs(*max_it));
   bool settled = spread <= conv.rel_tol * scale;
   if (settled && conv.require_feasible) {
-    settled = CurrentFeasibility().feasible;
+    settled = feasible;
   }
   converged_ = settled;
 }

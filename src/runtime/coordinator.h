@@ -91,6 +91,11 @@ class Coordinator {
   FeasibilityReport CurrentFeasibility() const;
   bool Converged() const { return converged_; }
 
+  /// Drops the task controllers' cached solver invariants; needed only when
+  /// a share function was mutated in place (replacements through the
+  /// LatencyModel are detected automatically via its revision).
+  void InvalidateModelCache();
+
   const std::vector<RoundStats>& history() const { return history_; }
   const std::vector<Enactment>& enactments() const { return enactments_; }
   net::InProcessBus& bus() { return *bus_; }
@@ -102,8 +107,9 @@ class Coordinator {
   }
 
  private:
+  void CollectAssignment(Assignment* latencies) const;
   void RecordSample(double at_ms);
-  void UpdateConvergence(double utility);
+  void UpdateConvergence(double utility, bool feasible);
   void MaybeEnact(double at_ms);
   void ArmAsyncTimers();
 
@@ -124,6 +130,14 @@ class Coordinator {
   std::deque<double> recent_utilities_;
   std::vector<RoundStats> history_;
   std::vector<Enactment> enactments_;
+
+  /// Reused by RecordSample so monitor sampling reuses the fused evaluators
+  /// without per-sample allocation.
+  Assignment scratch_assignment_;
+  std::vector<double> scratch_share_sums_;
+  std::vector<double> scratch_path_latencies_;
+  std::vector<double> scratch_task_weighted_;
+  std::vector<double> scratch_task_utilities_;
 };
 
 }  // namespace lla::runtime

@@ -39,6 +39,11 @@ class TaskController {
   void AllocateAndSend();
 
   TaskId task() const { return task_; }
+
+  /// Drops the solver's cached model invariants (see
+  /// LatencySolver::InvalidateModelCache).
+  void InvalidateModelCache() { solver_.InvalidateModelCache(); }
+
   /// Latencies of this task's subtasks (indexed by local subtask order).
   const std::vector<double>& latencies() const { return local_latencies_; }
   /// Path prices of this task's paths (indexed by local path order).

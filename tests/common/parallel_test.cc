@@ -1,0 +1,138 @@
+// ThreadPool / ChunkRange: the static partitioning must cover [0, n) with
+// disjoint contiguous chunks for any (n, threads), the pool must run every
+// index exactly once per ParallelFor, and the pool must be reusable — these
+// are the properties the engine's bit-identical parallelism rests on.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace lla {
+namespace {
+
+TEST(ChunkRangeTest, CoversRangeDisjointly) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{7}, std::size_t{64}, std::size_t{101}}) {
+    for (int chunks : {1, 2, 3, 4, 8, 16}) {
+      std::size_t expected_begin = 0;
+      for (int index = 0; index < chunks; ++index) {
+        const auto [begin, end] = ChunkRange(n, chunks, index);
+        EXPECT_EQ(begin, expected_begin)
+            << "n=" << n << " chunks=" << chunks << " index=" << index;
+        EXPECT_LE(begin, end);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n) << "n=" << n << " chunks=" << chunks;
+    }
+  }
+}
+
+TEST(ChunkRangeTest, ChunkSizesDifferByAtMostOne) {
+  const std::size_t n = 103;
+  const int chunks = 8;
+  std::size_t min_size = n, max_size = 0;
+  for (int index = 0; index < chunks; ++index) {
+    const auto [begin, end] = ChunkRange(n, chunks, index);
+    min_size = std::min(min_size, end - begin);
+    max_size = std::max(max_size, end - begin);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  const std::size_t n = 1000;
+  std::vector<int> hits(n, 0);
+  pool.ParallelFor(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "i=" << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::vector<double> out(64, 0.0);
+  for (int round = 1; round <= 50; ++round) {
+    pool.ParallelFor(out.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<double>(round) * static_cast<double>(i);
+      }
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], static_cast<double>(round) * static_cast<double>(i));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(StaticParallelForTest, NullPoolFallsBackToOneSerialCall) {
+  int calls = 0;
+  std::size_t seen_begin = 99, seen_end = 0;
+  StaticParallelFor(nullptr, 17, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_begin, 0u);
+  EXPECT_EQ(seen_end, 17u);
+}
+
+TEST(StaticParallelForTest, NullPoolEmptyRangeSkipsBody) {
+  int calls = 0;
+  StaticParallelFor(nullptr, 0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+// Stress: many rounds of concurrent disjoint writes plus an atomic counter;
+// under TSan this is the race detector's main target for the pool.
+TEST(ThreadPoolTest, ConcurrentWriteStress) {
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<std::size_t> out(n, 0);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(n, [&](std::size_t begin, std::size_t end) {
+      std::size_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = i + static_cast<std::size_t>(round);
+        local += 1;
+      }
+      total.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), n * 200);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i + 199);
+}
+
+}  // namespace
+}  // namespace lla

@@ -1,0 +1,196 @@
+// Cache-invalidation contract of the solver's model-invariant cache
+// (regression for the online error-correction flow, paper Sec. 6.3):
+//
+//  1. replacing a share function through the LatencyModel bumps the model
+//     revision and the cached solver picks it up on the next solve — a
+//     warm-started engine after a correction must follow exactly the same
+//     trajectory as a freshly constructed engine;
+//  2. mutating a share object *in place* is invisible to the revision
+//     counter, so the cached bounds go stale until InvalidateModelCache().
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/latency_solver.h"
+#include "model/latency_model.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla {
+namespace {
+
+Workload MakeWorkload(std::uint64_t seed) {
+  RandomWorkloadConfig config;
+  config.seed = seed;
+  config.num_tasks = 6;
+  config.target_utilization = 0.75;
+  auto workload = MakeRandomWorkload(config);
+  EXPECT_TRUE(workload.ok()) << workload.error();
+  return std::move(workload.value());
+}
+
+LlaConfig TestConfig() {
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.gamma0 = 3.0;
+  return config;
+}
+
+// After an online model correction, an engine that keeps running via
+// WarmStart must be bit-identical to a fresh engine built on the corrected
+// model and warm-started from the same prices.
+TEST(ModelCacheTest, WarmStartAfterCorrectionMatchesFreshEngine) {
+  const Workload w = MakeWorkload(17);
+  LatencyModel model(w);
+  const LlaConfig config = TestConfig();
+
+  LlaEngine live(w, model, config);
+  for (int i = 0; i < 300; ++i) live.Step();
+  const PriceVector checkpoint = live.prices();
+
+  // The correction arrives mid-run: three subtasks get measured errors.
+  model.SetAdditiveError(SubtaskId(std::size_t{0}), -0.5);
+  model.SetAdditiveError(SubtaskId(std::size_t{3}), 0.25);
+  model.SetAdditiveError(SubtaskId(w.subtask_count() - 1), -0.2);
+
+  // Explicit invalidation (harmless here — the revision check would catch
+  // the replacement anyway) plus warm restart from the checkpoint prices.
+  live.InvalidateModelCache();
+  live.WarmStart(checkpoint);
+
+  LlaEngine fresh(w, model, config);
+  fresh.WarmStart(checkpoint);
+
+  ASSERT_EQ(live.latencies(), fresh.latencies());
+  for (int i = 0; i < 300; ++i) {
+    const IterationStats a = live.Step();
+    const IterationStats b = fresh.Step();
+    ASSERT_EQ(a.total_utility, b.total_utility) << "step " << i;
+    ASSERT_EQ(a.max_resource_excess, b.max_resource_excess) << "step " << i;
+    ASSERT_EQ(a.max_path_ratio, b.max_path_ratio) << "step " << i;
+    ASSERT_EQ(a.feasible, b.feasible) << "step " << i;
+  }
+  EXPECT_EQ(live.latencies(), fresh.latencies());
+  EXPECT_EQ(live.prices().mu, fresh.prices().mu);
+  EXPECT_EQ(live.prices().lambda, fresh.prices().lambda);
+}
+
+// The revision counter alone must propagate a SetShareFunction /
+// SetAdditiveError replacement into the cached solver — no explicit
+// invalidation call.
+TEST(ModelCacheTest, RevisionDetectsReplacementWithoutExplicitInvalidate) {
+  const Workload w = MakeWorkload(23);
+  LatencyModel model(w);
+  const LatencySolver cached(w, model);
+
+  const SubtaskId target(std::size_t{1});
+  const double lo_before = cached.LatLo(target);
+  const std::uint64_t revision_before = model.revision();
+
+  model.SetAdditiveError(target, 0.8);
+  EXPECT_GT(model.revision(), revision_before);
+
+  LatencySolverConfig uncached_config;
+  uncached_config.cache_invariants = false;
+  const LatencySolver uncached(w, model, uncached_config);
+  EXPECT_EQ(cached.LatLo(target), uncached.LatLo(target));
+  EXPECT_EQ(cached.LatHi(target), uncached.LatHi(target));
+  // A positive additive error raises the reachable-latency floor.
+  EXPECT_GT(cached.LatLo(target), lo_before);
+}
+
+// A share function whose parameters change behind the model's back: the
+// revision cannot see it, so this is the case that requires the explicit
+// InvalidateModelCache() hook.
+class MutableWorkShare final : public ShareFunction {
+ public:
+  explicit MutableWorkShare(double work_ms) : work_ms_(work_ms) {}
+
+  void set_work_ms(double work_ms) { work_ms_ = work_ms; }
+
+  double Share(double latency_ms) const override {
+    return work_ms_ / latency_ms;
+  }
+  double DShareDLat(double latency_ms) const override {
+    return -work_ms_ / (latency_ms * latency_ms);
+  }
+  double LatencyForShare(double share) const override {
+    return work_ms_ / share;
+  }
+  double MinLatency() const override { return 0.0; }
+  double LatencyForNegSlope(double g, double lo, double hi) const override {
+    const double lat = std::sqrt(work_ms_ / g);
+    return std::min(std::max(lat, lo), hi);
+  }
+  std::string Describe() const override { return "mutable-work"; }
+
+ private:
+  double work_ms_;
+};
+
+TEST(ModelCacheTest, InPlaceMutationRequiresExplicitInvalidate) {
+  const Workload w = MakeWorkload(31);
+  LatencyModel model(w);
+
+  const SubtaskId target(std::size_t{0});
+  auto mutable_share = std::make_shared<MutableWorkShare>(6.0);
+  model.SetShareFunction(target, mutable_share);
+
+  LatencySolver solver(w, model);
+  const double lo_initial = solver.LatLo(target);
+
+  // In-place mutation: same object, same revision — the cached bound is now
+  // stale and the solver must NOT see the change yet (that staleness is the
+  // documented contract, not a bug).
+  mutable_share->set_work_ms(12.0);
+  EXPECT_EQ(solver.LatLo(target), lo_initial);
+
+  // The explicit hook flushes the cache; the rebuilt bound matches an
+  // uncached reference solver.
+  solver.InvalidateModelCache();
+  LatencySolverConfig uncached_config;
+  uncached_config.cache_invariants = false;
+  const LatencySolver uncached(w, model, uncached_config);
+  EXPECT_EQ(solver.LatLo(target), uncached.LatLo(target));
+  EXPECT_EQ(solver.LatHi(target), uncached.LatHi(target));
+  EXPECT_GT(solver.LatLo(target), lo_initial);
+}
+
+// End-to-end on a paper workload: the engine-level InvalidateModelCache()
+// forwards to the solver, so an in-place mutation followed by the hook and
+// a warm restart matches a fresh engine.
+TEST(ModelCacheTest, EngineInvalidateAfterInPlaceMutation) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  const SubtaskId target(std::size_t{2});
+  auto mutable_share = std::make_shared<MutableWorkShare>(5.0);
+  model.SetShareFunction(target, mutable_share);
+
+  const LlaConfig config = TestConfig();
+  LlaEngine live(w, model, config);
+  for (int i = 0; i < 200; ++i) live.Step();
+  const PriceVector checkpoint = live.prices();
+
+  mutable_share->set_work_ms(9.0);
+  live.InvalidateModelCache();
+  live.WarmStart(checkpoint);
+
+  LlaEngine fresh(w, model, config);
+  fresh.WarmStart(checkpoint);
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(live.Step().total_utility, fresh.Step().total_utility)
+        << "step " << i;
+  }
+  EXPECT_EQ(live.latencies(), fresh.latencies());
+}
+
+}  // namespace
+}  // namespace lla
