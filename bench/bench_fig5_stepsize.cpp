@@ -7,9 +7,11 @@
 // converging / oscillating — all appear, plus the adaptive heuristic which
 // settles fastest and to the optimal value.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "workloads/paper.h"
 
 using namespace lla;
@@ -22,15 +24,28 @@ struct RunSummary {
   double final_utility = 0.0;
 };
 
+// Runs one policy with the sink attached; the sink receives the full
+// per-iteration series (utility, share sums, prices, step sizes) under the
+// run's label, so the JSONL file splits back into one Figure 5 series per
+// policy.
 RunSummary RunPolicy(const std::string& label, LlaConfig config,
-                     int iterations) {
+                     int iterations, obs::TraceSink* sink) {
   auto workload = MakeSimWorkload();
   const Workload& w = workload.value();
   LatencyModel model(w);
   config.record_history = true;
   config.convergence.rel_tol = 1e-9;  // run the full horizon for the trace
+  config.trace_sink = sink;
+  if (sink != nullptr) {
+    obs::RunInfo info;
+    info.label = label;
+    info.resource_count = w.resource_count();
+    info.path_count = w.path_count();
+    sink->OnRunBegin(info);
+  }
   LlaEngine engine(w, model, config);
   for (int i = 0; i < iterations; ++i) engine.Step();
+  if (sink != nullptr) sink->OnRunEnd();
   RunSummary summary;
   summary.label = label;
   summary.history = engine.history();
@@ -40,13 +55,29 @@ RunSummary RunPolicy(const std::string& label, LlaConfig config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path = "BENCH_fig5_stepsize.jsonl";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out=path.jsonl]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::PrintHeader(
       "bench_fig5_stepsize — fixed vs adaptive step sizes",
       "Figure 5 (utility vs iteration for gamma = 0.1, 1, 10 and adaptive)",
       "small gamma converges slowly; mid gamma converges; large gamma "
       "oscillates without settling; adaptive settles fastest and to the "
       "best value");
+
+  obs::JsonlTraceSink sink(trace_path);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+    return 1;
+  }
 
   const int iterations = 3000;
   std::vector<RunSummary> runs;
@@ -56,11 +87,12 @@ int main() {
     config.gamma0 = gamma;
     char label[64];
     std::snprintf(label, sizeof(label), "fixed gamma=%g", gamma);
-    runs.push_back(RunPolicy(label, config, iterations));
+    runs.push_back(RunPolicy(label, config, iterations, &sink));
   }
   {
     LlaConfig config = bench::PaperLlaConfig();
-    runs.push_back(RunPolicy("adaptive gamma0=4 cap=8", config, iterations));
+    runs.push_back(
+        RunPolicy("adaptive gamma0=4 cap=8", config, iterations, &sink));
   }
   {
     LlaConfig config;
@@ -68,14 +100,14 @@ int main() {
     config.gamma0 = 20.0;
     config.diminishing_tau = 200.0;
     runs.push_back(
-        RunPolicy("diminishing g0=20 tau=200 (extension)", config,
-                  iterations));
+        RunPolicy("diminishing g0=20 tau=200 (extension)", config, iterations,
+                  &sink));
   }
 
-  std::printf("\nUtility traces (sampled):\n");
-  for (const RunSummary& run : runs) {
-    bench::PrintUtilitySeries(run.label, run.history);
-  }
+  std::printf("\nPer-iteration series written to %s (one labelled run per "
+              "policy;\nfilter on \"run\" to reconstruct each Figure 5 "
+              "curve).\n",
+              trace_path.c_str());
 
   std::printf("\n%-36s %14s %18s  %s\n", "policy", "final utility",
               "iters to 1%-band", "regime");

@@ -31,6 +31,12 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+  if (config_.metrics != nullptr) {
+    steps_counter_ = config_.metrics->GetCounter("engine.steps");
+    solve_timer_ = config_.metrics->GetTimer("engine.solve");
+    evaluate_timer_ = config_.metrics->GetTimer("engine.evaluate");
+    price_timer_ = config_.metrics->GetTimer("engine.price_update");
+  }
   workspace_.Resize(workload);
   Reset();
 }
@@ -68,21 +74,31 @@ void LlaEngine::WarmStart(const PriceVector& prices) {
 
 IterationStats LlaEngine::Step() {
   // 1. Latency allocation at current prices (every task controller).
-  solver_.SolveAll(prices_, &latencies_, pool_.get());
+  {
+    obs::ScopedTimer timing(solve_timer_);
+    solver_.SolveAll(prices_, &latencies_, pool_.get());
+  }
 
   // One fused evaluation sweep: share sums, path latencies and utility
   // aggregates land in the workspace; everything below reads the arrays.
-  FillStepWorkspace(*workload_, *model_, latencies_, config_.solver.variant,
-                    config_.convergence.feasibility_tol, pool_.get(),
-                    &workspace_);
+  {
+    obs::ScopedTimer timing(evaluate_timer_);
+    FillStepWorkspace(*workload_, *model_, latencies_, config_.solver.variant,
+                      config_.convergence.feasibility_tol, pool_.get(),
+                      &workspace_);
+  }
 
   // 2. Price computation: congestion feedback chooses the step sizes, then
   //    gradient projection moves the prices.
-  step_policy_->Update(*workload_, workspace_.resource_congested, &steps_);
-  updater_.Update(workspace_.resource_share_sums, workspace_.path_latencies,
-                  steps_, &prices_);
+  {
+    obs::ScopedTimer timing(price_timer_);
+    step_policy_->Update(*workload_, workspace_.resource_congested, &steps_);
+    updater_.Update(workspace_.resource_share_sums, workspace_.path_latencies,
+                    steps_, &prices_);
+  }
 
   ++iteration_;
+  if (steps_counter_ != nullptr) steps_counter_->Increment();
 
   IterationStats stats;
   stats.iteration = iteration_;
@@ -91,9 +107,29 @@ IterationStats LlaEngine::Step() {
   stats.max_path_ratio = workspace_.feasibility.max_path_ratio;
   stats.feasible = workspace_.feasibility.feasible;
   if (config_.record_history) history_.push_back(stats);
+  if (config_.trace_sink != nullptr) EmitTrace(stats);
 
   UpdateConvergence(stats.total_utility, stats.feasible);
   return stats;
+}
+
+void LlaEngine::EmitTrace(const IterationStats& stats) {
+  // Everything comes from the workspace, the price vector and the step
+  // sizes already computed this step — no extra evaluation sweeps.  The
+  // vector assignments reuse trace_'s capacity after the first iteration.
+  trace_.iteration = stats.iteration;
+  trace_.at_ms = -1.0;
+  trace_.total_utility = stats.total_utility;
+  trace_.feasible = stats.feasible;
+  trace_.max_resource_excess = stats.max_resource_excess;
+  trace_.max_path_ratio = stats.max_path_ratio;
+  trace_.resource_share_sums = workspace_.resource_share_sums;
+  trace_.resource_mu = prices_.mu;
+  trace_.resource_step = steps_.resource;
+  trace_.path_latencies = workspace_.path_latencies;
+  trace_.path_lambda = prices_.lambda;
+  trace_.path_step = steps_.path;
+  config_.trace_sink->OnIteration(trace_);
 }
 
 void LlaEngine::UpdateConvergence(double utility, bool feasible) {

@@ -32,6 +32,8 @@
 
 #include "common/parallel.h"
 #include "core/latency_solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/price_update.h"
 #include "core/prices.h"
 #include "core/step_size.h"
@@ -76,6 +78,15 @@ struct LlaConfig {
   /// default) runs serially with no pool; any value produces bit-identical
   /// results (static partitioning, serial reductions).
   int num_threads = 1;
+  /// Receives one IterationTrace per Step(), sourced from the fused
+  /// StepWorkspace (no extra sweeps).  Null (the default) disables tracing
+  /// at the cost of one pointer test; an attached sink never perturbs the
+  /// trajectory (non-owning; must outlive the engine).
+  obs::TraceSink* trace_sink = nullptr;
+  /// Registry for the engine's counters (engine.steps) and phase timers
+  /// (engine.solve / engine.evaluate / engine.price_update).  Null disables
+  /// instrumentation entirely (non-owning; must outlive the engine).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Per-iteration diagnostics (the quantities Figures 5-7 plot).
@@ -143,6 +154,7 @@ class LlaEngine {
 
  private:
   void UpdateConvergence(double utility, bool feasible);
+  void EmitTrace(const IterationStats& stats);
 
   const Workload* workload_;
   const LatencyModel* model_;
@@ -159,6 +171,14 @@ class LlaEngine {
   bool converged_ = false;
   std::deque<double> recent_utilities_;
   std::vector<IterationStats> history_;
+
+  /// Observability handles, resolved once at construction (all null when
+  /// config.metrics is null) and a reused trace record buffer.
+  obs::Counter* steps_counter_ = nullptr;
+  obs::Timer* solve_timer_ = nullptr;
+  obs::Timer* evaluate_timer_ = nullptr;
+  obs::Timer* price_timer_ = nullptr;
+  obs::IterationTrace trace_;
 };
 
 /// Builds the step-size policy an LlaConfig describes (also used by the

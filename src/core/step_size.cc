@@ -52,7 +52,12 @@ void AdaptiveStepSize::Update(const Workload& workload,
                               const std::vector<bool>& resource_congested,
                               StepSizes* steps) {
   assert(resource_congested.size() == workload.resource_count());
-  if (resource_multiplier_.size() != workload.resource_count()) {
+  // Rebuild on any size mismatch.  Checking only the resource vector left
+  // path_multiplier_ stale (or undersized — an out-of-bounds write below)
+  // when a workload transform changed the path count but not the resource
+  // count, e.g. a task add/remove on a fixed resource set.
+  if (resource_multiplier_.size() != workload.resource_count() ||
+      path_multiplier_.size() != workload.path_count()) {
     Reset(workload);
   }
   for (std::size_t r = 0; r < workload.resource_count(); ++r) {

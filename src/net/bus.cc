@@ -11,15 +11,38 @@ InProcessBus::InProcessBus(BusConfig config)
   assert(config.base_delay_ms >= 0.0);
   assert(config.jitter_ms >= 0.0);
   assert(config.drop_probability >= 0.0 && config.drop_probability <= 1.0);
+  if (config_.metrics != nullptr) {
+    sent_counter_ = config_.metrics->GetCounter("bus.sent");
+    delivered_counter_ = config_.metrics->GetCounter("bus.delivered");
+    dropped_counter_ = config_.metrics->GetCounter("bus.dropped");
+    delayed_counter_ = config_.metrics->GetCounter("bus.delayed");
+    timers_counter_ = config_.metrics->GetCounter("bus.timers_fired");
+  }
 }
 
 EndpointId InProcessBus::Register(std::string name, MessageHandler on_message,
                                   TimerHandler on_timer) {
   const EndpointId id = static_cast<EndpointId>(endpoints_.size());
-  endpoints_.push_back(
-      {std::move(name), std::move(on_message), std::move(on_timer)});
+  Endpoint endpoint{std::move(name), std::move(on_message),
+                    std::move(on_timer)};
+  if (config_.metrics != nullptr) {
+    const std::string prefix = "bus.endpoint." + endpoint.name;
+    endpoint.sent = config_.metrics->GetCounter(prefix + ".sent");
+    endpoint.delivered = config_.metrics->GetCounter(prefix + ".delivered");
+    endpoint.dropped = config_.metrics->GetCounter(prefix + ".dropped");
+  }
+  endpoints_.push_back(std::move(endpoint));
   blackout_until_ms_.push_back(-1.0);
   return id;
+}
+
+void InProcessBus::CountDrop(const Message& message) {
+  ++stats_.dropped;
+  if (dropped_counter_ != nullptr) {
+    dropped_counter_->Increment();
+    endpoints_[message.sender].dropped->Increment();
+    endpoints_[message.receiver].dropped->Increment();
+  }
 }
 
 void InProcessBus::BlackoutEndpoint(EndpointId endpoint, double until_ms) {
@@ -49,17 +72,27 @@ void InProcessBus::Send(Message message) {
   assert(message.receiver < endpoints_.size());
   ++stats_.sent;
   stats_.bytes += WireSize(message);
+  if (sent_counter_ != nullptr) {
+    sent_counter_->Increment();
+    endpoints_[message.sender].sent->Increment();
+  }
   if (IsBlackedOut(message.sender) || IsBlackedOut(message.receiver)) {
-    ++stats_.dropped;
+    CountDrop(message);
     return;
   }
   if (config_.drop_probability > 0.0 &&
       rng_.NextDouble() < config_.drop_probability) {
-    ++stats_.dropped;
+    CountDrop(message);
     return;
   }
   double delay = config_.base_delay_ms;
-  if (config_.jitter_ms > 0.0) delay += rng_.Uniform(0.0, config_.jitter_ms);
+  if (config_.jitter_ms > 0.0) {
+    const double jitter = rng_.Uniform(0.0, config_.jitter_ms);
+    delay += jitter;
+    if (jitter > 0.0 && delayed_counter_ != nullptr) {
+      delayed_counter_->Increment();
+    }
+  }
   Event event;
   event.is_timer = false;
   event.endpoint = message.receiver;
@@ -83,14 +116,19 @@ void InProcessBus::Dispatch(double at_ms, const Event& event) {
   Endpoint& endpoint = endpoints_[event.endpoint];
   if (event.is_timer) {
     ++stats_.timers_fired;
+    if (timers_counter_ != nullptr) timers_counter_->Increment();
     if (endpoint.on_timer) endpoint.on_timer(event.token);
     return;
   }
   if (IsBlackedOut(event.endpoint)) {
-    ++stats_.dropped;
+    CountDrop(event.message);
     return;
   }
   ++stats_.delivered;
+  if (delivered_counter_ != nullptr) {
+    delivered_counter_->Increment();
+    endpoint.delivered->Increment();
+  }
   if (config_.verify_wire_format) {
     const auto round_trip = Deserialize(Serialize(event.message));
     assert(round_trip.has_value() && *round_trip == event.message);

@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 
 namespace lla::net {
 
@@ -34,6 +35,13 @@ struct BusConfig {
   /// Deserialize-after-serialize on every delivery (exercises the wire
   /// format; off saves time in big sweeps).
   bool verify_wire_format = true;
+  /// Registry for the bus counters: global bus.sent / bus.delivered /
+  /// bus.dropped / bus.delayed (messages that drew extra jitter delay) /
+  /// bus.timers_fired, plus per-endpoint bus.endpoint.<name>.sent /
+  /// .delivered / .dropped resolved at Register time.  Null (the default)
+  /// disables them; BusStats is always maintained (non-owning; must outlive
+  /// the bus).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct BusStats {
@@ -95,6 +103,10 @@ class InProcessBus {
     std::string name;
     MessageHandler on_message;
     TimerHandler on_timer;
+    /// Per-endpoint counters (null when no registry is configured).
+    obs::Counter* sent = nullptr;       ///< messages sent by this endpoint
+    obs::Counter* delivered = nullptr;  ///< messages delivered to it
+    obs::Counter* dropped = nullptr;    ///< drops it was party to
   };
   struct Event {
     bool is_timer = false;
@@ -129,6 +141,15 @@ class InProcessBus {
   double now_ms_ = 0.0;
   std::uint64_t next_seq_ = 0;
   BusStats stats_;
+
+  /// Global counters (null when no registry is configured).
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* delayed_counter_ = nullptr;
+  obs::Counter* timers_counter_ = nullptr;
+
+  void CountDrop(const Message& message);
 };
 
 }  // namespace lla::net

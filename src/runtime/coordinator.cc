@@ -14,7 +14,17 @@ constexpr std::uint64_t kMonitorTimer = 3;
 Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
                          CoordinatorConfig config)
     : workload_(&workload), model_(&model), config_(config) {
-  bus_ = std::make_unique<net::InProcessBus>(config.bus);
+  if (config_.metrics != nullptr) {
+    rounds_counter_ = config_.metrics->GetCounter("coordinator.rounds");
+    samples_counter_ = config_.metrics->GetCounter("coordinator.samples");
+    enactments_counter_ =
+        config_.metrics->GetCounter("coordinator.enactments");
+    sync_round_timer_ = config_.metrics->GetTimer("coordinator.sync_round");
+    if (config_.bus.metrics == nullptr) {
+      config_.bus.metrics = config_.metrics;
+    }
+  }
+  bus_ = std::make_unique<net::InProcessBus>(config_.bus);
 
   // Create agents, register endpoints, then bind (endpoint ids must all be
   // known before binding).
@@ -81,11 +91,13 @@ void Coordinator::PartitionController(TaskId task, double duration_ms) {
 }
 
 RoundStats Coordinator::RunSyncRound() {
+  obs::ScopedTimer timing(sync_round_timer_);
   for (auto& controller : controllers_) controller->AllocateAndSend();
   bus_->RunAll();
   for (auto& agent : agents_) agent->ComputePriceAndBroadcast();
   bus_->RunAll();
   ++round_;
+  if (rounds_counter_ != nullptr) rounds_counter_->Increment();
   RecordSample(bus_->now_ms());
   return history_.empty() ? RoundStats{} : history_.back();
 }
@@ -204,8 +216,46 @@ void Coordinator::RecordSample(double at_ms) {
     stats.feasible = summary.feasible;
     history_.push_back(std::move(stats));
   }
+  if (samples_counter_ != nullptr) samples_counter_->Increment();
+  if (config_.trace_sink != nullptr) EmitTrace(at_ms, utility, summary);
   UpdateConvergence(utility, summary.feasible);
   MaybeEnact(at_ms);
+}
+
+void Coordinator::EmitTrace(double at_ms, double utility,
+                            const FeasibilitySummary& summary) {
+  // Share sums and path latencies come from the scratch buffers RecordSample
+  // just filled; the dual state is collected from the agents (mu lives on
+  // the resource agents, lambda on the task controllers).
+  trace_.iteration = round_;
+  trace_.at_ms = at_ms;
+  trace_.total_utility = utility;
+  trace_.feasible = summary.feasible;
+  trace_.max_resource_excess = summary.max_resource_excess;
+  trace_.max_path_ratio = summary.max_path_ratio;
+  trace_.resource_share_sums = scratch_share_sums_;
+  trace_.path_latencies = scratch_path_latencies_;
+  trace_.resource_mu.resize(workload_->resource_count());
+  trace_.resource_step.resize(workload_->resource_count());
+  for (const ResourceInfo& resource : workload_->resources()) {
+    const ResourceAgent& agent = *agents_[resource.id.value()];
+    trace_.resource_mu[resource.id.value()] = agent.mu();
+    trace_.resource_step[resource.id.value()] =
+        config_.step.gamma0 * agent.step_multiplier();
+  }
+  trace_.path_lambda.resize(workload_->path_count());
+  trace_.path_step.resize(workload_->path_count());
+  for (const TaskInfo& task : workload_->tasks()) {
+    const TaskController& controller = *controllers_[task.id.value()];
+    const auto& lambdas = controller.lambdas();
+    const auto& multipliers = controller.path_step_multipliers();
+    for (std::size_t p = 0; p < task.paths.size(); ++p) {
+      trace_.path_lambda[task.paths[p].value()] = lambdas[p];
+      trace_.path_step[task.paths[p].value()] =
+          config_.step.gamma0 * multipliers[p];
+    }
+  }
+  config_.trace_sink->OnIteration(trace_);
 }
 
 void Coordinator::UpdateConvergence(double utility, bool feasible) {
@@ -244,6 +294,7 @@ void Coordinator::MaybeEnact(double at_ms) {
   enactment.utility = utility;
   enactment.latencies = CurrentAssignment();
   enactments_.push_back(std::move(enactment));
+  if (enactments_counter_ != nullptr) enactments_counter_->Increment();
 }
 
 }  // namespace lla::runtime

@@ -26,6 +26,8 @@
 #include "model/latency_model.h"
 #include "model/workload.h"
 #include "net/bus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/resource_agent.h"
 #include "runtime/task_controller.h"
 
@@ -45,6 +47,17 @@ struct CoordinatorConfig {
   /// Async mode: cadence of the monitor that samples utility/enactments.
   double monitor_period_ms = 10.0;
   bool record_history = true;
+  /// Receives one IterationTrace per monitor sample (sync round or async
+  /// monitor tick) with the per-resource mu / per-path lambda collected from
+  /// the agents.  Null disables tracing (non-owning; must outlive the
+  /// coordinator).
+  obs::TraceSink* trace_sink = nullptr;
+  /// Registry for coordinator.rounds / coordinator.samples /
+  /// coordinator.enactments and the coordinator.sync_round timer; also
+  /// forwarded to the bus (bus.* counters) unless bus.metrics is already
+  /// set.  Null disables instrumentation (non-owning; must outlive the
+  /// coordinator).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct RoundStats {
@@ -138,6 +151,17 @@ class Coordinator {
   std::vector<double> scratch_path_latencies_;
   std::vector<double> scratch_task_weighted_;
   std::vector<double> scratch_task_utilities_;
+
+  /// Observability handles (null when config.metrics is null) and the
+  /// reused trace record buffer.
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* samples_counter_ = nullptr;
+  obs::Counter* enactments_counter_ = nullptr;
+  obs::Timer* sync_round_timer_ = nullptr;
+  obs::IterationTrace trace_;
+
+  void EmitTrace(double at_ms, double utility,
+                 const FeasibilitySummary& summary);
 };
 
 }  // namespace lla::runtime

@@ -47,6 +47,8 @@ class ResourceAgent {
   double mu() const { return mu_; }
   double ShareSum() const;
   bool Congested() const;
+  /// Current adaptive step multiplier (1.0 when uncongested / non-adaptive).
+  double step_multiplier() const { return gamma_multiplier_; }
   ResourceId resource() const { return resource_; }
   std::uint32_t epoch() const { return epoch_; }
 

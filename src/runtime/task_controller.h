@@ -48,6 +48,10 @@ class TaskController {
   const std::vector<double>& latencies() const { return local_latencies_; }
   /// Path prices of this task's paths (indexed by local path order).
   const std::vector<double>& lambdas() const { return local_lambdas_; }
+  /// Adaptive step multipliers of this task's paths (same local order).
+  const std::vector<double>& path_step_multipliers() const {
+    return path_gamma_multiplier_;
+  }
   double mu_seen(ResourceId r) const { return prices_.mu[r.value()]; }
 
  private:

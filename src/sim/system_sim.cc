@@ -39,6 +39,10 @@ SimResult SystemSimulator::Run(const std::vector<double>& shares) {
   const Workload& w = *workload_;
   assert(shares.size() == w.subtask_count());
 
+  obs::ScopedTimer run_timing(
+      config_.metrics != nullptr ? config_.metrics->GetTimer("sim.run")
+                                 : nullptr);
+
   Rng service_rng(config_.seed ^ 0x5e41'ce00ull);
 
   // Build one scheduler per resource with one flow per hosted subtask.
@@ -211,6 +215,20 @@ SimResult SystemSimulator::Run(const std::vector<double>& shares) {
       std::max(config_.duration_ms - config_.warmup_ms, 1e-9);
   for (double& utilization : result.resource_utilization) {
     utilization /= measured_ms;
+  }
+
+  if (config_.metrics != nullptr) {
+    config_.metrics->GetCounter("sim.job_sets_released")
+        ->Increment(result.job_sets_released);
+    config_.metrics->GetCounter("sim.jobs_completed")
+        ->Increment(result.jobs_completed);
+    config_.metrics->GetCounter("sim.job_sets_completed")
+        ->Increment(result.job_sets_completed);
+    std::uint64_t misses = 0;
+    for (std::uint64_t task_misses : result.deadline_misses) {
+      misses += task_misses;
+    }
+    config_.metrics->GetCounter("sim.deadline_misses")->Increment(misses);
   }
   return result;
 }

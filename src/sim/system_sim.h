@@ -17,6 +17,7 @@
 
 #include "common/stats.h"
 #include "model/workload.h"
+#include "obs/metrics.h"
 #include "sim/ps_scheduler.h"
 #include "sim/trigger_source.h"
 
@@ -37,6 +38,11 @@ struct SimConfig {
   bool model_background_load = true;
   /// Warm-up interval excluded from the statistics.
   double warmup_ms = 1000.0;
+  /// Registry for the DES counters (sim.job_sets_released,
+  /// sim.jobs_completed, sim.job_sets_completed, sim.deadline_misses) and
+  /// the sim.run wall-clock timer; accumulated across Run() calls.  Null
+  /// disables them (non-owning; must outlive the simulator).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct SimResult {

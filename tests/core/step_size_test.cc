@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "workloads/paper.h"
+#include "workloads/transform.h"
 
 namespace lla {
 namespace {
@@ -89,6 +90,54 @@ TEST_F(StepSizeTest, AdaptivePathsFollowTraversedResources) {
     EXPECT_DOUBLE_EQ(steps.path[path.id.value()], traverses ? 2.0 : 1.0)
         << "path " << path.id;
   }
+}
+
+// Regression: Update() used to rebuild its per-resource/per-path state only
+// when the *resource* vector size mismatched.  A workload transform that
+// changes the path count but keeps the resource count (task removal on a
+// fixed resource set) then left path_multiplier_ stale — or, in the growing
+// direction, undersized and written out of bounds.
+TEST_F(StepSizeTest, AdaptiveRebuildsWhenPathCountShrinks) {
+  auto removed = WithoutTask(workload(), TaskId(1u));
+  ASSERT_TRUE(removed.ok()) << removed.error();
+  const Workload& smaller = removed.value();
+  ASSERT_EQ(smaller.resource_count(), workload().resource_count());
+  ASSERT_LT(smaller.path_count(), workload().path_count());
+
+  AdaptiveStepSize policy(1.0, 64.0);
+  policy.Reset(workload());
+  StepSizes steps;
+  // Congestion streak on the full workload: every multiplier climbs to 8x.
+  std::vector<bool> congested(workload().resource_count(), true);
+  for (int i = 0; i < 3; ++i) policy.Update(workload(), congested, &steps);
+  for (double g : steps.path) EXPECT_DOUBLE_EQ(g, 8.0);
+
+  // Mid-run transform to the path-shrunk workload: the first update must
+  // start from fresh multipliers (one doubling from 1.0), not resume the
+  // stale 8x streak.
+  policy.Update(smaller, congested, &steps);
+  ASSERT_EQ(steps.path.size(), smaller.path_count());
+  for (double g : steps.path) EXPECT_DOUBLE_EQ(g, 2.0);
+  for (double g : steps.resource) EXPECT_DOUBLE_EQ(g, 2.0);
+}
+
+TEST_F(StepSizeTest, AdaptiveRebuildsWhenPathCountGrows) {
+  auto removed = WithoutTask(workload(), TaskId(2u));
+  ASSERT_TRUE(removed.ok()) << removed.error();
+  const Workload& smaller = removed.value();
+  ASSERT_EQ(smaller.resource_count(), workload().resource_count());
+
+  AdaptiveStepSize policy(1.0, 64.0);
+  policy.Reset(smaller);
+  StepSizes steps;
+  std::vector<bool> congested(workload().resource_count(), true);
+  policy.Update(smaller, congested, &steps);
+
+  // Task re-admission: more paths than the policy's state.  Without the
+  // rebuild this wrote past the end of path_multiplier_.
+  policy.Update(workload(), congested, &steps);
+  ASSERT_EQ(steps.path.size(), workload().path_count());
+  for (double g : steps.path) EXPECT_DOUBLE_EQ(g, 2.0);
 }
 
 TEST_F(StepSizeTest, DiminishingSchedule) {

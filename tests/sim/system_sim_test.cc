@@ -232,5 +232,30 @@ TEST(SystemSimTest, ResourceUtilizationMatchesDemand) {
   EXPECT_NEAR(result.resource_utilization[0], 0.10, 0.005);
 }
 
+TEST(SystemSimTest, MetricsMirrorResultCounts) {
+  const Workload w = OneSubtaskWorkload();
+  SimConfig config;
+  config.duration_ms = 5000.0;
+  obs::MetricRegistry metrics;
+  config.metrics = &metrics;
+  SystemSimulator simulator(w, config);
+  const SimResult result = simulator.Run({0.25});
+
+  EXPECT_EQ(metrics.GetCounter("sim.jobs_completed")->value(),
+            result.jobs_completed);
+  EXPECT_EQ(metrics.GetCounter("sim.job_sets_released")->value(),
+            result.job_sets_released);
+  EXPECT_EQ(metrics.GetCounter("sim.job_sets_completed")->value(),
+            result.job_sets_completed);
+  EXPECT_GT(result.jobs_completed, 0u);
+  EXPECT_EQ(metrics.GetTimer("sim.run")->count(), 1u);
+  // A second run on the same registry accumulates rather than resets.
+  SystemSimulator again(w, config);
+  const SimResult second = again.Run({0.25});
+  EXPECT_EQ(metrics.GetCounter("sim.jobs_completed")->value(),
+            result.jobs_completed + second.jobs_completed);
+  EXPECT_EQ(metrics.GetTimer("sim.run")->count(), 2u);
+}
+
 }  // namespace
 }  // namespace lla::sim

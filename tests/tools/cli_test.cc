@@ -1,0 +1,106 @@
+// End-to-end tests for the `lla` binary: the documented exit-code scheme
+// (0 success, 2 usage, 3 load error, 4 not converged/infeasible) and the
+// `trace` subcommand's JSONL output.  The binary path is injected by CMake
+// via LLA_CLI_PATH; commands run through std::system with streams redirected
+// to files under the build tree.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+const char* kCli = LLA_CLI_PATH;
+const char* kPaperWorkload = LLA_SOURCE_DIR "/examples/data/paper_table1.lla";
+
+// Runs `lla <args>` with stdout/stderr discarded and returns the exit code,
+// or -1 if the shell could not launch it.
+int RunCli(const std::string& args) {
+  const std::string command =
+      std::string(kCli) + " " + args + " >/dev/null 2>/dev/null";
+  const int status = std::system(command.c_str());
+  if (status < 0) return -1;
+#ifdef WIFEXITED
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+#else
+  return status;
+#endif
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CliTest, SolveSucceedsOnPaperWorkload) {
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload), 0);
+}
+
+TEST(CliTest, UsageErrorsReturnTwo) {
+  EXPECT_EQ(RunCli(""), 2);                                    // no command
+  EXPECT_EQ(RunCli("frobnicate x"), 2);                        // unknown verb
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload +
+                   " --bad-flag"), 2);                         // unknown flag
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload +
+                   " --iters 0"), 2);                          // bad value
+}
+
+TEST(CliTest, LoadErrorsReturnThree) {
+  EXPECT_EQ(RunCli("describe /nonexistent/workload.lla"), 3);
+  EXPECT_EQ(RunCli("solve /nonexistent/workload.lla"), 3);
+}
+
+TEST(CliTest, NotConvergedReturnsFour) {
+  // Three iterations cannot converge on the paper workload.
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload + " --iters 3"), 4);
+}
+
+TEST(CliTest, TraceEmitsJsonlAndConverges) {
+  const std::string out = ::testing::TempDir() + "/cli_trace.jsonl";
+  std::remove(out.c_str());
+  ASSERT_EQ(RunCli(std::string("trace ") + kPaperWorkload + " --out " + out),
+            0);
+
+  const std::string jsonl = ReadFile(out);
+  ASSERT_FALSE(jsonl.empty());
+  // First record opens the run, last closes it.
+  EXPECT_EQ(jsonl.find("{\"type\":\"run_begin\""), 0u);
+  EXPECT_NE(jsonl.find("\"type\":\"run_end\""), std::string::npos);
+  // Per-iteration records carry the series the figures need.
+  EXPECT_NE(jsonl.find("\"type\":\"iteration\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"total_utility\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"resource_share_sums\":["), std::string::npos);
+  EXPECT_NE(jsonl.find("\"resource_mu\":["), std::string::npos);
+
+  // Iterations are 1-based, one JSON object per line, ending with run_end.
+  std::istringstream lines(jsonl);
+  std::string line;
+  int records = 0;
+  std::string last;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++records;
+    last = line;
+  }
+  EXPECT_GT(records, 3);
+  EXPECT_NE(last.find("run_end"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, TraceNotConvergedReturnsFour) {
+  const std::string out = ::testing::TempDir() + "/cli_trace_short.jsonl";
+  EXPECT_EQ(RunCli(std::string("trace ") + kPaperWorkload +
+                   " --iters 3 --out " + out),
+            4);
+  std::remove(out.c_str());
+}
+
+}  // namespace

@@ -10,6 +10,13 @@
 //       Validate and summarize the workload.
 //   lla generate <output-file> [--seed N] [--tasks N] [--resources N]
 //       Generate a random schedulable workload file.
+//   lla trace <workload-file> [--iters N] [--out path]
+//       Optimize while streaming per-iteration JSONL (default: stdout);
+//       engine phase timings and counters go to stderr.
+//
+// Exit codes: 0 success; 1 runtime error (generation/save failure);
+// 2 usage; 3 workload load/parse error; 4 solve not converged / infeasible
+// (or workload unschedulable for `check`).
 //
 // Example files live in examples/data/.
 #include <cstdio>
@@ -20,6 +27,8 @@
 #include "core/schedulability.h"
 #include "model/evaluation.h"
 #include "model/serialization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workloads/random.h"
 #include "sim/system_sim.h"
 #include "solver/phase1.h"
@@ -27,6 +36,14 @@
 using namespace lla;
 
 namespace {
+
+// Distinct exit codes so scripts can tell a malformed workload (3) from an
+// optimizer that ran but did not reach a feasible converged allocation (4).
+constexpr int kExitSuccess = 0;
+constexpr int kExitRuntimeError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitLoadError = 3;
+constexpr int kExitNotConverged = 4;
 
 int Usage() {
   std::fprintf(stderr,
@@ -36,8 +53,12 @@ int Usage() {
                "  lla simulate <file> <seconds> [--sfs]\n"
                "  lla describe <file>\n"
                "  lla generate <file> [--seed N] [--tasks N] "
-               "[--resources N]\n");
-  return 2;
+               "[--resources N]\n"
+               "  lla trace <file> [--variant sum|path-weighted] [--iters N] "
+               "[--out path]\n"
+               "exit codes: 0 ok, 1 runtime error, 2 usage, 3 load error, "
+               "4 not converged/infeasible\n");
+  return kExitUsage;
 }
 
 Expected<Workload> Load(const char* path) {
@@ -101,7 +122,41 @@ int Solve(const Workload& w, UtilityVariant variant, int iters) {
                 report.resource_share_sums[resource.id.value()],
                 resource.capacity, engine.prices().mu[resource.id.value()]);
   }
-  return run.converged && run.final_feasibility.feasible ? 0 : 1;
+  return run.converged && run.final_feasibility.feasible ? kExitSuccess
+                                                         : kExitNotConverged;
+}
+
+int Trace(const Workload& w, UtilityVariant variant, int iters,
+          const std::string& out_path) {
+  obs::JsonlTraceSink sink(out_path);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "error opening trace output %s\n", out_path.c_str());
+    return kExitRuntimeError;
+  }
+  obs::MetricRegistry metrics;
+  LatencyModel model(w);
+  LlaConfig config;
+  config.solver.variant = variant;
+  config.gamma0 = 3.0;
+  config.trace_sink = &sink;
+  config.metrics = &metrics;
+
+  obs::RunInfo info;
+  info.label = ToString(variant);
+  info.resource_count = w.resource_count();
+  info.path_count = w.path_count();
+  sink.OnRunBegin(info);
+  LlaEngine engine(w, model, config);
+  const RunResult run = engine.Run(iters);
+  sink.OnRunEnd();
+
+  std::fprintf(stderr, "%s after %d iterations; utility %.6f; feasible: %s\n",
+               run.converged ? "converged" : "NOT converged", run.iterations,
+               run.final_utility,
+               run.final_feasibility.feasible ? "yes" : "no");
+  std::fprintf(stderr, "%s", metrics.Snapshot().RenderText().c_str());
+  return run.converged && run.final_feasibility.feasible ? kExitSuccess
+                                                         : kExitNotConverged;
 }
 
 int Check(const Workload& w, int iters) {
@@ -120,7 +175,8 @@ int Check(const Workload& w, int iters) {
               result.strictly_feasible ? "strictly feasible point exists"
                                        : "no interior point found",
               result.max_violation);
-  return report.verdict == Schedulability::kSchedulable ? 0 : 1;
+  return report.verdict == Schedulability::kSchedulable ? kExitSuccess
+                                                        : kExitNotConverged;
 }
 
 int Simulate(const Workload& w, double seconds, bool use_sfs) {
@@ -132,7 +188,7 @@ int Simulate(const Workload& w, double seconds, bool use_sfs) {
   if (!run.final_feasibility.feasible) {
     std::printf("optimizer did not reach a feasible allocation; refusing to "
                 "simulate\n");
-    return 1;
+    return kExitNotConverged;
   }
   std::vector<double> shares(w.subtask_count());
   for (const SubtaskInfo& sub : w.subtasks()) {
@@ -185,12 +241,12 @@ int main(int argc, char** argv) {
     if (!generated.ok()) {
       std::fprintf(stderr, "generation failed: %s\n",
                    generated.error().c_str());
-      return 1;
+      return kExitRuntimeError;
     }
     const Status saved = SaveWorkloadToFile(generated.value(), argv[2]);
     if (!saved.ok()) {
       std::fprintf(stderr, "save failed: %s\n", saved.error().c_str());
-      return 1;
+      return kExitRuntimeError;
     }
     std::printf("wrote %s (%zu tasks, %zu subtasks, %d resources, "
                 "seed %llu)\n",
@@ -200,8 +256,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Reject unknown commands before touching the filesystem, so a bad command
+  // name is a usage error (2), not a load error (3).
+  if (command != "describe" && command != "solve" && command != "check" &&
+      command != "simulate" && command != "trace") {
+    return Usage();
+  }
+
   auto workload = Load(argv[2]);
-  if (!workload.ok()) return 1;
+  if (!workload.ok()) return kExitLoadError;
   const Workload& w = workload.value();
 
   if (command == "describe") return Describe(w);
@@ -222,6 +285,27 @@ int main(int argc, char** argv) {
     }
     if (iters < 1) return Usage();
     return Solve(w, variant, iters);
+  }
+
+  if (command == "trace") {
+    UtilityVariant variant = UtilityVariant::kPathWeighted;
+    int iters = 12000;
+    std::string out_path = "-";
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
+        variant = std::strcmp(argv[++i], "sum") == 0
+                      ? UtilityVariant::kSum
+                      : UtilityVariant::kPathWeighted;
+      } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+        iters = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        out_path = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    if (iters < 1) return Usage();
+    return Trace(w, variant, iters, out_path);
   }
 
   if (command == "check") {
