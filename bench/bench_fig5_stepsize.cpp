@@ -8,9 +8,12 @@
 // settles fastest and to the optimal value.
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/engine.h"
+#include "core/engine_batch.h"
 #include "obs/trace.h"
 #include "workloads/paper.h"
 
@@ -24,33 +27,55 @@ struct RunSummary {
   double final_utility = 0.0;
 };
 
-// Runs one policy with the sink attached; the sink receives the full
-// per-iteration series (utility, share sums, prices, step sizes) under the
-// run's label, so the JSONL file splits back into one Figure 5 series per
-// policy.
-RunSummary RunPolicy(const std::string& label, LlaConfig config,
-                     int iterations, obs::TraceSink* sink) {
-  auto workload = MakeSimWorkload();
-  const Workload& w = workload.value();
-  LatencyModel model(w);
-  config.record_history = true;
-  config.convergence.rel_tol = 1e-9;  // run the full horizon for the trace
-  config.trace_sink = sink;
-  if (sink != nullptr) {
-    obs::RunInfo info;
-    info.label = label;
-    info.resource_count = w.resource_count();
-    info.path_count = w.path_count();
-    sink->OnRunBegin(info);
+struct PolicyRun {
+  std::string label;
+  LlaConfig config;
+};
+
+// Runs every policy concurrently through an EngineBatch (each engine traces
+// into its own RingBufferTraceSink — batch members must not share a sink),
+// then replays each buffer serially into the shared JSONL sink under the
+// run's label, so the file splits back into one Figure 5 series per policy.
+// Trajectories are bit-identical to running the policies one by one.
+std::vector<RunSummary> RunPolicies(const std::vector<PolicyRun>& policies,
+                                    const Workload& w,
+                                    const LatencyModel& model, int iterations,
+                                    obs::TraceSink* sink) {
+  std::vector<std::unique_ptr<obs::RingBufferTraceSink>> rings;
+  const int num_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  EngineBatch batch(num_threads);
+  for (const PolicyRun& policy : policies) {
+    rings.push_back(std::make_unique<obs::RingBufferTraceSink>(
+        static_cast<std::size_t>(iterations)));
+    LlaConfig config = policy.config;
+    config.record_history = true;
+    config.convergence.rel_tol = 1e-9;  // run the full horizon for the trace
+    config.trace_sink = rings.back().get();
+    batch.Add(w, model, config);
   }
-  LlaEngine engine(w, model, config);
-  for (int i = 0; i < iterations; ++i) engine.Step();
-  if (sink != nullptr) sink->OnRunEnd();
-  RunSummary summary;
-  summary.label = label;
-  summary.history = engine.history();
-  summary.final_utility = summary.history.back().total_utility;
-  return summary;
+  batch.StepAll(iterations);
+
+  std::vector<RunSummary> runs;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (sink != nullptr) {
+      obs::RunInfo info;
+      info.label = policies[i].label;
+      info.resource_count = w.resource_count();
+      info.path_count = w.path_count();
+      sink->OnRunBegin(info);
+      for (std::size_t r = 0; r < rings[i]->size(); ++r) {
+        sink->OnIteration(rings[i]->at(r));
+      }
+      sink->OnRunEnd();
+    }
+    RunSummary summary;
+    summary.label = policies[i].label;
+    summary.history = batch.engine(i).history();
+    summary.final_utility = summary.history.back().total_utility;
+    runs.push_back(std::move(summary));
+  }
+  return runs;
 }
 
 }  // namespace
@@ -80,29 +105,29 @@ int main(int argc, char** argv) {
   }
 
   const int iterations = 3000;
-  std::vector<RunSummary> runs;
+  auto workload = MakeSimWorkload();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  std::vector<PolicyRun> policies;
   for (double gamma : {0.1, 1.0, 10.0, 100.0}) {
     LlaConfig config;
     config.step_policy = StepPolicyKind::kFixed;
     config.gamma0 = gamma;
     char label[64];
     std::snprintf(label, sizeof(label), "fixed gamma=%g", gamma);
-    runs.push_back(RunPolicy(label, config, iterations, &sink));
+    policies.push_back({label, config});
   }
-  {
-    LlaConfig config = bench::PaperLlaConfig();
-    runs.push_back(
-        RunPolicy("adaptive gamma0=4 cap=8", config, iterations, &sink));
-  }
+  policies.push_back({"adaptive gamma0=4 cap=8", bench::PaperLlaConfig()});
   {
     LlaConfig config;
     config.step_policy = StepPolicyKind::kDiminishing;
     config.gamma0 = 20.0;
     config.diminishing_tau = 200.0;
-    runs.push_back(
-        RunPolicy("diminishing g0=20 tau=200 (extension)", config, iterations,
-                  &sink));
+    policies.push_back({"diminishing g0=20 tau=200 (extension)", config});
   }
+  const std::vector<RunSummary> runs =
+      RunPolicies(policies, w, model, iterations, &sink);
 
   std::printf("\nPer-iteration series written to %s (one labelled run per "
               "policy;\nfilter on \"run\" to reconstruct each Figure 5 "
@@ -155,26 +180,27 @@ int main(int argc, char** argv) {
   std::printf("\nadaptive cap ablation (gamma0 = 1):\n");
   std::printf("%-28s %14s %16s %14s\n", "cap", "final utility",
               "max price mu", "feasible");
-  for (double cap : {2.0, 4.0, 8.0, 16.0, 64.0, 65536.0}) {
-    auto workload = MakeSimWorkload();
-    const Workload& w = workload.value();
-    LatencyModel model(w);
+  const std::vector<double> caps = {2.0, 4.0, 8.0, 16.0, 64.0, 65536.0};
+  EngineBatch ablation(
+      std::max(1u, std::thread::hardware_concurrency()));
+  for (double cap : caps) {
     LlaConfig config;
     config.step_policy = StepPolicyKind::kAdaptive;
     config.gamma0 = 1.0;
     config.adaptive_max_multiplier = cap;
     config.record_history = false;
     config.convergence.rel_tol = 1e-9;
-    LlaEngine engine(w, model, config);
-    for (int i = 0; i < 3000; ++i) engine.Step();
+    ablation.Add(w, model, config);
+  }
+  ablation.StepAll(3000);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    LlaEngine& engine = ablation.engine(i);
     double max_mu = 0.0;
     for (double mu : engine.prices().mu) max_mu = std::max(max_mu, mu);
     char label[32];
-    std::snprintf(label, sizeof(label), cap > 1000 ? "%.0f (~uncapped)" : "%.0f",
-                  cap);
-    std::printf("%-28s %14.2f %16.1f %14s\n", label,
-                engine.history().empty() ? engine.TotalUtilityNow()
-                                         : engine.TotalUtilityNow(),
+    std::snprintf(label, sizeof(label),
+                  caps[i] > 1000 ? "%.0f (~uncapped)" : "%.0f", caps[i]);
+    std::printf("%-28s %14.2f %16.1f %14s\n", label, engine.TotalUtilityNow(),
                 max_mu, engine.Feasibility().feasible ? "yes" : "no");
   }
   return 0;

@@ -4,9 +4,12 @@
 // Paper claims: convergence speed does not depend on the task count, and
 // the converged utility grows linearly with the number of tasks.
 #include <cstdio>
+#include <memory>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/engine.h"
+#include "core/engine_batch.h"
 #include "workloads/paper.h"
 
 using namespace lla;
@@ -29,6 +32,11 @@ int main() {
   std::vector<std::vector<IterationStats>> traces;
   std::vector<std::string> labels;
 
+  // The three replication sizes are independent optimizations: run them as
+  // one EngineBatch (bit-identical to stepping each sequentially).
+  std::vector<std::unique_ptr<Workload>> workloads;
+  std::vector<std::unique_ptr<LatencyModel>> models;
+  EngineBatch batch(std::max(1u, std::thread::hardware_concurrency()));
   for (int replication : {1, 2, 4}) {
     auto workload = MakeScaledSimWorkload(replication,
                                           /*scale_critical_times=*/true);
@@ -36,13 +44,18 @@ int main() {
       std::printf("workload error: %s\n", workload.error().c_str());
       return 1;
     }
-    const Workload& w = workload.value();
-    LatencyModel model(w);
+    workloads.push_back(
+        std::make_unique<Workload>(std::move(workload.value())));
+    models.push_back(std::make_unique<LatencyModel>(*workloads.back()));
     LlaConfig config = bench::PaperLlaConfig();
     config.convergence.rel_tol = 1e-9;
-    LlaEngine engine(w, model, config);
-    const int iterations = 6000;
-    for (int i = 0; i < iterations; ++i) engine.Step();
+    batch.Add(*workloads.back(), *models.back(), config);
+  }
+  const int iterations = 6000;
+  batch.StepAll(iterations);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    LlaEngine& engine = batch.engine(i);
+    const Workload& w = *workloads[i];
     rows.push_back({static_cast<int>(w.task_count()),
                     engine.history().back().total_utility,
                     bench::SettleIteration(engine.history(), 0.01),

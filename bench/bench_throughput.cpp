@@ -10,16 +10,20 @@
 // detection, price update, utility stats, feasibility, convergence — walks
 // the workload independently.  Both paths produce bit-identical
 // trajectories (asserted below), so the speedup is pure constant-factor.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/engine.h"
+#include "core/engine_batch.h"
 #include "workloads/paper.h"
 #include "workloads/random.h"
 
@@ -126,16 +130,26 @@ class ScalarReferenceEngine {
   std::deque<double> recent_utilities_;
 };
 
+// Best-of-`reps` timing (min elapsed), the standard defence against noisy
+// shared hosts: scheduler hiccups only ever make a repetition slower.
 template <typename Stepper>
-double MeasureStepsPerSec(Stepper& stepper, int warmup, int iters) {
+double MeasureStepsPerSec(Stepper& stepper, int warmup, int iters,
+                          int reps = 3) {
   double last_utility = 0.0;
   for (int i = 0; i < warmup; ++i) last_utility = stepper.Step().total_utility;
-  const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < iters; ++i) last_utility = stepper.Step().total_utility;
-  const auto stop = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(stop - start).count();
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      last_utility = stepper.Step().total_utility;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+  }
   (void)last_utility;
-  return iters / seconds;
+  return iters / best_seconds;
 }
 
 struct WorkloadCase {
@@ -147,13 +161,22 @@ struct WorkloadCase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
   bench::PrintHeader(
       "bench_throughput — full LLA iterations per second",
-      "engine hot path (StepWorkspace fusion + invariant caching + "
-      "parallel SolveAll)",
-      "fused >= 2x the scalar reference single-threaded; more with threads "
-      "on multicore hardware");
+      "engine hot path (fused one-region step + invariant caching + "
+      "EngineBatch coarse parallelism)",
+      "fused >= 2x the scalar reference single-threaded; steps/s must not "
+      "decrease as threads increase past the grain cutoff");
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("hardware_concurrency: %u%s\n", hardware,
+              quick ? "  (--quick)" : "");
 
   auto fig6 = MakeScaledSimWorkload(4, /*scale_critical_times=*/true);
   if (!fig6.ok()) {
@@ -173,9 +196,10 @@ int main() {
     return 1;
   }
 
+  const int scale = quick ? 20 : 1;
   const std::vector<WorkloadCase> cases = {
-      {"fig6_12task", &fig6.value(), 500, 20000},
-      {"random_96task", &random_workload.value(), 100, 2000},
+      {"fig6_12task", &fig6.value(), 500 / scale, 60000 / scale},
+      {"random_96task", &random_workload.value(), 100 / scale, 6000 / scale},
   };
   const std::vector<int> thread_counts = {1, 2, 4};
 
@@ -218,15 +242,69 @@ int main() {
       LlaEngine engine(w, model, config);
       const double rate = MeasureStepsPerSec(engine, wc.warmup, wc.iters);
       if (num_threads == 1) fused_serial_rate = rate;
+      // Speedup is relative to the fused 1-thread run; efficiency divides
+      // by the threads that can actually exist on this host (the pool clamps
+      // to hardware concurrency, so asking for 4 threads on a 1-core box
+      // runs serial and should score ~1.0, not 0.25).
+      const int effective =
+          std::min(num_threads, static_cast<int>(hardware));
+      const double speedup = rate / fused_serial_rate;
+      const double efficiency = speedup / effective;
       std::printf("  fused, num_threads=%-12d %12.0f steps/sec  (%.2fx "
-                  "scalar)\n",
-                  num_threads, rate, rate / scalar_rate);
-      threads.Push(bench::JsonValue::Object()
-                       .Add("num_threads", bench::JsonValue::Number(
-                                               num_threads))
-                       .Add("steps_per_sec", bench::JsonValue::Number(rate)));
+                  "scalar, %.2fx 1-thread, efficiency %.2f)\n",
+                  num_threads, rate, rate / scalar_rate, speedup, efficiency);
+      if (efficiency < 1.0) {
+        std::printf("  WARN: scaling efficiency %.2f < 1.0 at num_threads=%d "
+                    "(%d effective)\n",
+                    efficiency, num_threads, effective);
+      }
+      threads.Push(
+          bench::JsonValue::Object()
+              .Add("num_threads", bench::JsonValue::Number(num_threads))
+              .Add("effective_threads",
+                   bench::JsonValue::Number(effective))
+              .Add("steps_per_sec", bench::JsonValue::Number(rate))
+              .Add("speedup_vs_1thread", bench::JsonValue::Number(speedup))
+              .Add("scaling_efficiency",
+                   bench::JsonValue::Number(efficiency)));
     }
     config.num_threads = 1;
+
+    // Coarse-grained parallelism: B independent engines stepped as a batch
+    // (one pool wake-up per StepAll, grain of one engine).  This is the
+    // granularity that scales on multicore — aggregate steps/s across the
+    // batch vs. stepping the same engines sequentially.
+    bench::JsonValue batches = bench::JsonValue::Array();
+    double batch_serial_rate = 0.0;
+    for (int num_threads : thread_counts) {
+      const int batch_size = 4;
+      EngineBatch batch(num_threads);
+      for (int b = 0; b < batch_size; ++b) batch.Add(w, model, config);
+      const int warm = std::max(1, wc.warmup / batch_size);
+      const int iters = std::max(1, wc.iters / batch_size);
+      batch.StepAll(warm);
+      double best_seconds = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        batch.StepAll(iters);
+        const auto stop = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(stop - start).count();
+        if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      }
+      const double rate = batch_size * iters / best_seconds;
+      if (num_threads == 1) batch_serial_rate = rate;
+      std::printf("  batch[%d], num_threads=%-8d %12.0f steps/sec  (%.2fx "
+                  "1-thread)\n",
+                  batch_size, num_threads, rate, rate / batch_serial_rate);
+      batches.Push(
+          bench::JsonValue::Object()
+              .Add("num_threads", bench::JsonValue::Number(num_threads))
+              .Add("batch_size", bench::JsonValue::Number(batch_size))
+              .Add("steps_per_sec", bench::JsonValue::Number(rate))
+              .Add("speedup_vs_1thread",
+                   bench::JsonValue::Number(rate / batch_serial_rate)));
+    }
 
     results.Push(
         bench::JsonValue::Object()
@@ -240,12 +318,16 @@ int main() {
                  bench::JsonValue::Number(fused_serial_rate))
             .Add("single_thread_speedup",
                  bench::JsonValue::Number(fused_serial_rate / scalar_rate))
-            .Add("threads", std::move(threads)));
+            .Add("threads", std::move(threads))
+            .Add("batched", std::move(batches)));
   }
 
   bench::JsonValue root = bench::JsonValue::Object();
   root.Add("bench", bench::JsonValue::String("throughput"));
   root.Add("unit", bench::JsonValue::String("steps_per_sec"));
+  root.Add("hardware_concurrency",
+           bench::JsonValue::Number(static_cast<double>(hardware)));
+  root.Add("quick", bench::JsonValue::Bool(quick));
   root.Add("results", std::move(results));
   const std::string json_path = "BENCH_throughput.json";
   if (bench::WriteJson(json_path, root)) {

@@ -1,7 +1,9 @@
 #include "admission/admission.h"
 
+#include <memory>
 #include <sstream>
 
+#include "core/engine_batch.h"
 #include "solver/phase1.h"
 
 namespace lla::admission {
@@ -38,76 +40,102 @@ Expected<Workload> AdmissionController::BuildWorkload() const {
   return Workload::Create(resources_, tasks_);
 }
 
+std::vector<ProbeResult> AdmissionController::ProbeAll(
+    const std::vector<std::vector<TaskSpec>>& candidate_sets) const {
+  std::vector<ProbeResult> results(candidate_sets.size());
+
+  // Validation and the cheap prechecks run serially in set order; sets that
+  // survive queue an optimizer run.  Workload/model live on the heap so
+  // their addresses stay stable for the batch engines.
+  struct PendingRun {
+    std::size_t index;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<LatencyModel> model;
+  };
+  std::vector<PendingRun> pending;
+  for (std::size_t i = 0; i < candidate_sets.size(); ++i) {
+    ProbeResult& out = results[i];
+    auto created = Workload::Create(resources_, candidate_sets[i]);
+    if (!created.ok()) {
+      out.reason = created.error();
+      continue;
+    }
+    auto workload = std::make_unique<Workload>(std::move(created.value()));
+
+    // Necessary condition: sustainable minimum shares fit.
+    bool precheck_failed = false;
+    for (const ResourceInfo& resource : workload->resources()) {
+      const double demand = workload->MinShareDemand(resource.id);
+      if (demand > resource.capacity) {
+        std::ostringstream os;
+        os << "minimum sustainable share demand " << demand << " exceeds "
+           << resource.name << " capacity " << resource.capacity;
+        out.reason = os.str();
+        precheck_failed = true;
+        break;
+      }
+    }
+    if (precheck_failed) continue;
+
+    auto model = std::make_unique<LatencyModel>(*workload);
+
+    // Fast certificate: Phase-I finds (or fails to find) an interior point.
+    if (config_.phase1_precheck) {
+      Phase1Solver phase1(*workload, *model);
+      const Phase1Result result = phase1.Solve();
+      if (!result.strictly_feasible && result.max_violation > 1e-3) {
+        std::ostringstream os;
+        os << "Phase-I residual " << result.max_violation
+           << ": no feasible assignment exists";
+        out.reason = os.str();
+        continue;
+      }
+    }
+    pending.push_back({i, std::move(workload), std::move(model)});
+  }
+  if (pending.empty()) return results;
+
+  // Full test: the optimizer itself (paper Sec. 5.4), one engine per
+  // surviving set, stepped concurrently across probe_threads.
+  LlaConfig lla_config = config_.lla;
+  lla_config.record_history = false;
+  EngineBatch batch(config_.probe_threads);
+  for (PendingRun& run : pending) {
+    batch.Add(*run.workload, *run.model, lla_config);
+  }
+  const std::vector<RunResult> runs = batch.RunAll(config_.max_iterations);
+  for (std::size_t p = 0; p < pending.size(); ++p) {
+    ProbeResult& out = results[pending[p].index];
+    const RunResult& run = runs[p];
+    out.evaluated = true;
+    out.utility = run.final_utility;
+    if (!run.converged || !run.final_feasibility.feasible) {
+      std::ostringstream os;
+      os << "optimizer " << (run.converged ? "converged infeasible" :
+                             "did not converge")
+         << " after " << run.iterations << " iterations";
+      out.reason = os.str();
+    } else {
+      out.schedulable = true;
+    }
+  }
+  return results;
+}
+
 bool AdmissionController::Schedulable(const std::vector<TaskSpec>& tasks,
                                       double* utility,
                                       std::string* reason) const {
-  auto workload = Workload::Create(resources_, tasks);
-  if (!workload.ok()) {
-    *reason = workload.error();
-    return false;
-  }
-  const Workload& w = workload.value();
-  LatencyModel model(w);
-
-  // Necessary condition: sustainable minimum shares fit.
-  for (const ResourceInfo& resource : w.resources()) {
-    const double demand = w.MinShareDemand(resource.id);
-    if (demand > resource.capacity) {
-      std::ostringstream os;
-      os << "minimum sustainable share demand " << demand << " exceeds "
-         << resource.name << " capacity " << resource.capacity;
-      *reason = os.str();
-      return false;
-    }
-  }
-
-  // Fast certificate: Phase-I finds (or fails to find) an interior point.
-  if (config_.phase1_precheck) {
-    Phase1Solver phase1(w, model);
-    const Phase1Result result = phase1.Solve();
-    if (!result.strictly_feasible && result.max_violation > 1e-3) {
-      std::ostringstream os;
-      os << "Phase-I residual " << result.max_violation
-         << ": no feasible assignment exists";
-      *reason = os.str();
-      return false;
-    }
-  }
-
-  // Full test: the optimizer itself (paper Sec. 5.4).
-  LlaConfig lla_config = config_.lla;
-  lla_config.record_history = false;
-  LlaEngine engine(w, model, lla_config);
-  const RunResult run = engine.Run(config_.max_iterations);
-  *utility = run.final_utility;
-  if (!run.converged || !run.final_feasibility.feasible) {
-    std::ostringstream os;
-    os << "optimizer " << (run.converged ? "converged infeasible" :
-                           "did not converge")
-       << " after " << run.iterations << " iterations";
-    *reason = os.str();
-    return false;
-  }
-  return true;
+  const ProbeResult probe = ProbeAll({tasks}).front();
+  if (probe.evaluated) *utility = probe.utility;
+  *reason = probe.reason;
+  return probe.schedulable;
 }
 
 AdmissionReport AdmissionController::TryAdmit(const TaskSpec& candidate) {
   AdmissionReport report;
 
-  // Utility of the incumbents (for the net-benefit policy and reporting).
-  if (!tasks_.empty()) {
-    std::string unused;
-    if (!Schedulable(tasks_, &report.utility_before, &unused)) {
-      // Should not happen (we only admit schedulable sets), but stay safe.
-      report.utility_before = 0.0;
-    }
-  }
-
   std::vector<TaskSpec> trial = tasks_;
   trial.push_back(candidate);
-
-  std::string reason;
-  double utility_after = 0.0;
   {
     // Validation distinct from schedulability for a precise decision code.
     auto workload = Workload::Create(resources_, trial);
@@ -117,11 +145,25 @@ AdmissionReport AdmissionController::TryAdmit(const TaskSpec& candidate) {
       return report;
     }
   }
-  if (!Schedulable(trial, &utility_after, &reason)) {
+
+  // The incumbent-only optimum (net-benefit policy and reporting) and the
+  // with-candidate test are independent optimizations: probe them side by
+  // side — concurrent when config_.probe_threads > 1, and bit-identical to
+  // the sequential evaluation either way.
+  std::vector<std::vector<TaskSpec>> sets;
+  if (!tasks_.empty()) sets.push_back(tasks_);
+  sets.push_back(trial);
+  const std::vector<ProbeResult> probes = ProbeAll(sets);
+  if (!tasks_.empty() && probes.front().schedulable) {
+    report.utility_before = probes.front().utility;
+  }
+  const ProbeResult& trial_probe = probes.back();
+  if (!trial_probe.schedulable) {
     report.decision = Decision::kRejectedInfeasible;
-    report.reason = reason;
+    report.reason = trial_probe.reason;
     return report;
   }
+  const double utility_after = trial_probe.utility;
   report.utility_after = utility_after;
 
   if (config_.policy == Policy::kNetBenefit &&

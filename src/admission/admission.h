@@ -45,6 +45,12 @@ struct AdmissionConfig {
   double min_net_benefit = 0.0;
   /// Run the Phase-I solver before the full optimizer (fast reject).
   bool phase1_precheck = true;
+  /// Threads for concurrent admission probes: TryAdmit runs its
+  /// incumbent-only and with-candidate optimizations side by side, and
+  /// ProbeAll fans independent what-if sets across an EngineBatch.  Each
+  /// probe's result is bit-identical to a serial evaluation (the probes
+  /// share nothing mutable); 1 keeps everything sequential.
+  int probe_threads = 1;
 };
 
 struct AdmissionReport {
@@ -54,6 +60,16 @@ struct AdmissionReport {
   double utility_before = 0.0;
   /// Optimal utility including the candidate (only when evaluated).
   double utility_after = 0.0;
+};
+
+/// Outcome of one what-if probe (see AdmissionController::ProbeAll).
+struct ProbeResult {
+  bool schedulable = false;
+  /// True when the set survived validation and the prechecks and the full
+  /// optimizer ran; `utility` is meaningful (even for an infeasible run).
+  bool evaluated = false;
+  double utility = 0.0;
+  std::string reason;  ///< empty when schedulable
 };
 
 class AdmissionController {
@@ -75,6 +91,15 @@ class AdmissionController {
 
   /// Optimal utility of the current set (re-optimized; 0 when empty).
   double CurrentUtility() const;
+
+  /// What-if probes: evaluates every candidate task set through the full
+  /// pipeline (validation, min-share precheck, optional Phase-I, LLA run)
+  /// without touching the admitted set.  The optimizer runs of all sets
+  /// that survive the prechecks execute concurrently across
+  /// config.probe_threads (EngineBatch); each result is bit-identical to a
+  /// serial evaluation.
+  std::vector<ProbeResult> ProbeAll(
+      const std::vector<std::vector<TaskSpec>>& candidate_sets) const;
 
  private:
   /// Runs the full schedulability pipeline on a task set; fills utility.

@@ -29,12 +29,12 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
       updater_(workload, model),
       step_policy_(MakeStepPolicy(config)) {
   if (config_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads,
+                                         config_.parallel);
   }
   if (config_.metrics != nullptr) {
     steps_counter_ = config_.metrics->GetCounter("engine.steps");
     solve_timer_ = config_.metrics->GetTimer("engine.solve");
-    evaluate_timer_ = config_.metrics->GetTimer("engine.evaluate");
     price_timer_ = config_.metrics->GetTimer("engine.price_update");
   }
   workspace_.Resize(workload);
@@ -73,19 +73,16 @@ void LlaEngine::WarmStart(const PriceVector& prices) {
 }
 
 IterationStats LlaEngine::Step() {
-  // 1. Latency allocation at current prices (every task controller).
+  // 1. Latency allocation at current prices plus the fused evaluation sweep
+  //    (share sums, path latencies, utility aggregates) as a single
+  //    fork-join region — one worker wake-up per step.  Everything below
+  //    reads the workspace arrays.
   {
     obs::ScopedTimer timing(solve_timer_);
-    solver_.SolveAll(prices_, &latencies_, pool_.get());
-  }
-
-  // One fused evaluation sweep: share sums, path latencies and utility
-  // aggregates land in the workspace; everything below reads the arrays.
-  {
-    obs::ScopedTimer timing(evaluate_timer_);
-    FillStepWorkspace(*workload_, *model_, latencies_, config_.solver.variant,
-                      config_.convergence.feasibility_tol, pool_.get(),
-                      &workspace_);
+    SolveAndFillStepWorkspace(solver_, *workload_, *model_, prices_,
+                              config_.solver.variant,
+                              config_.convergence.feasibility_tol,
+                              pool_.get(), &latencies_, &workspace_);
   }
 
   // 2. Price computation: congestion feedback chooses the step sizes, then

@@ -13,8 +13,10 @@
 // feasibility, complementary slackness) reads those arrays instead of
 // re-walking the workload.  The workspace buffers are reused, so the
 // steady-state iteration is allocation-free.  With num_threads > 1 the
-// per-task solves and the evaluation sweeps fan out across a thread pool
-// with static partitioning; results are bit-identical for any thread count.
+// per-task solves and the evaluation sweeps run as ONE fork-join region per
+// step (SolveAndFillStepWorkspace) with static partitioning and a
+// deterministic grain cutoff; results are bit-identical for any thread
+// count.
 //
 // The engine is the single-process reference implementation used by the
 // simulation experiments (Secs. 5.2-5.4); the message-passing deployment of
@@ -78,14 +80,18 @@ struct LlaConfig {
   /// default) runs serially with no pool; any value produces bit-identical
   /// results (static partitioning, serial reductions).
   int num_threads = 1;
+  /// Pool tuning: grain cutoff, hardware-concurrency clamp, spin budget.
+  /// None of these can change results, only scheduling (see parallel.h).
+  ParallelConfig parallel;
   /// Receives one IterationTrace per Step(), sourced from the fused
   /// StepWorkspace (no extra sweeps).  Null (the default) disables tracing
   /// at the cost of one pointer test; an attached sink never perturbs the
   /// trajectory (non-owning; must outlive the engine).
   obs::TraceSink* trace_sink = nullptr;
-  /// Registry for the engine's counters (engine.steps) and phase timers
-  /// (engine.solve / engine.evaluate / engine.price_update).  Null disables
-  /// instrumentation entirely (non-owning; must outlive the engine).
+  /// Registry for the engine's counters (engine.steps) and phase timers:
+  /// engine.solve (the fused solve+evaluate region — one fork-join per
+  /// step) and engine.price_update.  Null disables instrumentation entirely
+  /// (non-owning; must outlive the engine).
   obs::MetricRegistry* metrics = nullptr;
 };
 
@@ -175,8 +181,7 @@ class LlaEngine {
   /// Observability handles, resolved once at construction (all null when
   /// config.metrics is null) and a reused trace record buffer.
   obs::Counter* steps_counter_ = nullptr;
-  obs::Timer* solve_timer_ = nullptr;
-  obs::Timer* evaluate_timer_ = nullptr;
+  obs::Timer* solve_timer_ = nullptr;  ///< fused solve+evaluate region
   obs::Timer* price_timer_ = nullptr;
   obs::IterationTrace trace_;
 };

@@ -1,0 +1,34 @@
+#include "core/engine_batch.h"
+
+namespace lla {
+
+EngineBatch::EngineBatch(int num_threads, ParallelConfig config) {
+  if (num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads, config);
+  }
+}
+
+EngineBatch::~EngineBatch() = default;
+
+int EngineBatch::Add(const Workload& workload, const LatencyModel& model,
+                     LlaConfig config) {
+  config.num_threads = 1;  // parallelism lives across instances
+  engines_.push_back(std::make_unique<LlaEngine>(workload, model, config));
+  return static_cast<int>(engines_.size()) - 1;
+}
+
+void EngineBatch::StepAll(int steps) {
+  ParallelSweep(pool_.get(), engines_.size(), [&](std::size_t i) {
+    for (int s = 0; s < steps; ++s) engines_[i]->Step();
+  });
+}
+
+std::vector<RunResult> EngineBatch::RunAll(int max_iterations) {
+  std::vector<RunResult> results(engines_.size());
+  ParallelSweep(pool_.get(), engines_.size(), [&](std::size_t i) {
+    results[i] = engines_[i]->Run(max_iterations);
+  });
+  return results;
+}
+
+}  // namespace lla

@@ -15,12 +15,35 @@ LatencySolver::LatencySolver(const Workload& workload,
   assert(config.lat_cap_factor >= 1.0);
   const std::size_t n = workload.subtask_count();
   weight_.reserve(n);
+  resource_index_.reserve(n);
   path_offset_.reserve(n + 1);
   path_offset_.push_back(0);
   for (const SubtaskInfo& sub : workload.subtasks()) {
     weight_.push_back(workload.Weight(sub.id, config_.variant));
+    resource_index_.push_back(sub.resource.value());
     for (PathId pid : sub.paths) path_index_.push_back(pid.value());
     path_offset_.push_back(path_index_.size());
+  }
+  // Per-task subtask spans.  Workload construction assigns subtask ids in
+  // task order, so spans are contiguous in practice; the flag guards the
+  // flat kernel against any future layout that breaks that.
+  const std::vector<TaskInfo>& tasks = workload.tasks();
+  task_begin_.resize(tasks.size(), 0);
+  task_end_.resize(tasks.size(), 0);
+  task_contiguous_.resize(tasks.size(), 0);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const std::vector<SubtaskId>& subs = tasks[t].subtasks;
+    if (subs.empty()) {
+      task_contiguous_[t] = 1;  // empty span, kernel trivially applies
+      continue;
+    }
+    task_begin_[t] = subs.front().value();
+    task_end_[t] = subs.back().value() + 1;
+    bool contiguous = task_end_[t] - task_begin_[t] == subs.size();
+    for (std::size_t i = 0; contiguous && i < subs.size(); ++i) {
+      contiguous = subs[i].value() == task_begin_[t] + i;
+    }
+    task_contiguous_[t] = contiguous ? 1 : 0;
   }
 }
 
@@ -52,11 +75,30 @@ void LatencySolver::EnsureCacheFresh() const {
   lat_lo_.resize(n);
   lat_hi_.resize(n);
   share_.resize(n);
+  closed_work_.resize(n);
+  closed_err_.resize(n);
+  lambda_scratch_.resize(n);
+  std::vector<std::uint8_t> closed(n, 0);
   for (std::size_t s = 0; s < n; ++s) {
     const SubtaskId id(s);
     lat_lo_[s] = ComputeLatLo(id);
     lat_hi_[s] = ComputeLatHi(id);
     share_[s] = &model_->share(id);
+    double work = 0.0, err = 0.0;
+    if (share_[s]->ReciprocalForm(&work, &err)) {
+      closed_work_[s] = work;
+      closed_err_[s] = err;
+      closed[s] = 1;
+    }
+  }
+  const std::vector<TaskInfo>& tasks = workload_->tasks();
+  task_closed_.assign(tasks.size(), 0);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    bool all_closed = task_contiguous_[t] != 0;
+    for (std::size_t s = task_begin_[t]; all_closed && s < task_end_[t]; ++s) {
+      all_closed = closed[s] != 0;
+    }
+    task_closed_[t] = all_closed ? 1 : 0;
   }
   cached_revision_ = model_->revision();
   cache_valid_ = true;
@@ -109,12 +151,64 @@ double LatencySolver::SolveSubtask(SubtaskId id, double utility_slope,
   return share.LatencyForNegSlope(pressure / mu, lo, hi);
 }
 
+void LatencySolver::SolveClosedSpan(std::size_t begin, std::size_t end,
+                                    double utility_slope,
+                                    const PriceVector& prices,
+                                    double* out) const {
+  // Gather pass: per-subtask path-price sums, accumulated in CSR order
+  // (matching SolveSubtask exactly).
+  const double* lambda = prices.lambda.data();
+  for (std::size_t s = begin; s < end; ++s) {
+    double lambda_sum = 0.0;
+    for (std::size_t i = path_offset_[s]; i < path_offset_[s + 1]; ++i) {
+      lambda_sum += lambda[path_index_[i]];
+    }
+    lambda_scratch_[s] = lambda_sum;
+  }
+  // Closed-form pass over flat arrays.  Every expression mirrors
+  // SolveSubtask / LatencyForNegSlope operation-for-operation (division by
+  // mu first, then work/g, then err + sqrt, then clamp) so the result is
+  // bit-identical to the virtual-dispatch path.
+  const double* mu = prices.mu.data();
+  for (std::size_t s = begin; s < end; ++s) {
+    const double lo = lat_lo_[s];
+    const double hi = lat_hi_[s];
+    double lat;
+    if (lo >= hi) {
+      lat = lo;
+    } else {
+      const double m = mu[resource_index_[s]];
+      const double pressure =
+          lambda_scratch_[s] - weight_[s] * utility_slope;
+      if (m <= 0.0) {
+        lat = pressure > 0.0 ? lo : hi;
+      } else if (pressure <= 0.0) {
+        lat = hi;
+      } else {
+        const double g = pressure / m;
+        if (g == 0.0) {
+          lat = hi;
+        } else {
+          double v = closed_err_[s] + std::sqrt(closed_work_[s] / g);
+          v = v < lo ? lo : v;  // == Clamp(v, lo, hi)
+          v = v > hi ? hi : v;
+          lat = v;
+        }
+      }
+    }
+    out[s] = lat;
+  }
+}
+
 void LatencySolver::SolveTaskFresh(TaskId task, const PriceVector& prices,
                                    Assignment* latencies) const {
   assert(latencies->size() == workload_->subtask_count());
   const TaskInfo& info = workload_->task(task);
   const UtilityFunction& f = *info.utility;
   const bool cached = config_.cache_invariants;
+  const bool closed = cached && task_closed_[task.value()] != 0;
+  const std::size_t span_begin = task_begin_[task.value()];
+  const std::size_t span_end = task_end_[task.value()];
 
   // Bracket the coupling value X = sum of weighted latencies.
   double x_lo = 0.0, x_hi = 0.0;
@@ -133,11 +227,21 @@ void LatencySolver::SolveTaskFresh(TaskId task, const PriceVector& prices,
     // General concave f: solve X = h(X).  h is non-increasing in X because
     // f' is non-increasing, so g(X) = h(X) - X is strictly decreasing and
     // has a unique root in [x_lo, x_hi].
+    // Each h evaluation writes the task's own latency span (overwritten by
+    // the final pass below, and disjoint from other tasks' spans), which
+    // lets the closed-form kernel serve the fixed point too.
     const auto h = [&](double x) {
       const double fx = f.Derivative(x);
       double sum = 0.0;
-      for (SubtaskId sid : info.subtasks) {
-        sum += weight_[sid.value()] * SolveSubtask(sid, fx, prices);
+      if (closed) {
+        SolveClosedSpan(span_begin, span_end, fx, prices, latencies->data());
+        for (std::size_t s = span_begin; s < span_end; ++s) {
+          sum += weight_[s] * (*latencies)[s];
+        }
+      } else {
+        for (SubtaskId sid : info.subtasks) {
+          sum += weight_[sid.value()] * SolveSubtask(sid, fx, prices);
+        }
       }
       return sum;
     };
@@ -159,8 +263,12 @@ void LatencySolver::SolveTaskFresh(TaskId task, const PriceVector& prices,
     slope = f.Derivative(x);
   }
 
-  for (SubtaskId sid : info.subtasks) {
-    (*latencies)[sid.value()] = SolveSubtask(sid, slope, prices);
+  if (closed) {
+    SolveClosedSpan(span_begin, span_end, slope, prices, latencies->data());
+  } else {
+    for (SubtaskId sid : info.subtasks) {
+      (*latencies)[sid.value()] = SolveSubtask(sid, slope, prices);
+    }
   }
 }
 
@@ -170,17 +278,25 @@ void LatencySolver::SolveTask(TaskId task, const PriceVector& prices,
   SolveTaskFresh(task, prices, latencies);
 }
 
+void LatencySolver::PrepareSolve() const { EnsureCacheFresh(); }
+
+void LatencySolver::SolveTaskRange(std::size_t begin, std::size_t end,
+                                   const PriceVector& prices,
+                                   Assignment* latencies) const {
+  const std::vector<TaskInfo>& tasks = workload_->tasks();
+  for (std::size_t t = begin; t < end; ++t) {
+    SolveTaskFresh(tasks[t].id, prices, latencies);
+  }
+}
+
 void LatencySolver::SolveAll(const PriceVector& prices, Assignment* latencies,
                              ThreadPool* pool) const {
   assert(latencies->size() == workload_->subtask_count());
   // Refresh serially before fanning out; workers then only read the cache.
-  EnsureCacheFresh();
-  const std::vector<TaskInfo>& tasks = workload_->tasks();
-  StaticParallelFor(pool, tasks.size(),
+  PrepareSolve();
+  StaticParallelFor(pool, workload_->tasks().size(),
                     [&](std::size_t begin, std::size_t end) {
-                      for (std::size_t t = begin; t < end; ++t) {
-                        SolveTaskFresh(tasks[t].id, prices, latencies);
-                      }
+                      SolveTaskRange(begin, end, prices, latencies);
                     });
 }
 

@@ -74,6 +74,16 @@ class LatencySolver {
   void SolveAll(const PriceVector& prices, Assignment* latencies,
                 ThreadPool* pool = nullptr) const;
 
+  /// Refreshes the invariant cache (serial).  Call once before fanning
+  /// SolveTaskRange out across threads; workers then only read the cache.
+  void PrepareSolve() const;
+
+  /// Solves tasks [begin, end) — the chunk body of a parallel solve.
+  /// Requires PrepareSolve() first; writes only the latency slots of the
+  /// chunk's own subtasks, so disjoint chunks compose race-free.
+  void SolveTaskRange(std::size_t begin, std::size_t end,
+                      const PriceVector& prices, Assignment* latencies) const;
+
   /// Clamping bounds for a subtask's latency.
   double LatLo(SubtaskId id) const;
   double LatHi(SubtaskId id) const;
@@ -101,6 +111,14 @@ class LatencySolver {
   /// SolveTask body, assuming the cache is fresh.
   void SolveTaskFresh(TaskId task, const PriceVector& prices,
                       Assignment* latencies) const;
+  /// Flat closed-form stationarity kernel over the contiguous subtask span
+  /// [begin, end): lat = clamp(err + sqrt(work / ((Lambda - w f') / mu))),
+  /// evaluated over the cached SoA arrays with exactly the arithmetic of
+  /// SolveSubtask + LatencyForNegSlope, so results are bit-identical to the
+  /// virtual-dispatch path.  `out` is indexed by global subtask id.
+  void SolveClosedSpan(std::size_t begin, std::size_t end,
+                       double utility_slope, const PriceVector& prices,
+                       double* out) const;
 
   const Workload* workload_;
   const LatencyModel* model_;
@@ -110,6 +128,10 @@ class LatencySolver {
   std::vector<double> weight_;           ///< w_s under config_.variant
   std::vector<std::size_t> path_offset_; ///< CSR offsets, subtask -> paths
   std::vector<std::size_t> path_index_;  ///< CSR values: global PathId values
+  std::vector<std::size_t> resource_index_;  ///< subtask -> ResourceId value
+  std::vector<std::size_t> task_begin_;  ///< task -> first subtask id
+  std::vector<std::size_t> task_end_;    ///< task -> one-past-last subtask id
+  std::vector<std::uint8_t> task_contiguous_;  ///< span covers exactly the task
 
   // Model-derived invariants, rebuilt when the model revision moves.
   mutable std::uint64_t cached_revision_ = 0;
@@ -117,6 +139,14 @@ class LatencySolver {
   mutable std::vector<double> lat_lo_;
   mutable std::vector<double> lat_hi_;
   mutable std::vector<const ShareFunction*> share_;
+  mutable std::vector<double> closed_work_;  ///< reciprocal-form work coeff
+  mutable std::vector<double> closed_err_;   ///< reciprocal-form error coeff
+  /// task -> every subtask has a reciprocal-form share AND the task's
+  /// subtask ids are contiguous, i.e. SolveClosedSpan applies.
+  mutable std::vector<std::uint8_t> task_closed_;
+  /// Per-subtask scratch for the kernel's path-price gather; tasks own
+  /// disjoint spans, so parallel chunks never collide.
+  mutable std::vector<double> lambda_scratch_;
 };
 
 }  // namespace lla

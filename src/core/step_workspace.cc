@@ -1,8 +1,28 @@
 #include "core/step_workspace.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace lla {
+namespace {
+
+// Serial reductions in index order: identical for every thread count.
+void ReduceWorkspace(const Workload& workload, double feasibility_tol,
+                     StepWorkspace* workspace) {
+  const std::vector<ResourceInfo>& resources = workload.resources();
+  for (std::size_t r = 0; r < resources.size(); ++r) {
+    workspace->resource_congested[r] =
+        workspace->resource_share_sums[r] > resources[r].capacity;
+  }
+  double total = 0.0;
+  for (double utility : workspace->task_utilities) total += utility;
+  workspace->total_utility = total;
+  workspace->feasibility =
+      SummarizeFeasibility(workload, workspace->resource_share_sums,
+                           workspace->path_latencies, feasibility_tol);
+}
+
+}  // namespace
 
 void StepWorkspace::Resize(const Workload& workload) {
   resource_share_sums.resize(workload.resource_count());
@@ -23,19 +43,77 @@ void FillStepWorkspace(const Workload& workload, const LatencyModel& model,
   FillTaskAggregates(workload, latencies, variant,
                      &workspace->task_weighted_latencies,
                      &workspace->task_utilities, pool);
+  ReduceWorkspace(workload, feasibility_tol, workspace);
+}
 
-  // Serial reductions in index order: identical for every thread count.
-  const std::vector<ResourceInfo>& resources = workload.resources();
-  for (std::size_t r = 0; r < resources.size(); ++r) {
-    workspace->resource_congested[r] =
-        workspace->resource_share_sums[r] > resources[r].capacity;
+void SolveAndFillStepWorkspace(const LatencySolver& solver,
+                               const Workload& workload,
+                               const LatencyModel& model,
+                               const PriceVector& prices,
+                               UtilityVariant variant, double feasibility_tol,
+                               ThreadPool* pool, Assignment* latencies,
+                               StepWorkspace* workspace) {
+  assert(latencies->size() == workload.subtask_count());
+  workspace->Resize(workload);
+  // Cache refresh is serial; the region below only reads solver state
+  // (besides the disjoint per-task scratch/latency slots).
+  solver.PrepareSolve();
+
+  const std::size_t task_count = workload.task_count();
+  const std::size_t resource_count = workload.resource_count();
+  const std::size_t path_count = workload.path_count();
+
+  // Each sweep gets its own deterministic participant count; the region is
+  // sized for the widest sweep and narrower sweeps leave the extra threads
+  // idle for that phase.
+  const int p_task = pool != nullptr ? pool->ParticipantsFor(task_count) : 1;
+  const int p_resource =
+      pool != nullptr ? pool->ParticipantsFor(resource_count) : 1;
+  const int p_path = pool != nullptr ? pool->ParticipantsFor(path_count) : 1;
+  const int region = std::max({p_task, p_resource, p_path});
+
+  if (pool == nullptr || region <= 1) {
+    solver.SolveTaskRange(0, task_count, prices, latencies);
+    FillResourceShareSumsRange(workload, model, *latencies, 0, resource_count,
+                               &workspace->resource_share_sums);
+    FillPathLatenciesRange(workload, *latencies, 0, path_count,
+                           &workspace->path_latencies);
+    FillTaskAggregatesRange(workload, *latencies, variant, 0, task_count,
+                            &workspace->task_weighted_latencies,
+                            &workspace->task_utilities);
+    ReduceWorkspace(workload, feasibility_tol, workspace);
+    return;
   }
-  double total = 0.0;
-  for (double utility : workspace->task_utilities) total += utility;
-  workspace->total_utility = total;
-  workspace->feasibility =
-      SummarizeFeasibility(workload, workspace->resource_share_sums,
-                           workspace->path_latencies, feasibility_tol);
+
+  SpinBarrier barrier(region);
+  pool->RunRegion(region, [&](int index, int /*participants*/) {
+    // Phase 1: latency allocation over task chunks (disjoint latency slots).
+    if (index < p_task) {
+      const auto [begin, end] = ChunkRange(task_count, p_task, index);
+      solver.SolveTaskRange(begin, end, prices, latencies);
+    }
+    // Every evaluation sweep reads latencies across chunk boundaries, so
+    // all solving must be visible first.
+    barrier.Wait();
+    // Phase 2: the three independent evaluation sweeps.
+    if (index < p_resource) {
+      const auto [begin, end] = ChunkRange(resource_count, p_resource, index);
+      FillResourceShareSumsRange(workload, model, *latencies, begin, end,
+                                 &workspace->resource_share_sums);
+    }
+    if (index < p_path) {
+      const auto [begin, end] = ChunkRange(path_count, p_path, index);
+      FillPathLatenciesRange(workload, *latencies, begin, end,
+                             &workspace->path_latencies);
+    }
+    if (index < p_task) {
+      const auto [begin, end] = ChunkRange(task_count, p_task, index);
+      FillTaskAggregatesRange(workload, *latencies, variant, begin, end,
+                              &workspace->task_weighted_latencies,
+                              &workspace->task_utilities);
+    }
+  });
+  ReduceWorkspace(workload, feasibility_tol, workspace);
 }
 
 }  // namespace lla

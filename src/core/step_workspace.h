@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "core/latency_solver.h"
+#include "core/prices.h"
 #include "model/evaluation.h"
 #include "model/latency_model.h"
 #include "model/workload.h"
@@ -45,5 +47,23 @@ void FillStepWorkspace(const Workload& workload, const LatencyModel& model,
                        const Assignment& latencies, UtilityVariant variant,
                        double feasibility_tol, ThreadPool* pool,
                        StepWorkspace* workspace);
+
+/// The whole compute half of one LLA step — latency allocation at `prices`
+/// into `latencies`, then every workspace array — as a single fork-join
+/// region.  With a pool this costs ONE worker wake-up per step (the solve
+/// and evaluation sweeps are separated by an in-region SpinBarrier and the
+/// three evaluation sweeps are independent), instead of the four
+/// dispatch/join rounds of SolveAll + FillStepWorkspace.  Each internal
+/// sweep chunks by its own deterministic participant count (grain cutoff on
+/// its item count), and the reductions stay serial, so results are
+/// bit-identical to the unfused path at any thread count.  Runs serially
+/// when `pool` is null or every sweep falls under the grain cutoff.
+void SolveAndFillStepWorkspace(const LatencySolver& solver,
+                               const Workload& workload,
+                               const LatencyModel& model,
+                               const PriceVector& prices,
+                               UtilityVariant variant, double feasibility_tol,
+                               ThreadPool* pool, Assignment* latencies,
+                               StepWorkspace* workspace);
 
 }  // namespace lla

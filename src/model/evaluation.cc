@@ -80,39 +80,72 @@ FeasibilityReport CheckFeasibility(const Workload& workload,
   return report;
 }
 
+void FillResourceShareSumsRange(const Workload& workload,
+                                const LatencyModel& model,
+                                const Assignment& latencies, std::size_t begin,
+                                std::size_t end, std::vector<double>* sums) {
+  const std::vector<ResourceInfo>& resources = workload.resources();
+  for (std::size_t r = begin; r < end; ++r) {
+    double sum = 0.0;
+    for (SubtaskId sid : resources[r].subtasks) {
+      sum += model.share(sid).Share(latencies[sid.value()]);
+    }
+    (*sums)[r] = sum;
+  }
+}
+
 void FillResourceShareSums(const Workload& workload, const LatencyModel& model,
                            const Assignment& latencies,
                            std::vector<double>* sums, ThreadPool* pool) {
   assert(latencies.size() == workload.subtask_count());
   sums->resize(workload.resource_count());
-  const std::vector<ResourceInfo>& resources = workload.resources();
-  StaticParallelFor(pool, resources.size(),
+  StaticParallelFor(pool, workload.resources().size(),
                     [&](std::size_t begin, std::size_t end) {
-                      for (std::size_t r = begin; r < end; ++r) {
-                        double sum = 0.0;
-                        for (SubtaskId sid : resources[r].subtasks) {
-                          sum += model.share(sid).Share(latencies[sid.value()]);
-                        }
-                        (*sums)[r] = sum;
-                      }
+                      FillResourceShareSumsRange(workload, model, latencies,
+                                                 begin, end, sums);
                     });
+}
+
+void FillPathLatenciesRange(const Workload& workload,
+                            const Assignment& latencies, std::size_t begin,
+                            std::size_t end,
+                            std::vector<double>* latencies_out) {
+  const std::vector<PathInfo>& paths = workload.paths();
+  for (std::size_t p = begin; p < end; ++p) {
+    double sum = 0.0;
+    for (SubtaskId sid : paths[p].subtasks) {
+      sum += latencies[sid.value()];
+    }
+    (*latencies_out)[p] = sum;
+  }
 }
 
 void FillPathLatencies(const Workload& workload, const Assignment& latencies,
                        std::vector<double>* latencies_out, ThreadPool* pool) {
   assert(latencies.size() == workload.subtask_count());
   latencies_out->resize(workload.path_count());
-  const std::vector<PathInfo>& paths = workload.paths();
-  StaticParallelFor(pool, paths.size(),
+  StaticParallelFor(pool, workload.paths().size(),
                     [&](std::size_t begin, std::size_t end) {
-                      for (std::size_t p = begin; p < end; ++p) {
-                        double sum = 0.0;
-                        for (SubtaskId sid : paths[p].subtasks) {
-                          sum += latencies[sid.value()];
-                        }
-                        (*latencies_out)[p] = sum;
-                      }
+                      FillPathLatenciesRange(workload, latencies, begin, end,
+                                             latencies_out);
                     });
+}
+
+void FillTaskAggregatesRange(const Workload& workload,
+                             const Assignment& latencies,
+                             UtilityVariant variant, std::size_t begin,
+                             std::size_t end,
+                             std::vector<double>* weighted_latencies,
+                             std::vector<double>* utilities) {
+  const std::vector<TaskInfo>& tasks = workload.tasks();
+  for (std::size_t t = begin; t < end; ++t) {
+    double weighted = 0.0;
+    for (SubtaskId sid : tasks[t].subtasks) {
+      weighted += workload.Weight(sid, variant) * latencies[sid.value()];
+    }
+    (*weighted_latencies)[t] = weighted;
+    (*utilities)[t] = tasks[t].utility->Value(weighted);
+  }
 }
 
 void FillTaskAggregates(const Workload& workload, const Assignment& latencies,
@@ -122,18 +155,12 @@ void FillTaskAggregates(const Workload& workload, const Assignment& latencies,
   assert(latencies.size() == workload.subtask_count());
   weighted_latencies->resize(workload.task_count());
   utilities->resize(workload.task_count());
-  const std::vector<TaskInfo>& tasks = workload.tasks();
-  StaticParallelFor(
-      pool, tasks.size(), [&](std::size_t begin, std::size_t end) {
-        for (std::size_t t = begin; t < end; ++t) {
-          double weighted = 0.0;
-          for (SubtaskId sid : tasks[t].subtasks) {
-            weighted += workload.Weight(sid, variant) * latencies[sid.value()];
-          }
-          (*weighted_latencies)[t] = weighted;
-          (*utilities)[t] = tasks[t].utility->Value(weighted);
-        }
-      });
+  StaticParallelFor(pool, workload.tasks().size(),
+                    [&](std::size_t begin, std::size_t end) {
+                      FillTaskAggregatesRange(workload, latencies, variant,
+                                              begin, end, weighted_latencies,
+                                              utilities);
+                    });
 }
 
 FeasibilitySummary SummarizeFeasibility(

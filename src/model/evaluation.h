@@ -91,6 +91,27 @@ void FillTaskAggregates(const Workload& workload, const Assignment& latencies,
                         std::vector<double>* utilities,
                         ThreadPool* pool = nullptr);
 
+/// Range forms of the Fill* sweeps: compute items [begin, end) into
+/// already-sized output arrays.  These are the chunk bodies a caller-managed
+/// parallel region uses to pack several sweeps into one fork-join (see
+/// SolveAndFillStepWorkspace); each writes only its chunk's slots and uses
+/// the same iteration order and arithmetic as the full Fill*, so chunked
+/// results stay bit-identical to the scalar oracles.
+void FillResourceShareSumsRange(const Workload& workload,
+                                const LatencyModel& model,
+                                const Assignment& latencies, std::size_t begin,
+                                std::size_t end, std::vector<double>* sums);
+void FillPathLatenciesRange(const Workload& workload,
+                            const Assignment& latencies, std::size_t begin,
+                            std::size_t end,
+                            std::vector<double>* latencies_out);
+void FillTaskAggregatesRange(const Workload& workload,
+                             const Assignment& latencies,
+                             UtilityVariant variant, std::size_t begin,
+                             std::size_t end,
+                             std::vector<double>* weighted_latencies,
+                             std::vector<double>* utilities);
+
 /// The three FeasibilityReport scalars without the per-resource/per-task
 /// vectors — the per-iteration form (no allocation).
 struct FeasibilitySummary {

@@ -45,6 +45,19 @@ class ShareFunction {
   /// closed form override.
   virtual double LatencyForNegSlope(double g, double lo, double hi) const;
 
+  /// If the share function has the reciprocal form work/(lat - error) — so
+  /// LatencyForNegSlope(g) = clamp(error + sqrt(work/g)) — writes the two
+  /// coefficients and returns true.  The solver uses this to hoist the
+  /// closed-form stationarity solve out of the virtual call into a flat
+  /// array kernel; the kernel must produce bit-identical results to
+  /// LatencyForNegSlope, so overrides must describe exactly the computation
+  /// their LatencyForNegSlope performs.
+  virtual bool ReciprocalForm(double* work_ms, double* error_ms) const {
+    (void)work_ms;
+    (void)error_ms;
+    return false;
+  }
+
   virtual std::string Describe() const = 0;
 };
 
@@ -62,6 +75,11 @@ class WcetLagShare final : public ShareFunction {
   double MinLatency() const override { return 0.0; }
   /// Closed form: work/lat^2 = g  =>  lat = sqrt(work/g).
   double LatencyForNegSlope(double g, double lo, double hi) const override;
+  bool ReciprocalForm(double* work_ms, double* error_ms) const override {
+    *work_ms = work_ms_;
+    *error_ms = 0.0;
+    return true;
+  }
   std::string Describe() const override;
 
   double work_ms() const { return work_ms_; }
@@ -83,6 +101,11 @@ class CorrectedWcetLagShare final : public ShareFunction {
   double MinLatency() const override { return error_ms_ > 0 ? error_ms_ : 0.0; }
   /// Closed form: work/(lat-e)^2 = g  =>  lat = e + sqrt(work/g).
   double LatencyForNegSlope(double g, double lo, double hi) const override;
+  bool ReciprocalForm(double* work_ms, double* error_ms) const override {
+    *work_ms = work_ms_;
+    *error_ms = error_ms_;
+    return true;
+  }
   std::string Describe() const override;
 
   double error_ms() const { return error_ms_; }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/engine_batch.h"
+
 namespace lla::runtime {
 namespace {
 constexpr std::uint64_t kControllerTimer = 1;
@@ -178,6 +180,32 @@ Assignment Coordinator::CurrentAssignment() const {
 
 void Coordinator::InvalidateModelCache() {
   for (auto& controller : controllers_) controller->InvalidateModelCache();
+}
+
+PriceVector Coordinator::CurrentPrices() const {
+  PriceVector prices = PriceVector::Zero(*workload_);
+  for (const ResourceInfo& resource : workload_->resources()) {
+    prices.mu[resource.id.value()] = agents_[resource.id.value()]->mu();
+  }
+  for (const TaskInfo& task : workload_->tasks()) {
+    const auto& lambdas = controllers_[task.id.value()]->lambdas();
+    for (std::size_t p = 0; p < task.paths.size(); ++p) {
+      prices.lambda[task.paths[p].value()] = lambdas[p];
+    }
+  }
+  return prices;
+}
+
+std::vector<RunResult> Coordinator::EvaluateScenarios(
+    const std::vector<LlaConfig>& configs, int max_iterations,
+    int num_threads) const {
+  const PriceVector prices = CurrentPrices();
+  EngineBatch batch(num_threads);
+  for (const LlaConfig& config : configs) {
+    const int index = batch.Add(*workload_, *model_, config);
+    batch.engine(index).WarmStart(prices);
+  }
+  return batch.RunAll(max_iterations);
 }
 
 double Coordinator::CurrentUtility() const {

@@ -104,6 +104,23 @@ class Coordinator {
   FeasibilityReport CurrentFeasibility() const;
   bool Converged() const { return converged_; }
 
+  /// The distributed system's current dual state: mu collected from the
+  /// resource agents, lambda from the task controllers (the same collection
+  /// the trace emitter performs).
+  PriceVector CurrentPrices() const;
+
+  /// What-if scenario evaluation: runs one centralized LLA optimization per
+  /// config over this coordinator's workload/model, each warm-started from
+  /// CurrentPrices() — near the running system's operating point, so
+  /// re-convergence is much faster than a cold start.  Scenarios are
+  /// independent engines fanned across `num_threads` (EngineBatch, grain of
+  /// one); results are bit-identical to evaluating them one by one and the
+  /// coordinator's own agents are never touched.  Scenario configs must not
+  /// carry a shared trace sink or metric registry when num_threads > 1.
+  std::vector<RunResult> EvaluateScenarios(const std::vector<LlaConfig>& configs,
+                                           int max_iterations,
+                                           int num_threads = 1) const;
+
   /// Drops the task controllers' cached solver invariants; needed only when
   /// a share function was mutated in place (replacements through the
   /// LatencyModel are detected automatically via its revision).

@@ -1,0 +1,109 @@
+// EngineBatch: batched stepping must be exactly equivalent to stepping each
+// member standalone — same trajectories, same RunResult — at any thread
+// count, and member engines must be forced serial so the per-step fork-join
+// overhead cannot reappear inside a batch item.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/engine_batch.h"
+#include "workloads/paper.h"
+
+namespace lla {
+namespace {
+
+ParallelConfig Force(int threads) {
+  ParallelConfig config;
+  config.min_items_per_thread = 1;
+  config.max_concurrency = threads;
+  return config;
+}
+
+LlaConfig PolicyConfig(double gamma) {
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kFixed;
+  config.gamma0 = gamma;
+  config.record_history = false;
+  return config;
+}
+
+TEST(EngineBatchTest, StepAllMatchesStandaloneEngines) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  const std::vector<double> gammas = {0.5, 2.0, 8.0};
+  EngineBatch batch(4, Force(4));
+  std::vector<LlaEngine> standalone;
+  standalone.reserve(gammas.size());
+  for (double gamma : gammas) {
+    batch.Add(w, model, PolicyConfig(gamma));
+    standalone.emplace_back(w, model, PolicyConfig(gamma));
+  }
+  ASSERT_EQ(batch.size(), gammas.size());
+
+  for (int round = 0; round < 10; ++round) {
+    batch.StepAll(7);
+    for (std::size_t i = 0; i < standalone.size(); ++i) {
+      for (int s = 0; s < 7; ++s) standalone[i].Step();
+      const Assignment& a = standalone[i].latencies();
+      const Assignment& b = batch.engine(i).latencies();
+      ASSERT_EQ(a.size(), b.size());
+      ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)),
+                0)
+          << "engine " << i << " diverged by round " << round;
+    }
+  }
+}
+
+TEST(EngineBatchTest, RunAllMatchesStandaloneRun) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.record_history = false;
+
+  EngineBatch batch(2, Force(2));
+  batch.Add(w, model, config);
+  batch.Add(w, model, config);
+  const std::vector<RunResult> results = batch.RunAll(4000);
+  ASSERT_EQ(results.size(), 2u);
+
+  LlaEngine reference(w, model, config);
+  const RunResult expected = reference.Run(4000);
+  for (const RunResult& result : results) {
+    EXPECT_EQ(result.converged, expected.converged);
+    EXPECT_EQ(result.iterations, expected.iterations);
+    EXPECT_EQ(result.final_utility, expected.final_utility);
+    EXPECT_EQ(result.final_feasibility.feasible,
+              expected.final_feasibility.feasible);
+  }
+}
+
+TEST(EngineBatchTest, MemberEnginesAreForcedSerial) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  LlaConfig config;
+  config.num_threads = 8;  // would be a pool per engine if honored
+  EngineBatch batch(2, Force(2));
+  const int index = batch.Add(w, model, config);
+  EXPECT_EQ(batch.engine(index).config().num_threads, 1);
+}
+
+TEST(EngineBatchTest, SerialBatchHasNoPool) {
+  EngineBatch batch(1);
+  EXPECT_EQ(batch.pool(), nullptr);
+  EXPECT_EQ(batch.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lla

@@ -45,8 +45,13 @@ TEST_P(FusedEvaluationProperty, FillsMatchScalarOraclesExactly) {
   const Workload w = MakeWorkload(seed);
   const LatencyModel model(w);
 
-  // Exercise both the serial path and a pool wider than the host.
-  ThreadPool pool(4);
+  // Exercise both the serial path and a real 4-wide pool with a grain of
+  // one (max_concurrency overrides the hardware clamp, so single-core CI
+  // still runs the parallel path).
+  ParallelConfig force;
+  force.min_items_per_thread = 1;
+  force.max_concurrency = 4;
+  ThreadPool pool(4, force);
   for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
     for (std::uint64_t round = 0; round < 4; ++round) {
       const Assignment latencies = RandomAssignment(w, seed * 131 + round);
@@ -177,6 +182,8 @@ TEST_P(FusedEvaluationProperty, EngineRunBitIdenticalAcrossThreadCounts) {
   PriceVector base_prices;
   for (int num_threads : {1, 2, 8}) {
     config.num_threads = num_threads;
+    config.parallel.max_concurrency = num_threads;
+    config.parallel.min_items_per_thread = 1;
     LlaEngine engine(w, model, config);
     for (int i = 0; i < kSteps; ++i) engine.Step();
     if (num_threads == 1) {

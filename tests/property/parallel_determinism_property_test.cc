@@ -1,0 +1,126 @@
+// Property: the parallel execution layer must never enter a computed value.
+// For any thread count and any grain cutoff, the engine's trajectory —
+// latency assignments AND dual prices, at every iteration — must be
+// bit-identical to the serial run, both through a standalone LlaEngine and
+// through the batched EngineBatch API.  This is the contract that lets the
+// benches/coordinator pick thread counts freely (DESIGN.md §7.5).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/engine_batch.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla {
+namespace {
+
+struct Trajectory {
+  std::vector<Assignment> latencies;
+  std::vector<PriceVector> prices;
+};
+
+LlaConfig BaseConfig(int num_threads, int min_items_per_thread) {
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.record_history = false;
+  config.num_threads = num_threads;
+  // Force the requested width even on single-core hosts, so the parallel
+  // code paths (not just the serial fallback) are what we pin.
+  config.parallel.max_concurrency = num_threads;
+  config.parallel.min_items_per_thread = min_items_per_thread;
+  return config;
+}
+
+Trajectory RunEngine(const Workload& workload, const LatencyModel& model,
+                     const LlaConfig& config, int steps) {
+  LlaEngine engine(workload, model, config);
+  Trajectory trajectory;
+  for (int i = 0; i < steps; ++i) {
+    engine.Step();
+    trajectory.latencies.push_back(engine.latencies());
+    trajectory.prices.push_back(engine.prices());
+  }
+  return trajectory;
+}
+
+void ExpectBitIdentical(const Trajectory& expected, const Trajectory& actual,
+                        const char* label) {
+  ASSERT_EQ(expected.latencies.size(), actual.latencies.size()) << label;
+  for (std::size_t step = 0; step < expected.latencies.size(); ++step) {
+    const Assignment& a = expected.latencies[step];
+    const Assignment& b = actual.latencies[step];
+    ASSERT_EQ(a.size(), b.size());
+    // memcmp: bit-identity, not approximate equality — distinguishes -0.0
+    // and would catch any reassociated reduction.
+    ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << label << " latencies diverge at step " << step;
+    const PriceVector& pa = expected.prices[step];
+    const PriceVector& pb = actual.prices[step];
+    ASSERT_EQ(std::memcmp(pa.mu.data(), pb.mu.data(),
+                          pa.mu.size() * sizeof(double)),
+              0)
+        << label << " mu diverges at step " << step;
+    ASSERT_EQ(std::memcmp(pa.lambda.data(), pb.lambda.data(),
+                          pa.lambda.size() * sizeof(double)),
+              0)
+        << label << " lambda diverges at step " << step;
+  }
+}
+
+void CheckWorkload(const Workload& workload, int steps) {
+  LatencyModel model(workload);
+  const Trajectory serial =
+      RunEngine(workload, model, BaseConfig(1, 32), steps);
+  for (const int num_threads : {1, 2, 8}) {
+    for (const int cutoff : {1, 64}) {
+      const LlaConfig config = BaseConfig(num_threads, cutoff);
+      const Trajectory parallel = RunEngine(workload, model, config, steps);
+      char label[64];
+      std::snprintf(label, sizeof(label), "threads=%d cutoff=%d",
+                    num_threads, cutoff);
+      ExpectBitIdentical(serial, parallel, label);
+
+      // Same trajectory again through the batched API: two copies of the
+      // same engine stepped concurrently must both match the serial run.
+      EngineBatch batch(num_threads, config.parallel);
+      batch.Add(workload, model, config);
+      batch.Add(workload, model, config);
+      Trajectory batched0, batched1;
+      for (int i = 0; i < steps; ++i) {
+        batch.StepAll();
+        batched0.latencies.push_back(batch.engine(0).latencies());
+        batched0.prices.push_back(batch.engine(0).prices());
+        batched1.latencies.push_back(batch.engine(1).latencies());
+        batched1.prices.push_back(batch.engine(1).prices());
+      }
+      ExpectBitIdentical(serial, batched0, label);
+      ExpectBitIdentical(serial, batched1, label);
+    }
+  }
+}
+
+TEST(ParallelDeterminismPropertyTest, Fig6WorkloadBitIdentical) {
+  auto workload = MakeScaledSimWorkload(4, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  CheckWorkload(workload.value(), 120);
+}
+
+TEST(ParallelDeterminismPropertyTest, RandomWorkloadBitIdentical) {
+  RandomWorkloadConfig config;
+  config.seed = 11;
+  config.num_resources = 8;
+  config.num_tasks = 24;
+  config.min_subtasks = 2;
+  config.max_subtasks = 6;
+  config.target_utilization = 0.7;
+  auto workload = MakeRandomWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  CheckWorkload(workload.value(), 120);
+}
+
+}  // namespace
+}  // namespace lla

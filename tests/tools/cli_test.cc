@@ -51,6 +51,32 @@ TEST(CliTest, UsageErrorsReturnTwo) {
                    " --iters 0"), 2);                          // bad value
 }
 
+TEST(CliTest, ThreadsFlagAcceptedOnSolveAndTrace) {
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload + " --threads=4"),
+            0);
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload + " --threads 2"),
+            0);
+  const std::string out = ::testing::TempDir() + "/cli_trace_threads.jsonl";
+  std::remove(out.c_str());
+  EXPECT_EQ(RunCli(std::string("trace ") + kPaperWorkload + " --threads=4" +
+                   " --out " + out),
+            0);
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, InvalidThreadsValueReturnsTwo) {
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --threads=0"), 2);      // below minimum
+  EXPECT_EQ(RunCli(solve + " --threads=-2"), 2);     // negative
+  EXPECT_EQ(RunCli(solve + " --threads=abc"), 2);    // not a number
+  EXPECT_EQ(RunCli(solve + " --threads=4x"), 2);     // trailing garbage
+  EXPECT_EQ(RunCli(solve + " --threads="), 2);       // empty value
+  EXPECT_EQ(RunCli(solve + " --threads"), 2);        // missing value
+  EXPECT_EQ(RunCli(solve + " --threads=99999"), 2);  // above sane cap
+  EXPECT_EQ(RunCli(std::string("trace ") + kPaperWorkload + " --threads=0"),
+            2);
+}
+
 TEST(CliTest, LoadErrorsReturnThree) {
   EXPECT_EQ(RunCli("describe /nonexistent/workload.lla"), 3);
   EXPECT_EQ(RunCli("solve /nonexistent/workload.lla"), 3);

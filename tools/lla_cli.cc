@@ -19,7 +19,9 @@
 // (or workload unschedulable for `check`).
 //
 // Example files live in examples/data/.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -48,17 +50,50 @@ constexpr int kExitNotConverged = 4;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  lla solve <file> [--variant sum|path-weighted] [--iters N]\n"
+               "  lla solve <file> [--variant sum|path-weighted] [--iters N] "
+               "[--threads=N]\n"
                "  lla check <file> [--iters N]\n"
                "  lla simulate <file> <seconds> [--sfs]\n"
                "  lla describe <file>\n"
                "  lla generate <file> [--seed N] [--tasks N] "
                "[--resources N]\n"
                "  lla trace <file> [--variant sum|path-weighted] [--iters N] "
-               "[--out path]\n"
+               "[--out path] [--threads=N]\n"
                "exit codes: 0 ok, 1 runtime error, 2 usage, 3 load error, "
                "4 not converged/infeasible\n");
   return kExitUsage;
+}
+
+// Strict parse for --threads values: the whole token must be a positive
+// decimal integer.  "4x", "", "-2" and "0" are usage errors — a silently
+// atoi'd 0 would run the engine with no pool while looking accepted.
+bool ParseThreadCount(const char* text, int* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  if (value < 1 || value > 4096) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+// Accepts "--threads N" and "--threads=N"; advances *i past a consumed
+// separate value.  Returns false (usage error) on a malformed value or a
+// missing one.
+bool MatchThreadsFlag(int argc, char** argv, int* i, int* threads,
+                      bool* matched) {
+  *matched = false;
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, "--threads=", 10) == 0) {
+    *matched = true;
+    return ParseThreadCount(arg + 10, threads);
+  }
+  if (std::strcmp(arg, "--threads") == 0) {
+    *matched = true;
+    if (*i + 1 >= argc) return false;
+    return ParseThreadCount(argv[++*i], threads);
+  }
+  return true;  // not a --threads flag at all
 }
 
 Expected<Workload> Load(const char* path) {
@@ -91,11 +126,13 @@ int Describe(const Workload& w) {
   return 0;
 }
 
-int Solve(const Workload& w, UtilityVariant variant, int iters) {
+int Solve(const Workload& w, UtilityVariant variant, int iters,
+          int threads) {
   LatencyModel model(w);
   LlaConfig config;
   config.solver.variant = variant;
   config.gamma0 = 3.0;
+  config.num_threads = threads;
   LlaEngine engine(w, model, config);
   const RunResult run = engine.Run(iters);
   std::printf("%s after %d iterations; utility %.3f (%s variant); "
@@ -127,7 +164,7 @@ int Solve(const Workload& w, UtilityVariant variant, int iters) {
 }
 
 int Trace(const Workload& w, UtilityVariant variant, int iters,
-          const std::string& out_path) {
+          const std::string& out_path, int threads) {
   obs::JsonlTraceSink sink(out_path);
   if (!sink.ok()) {
     std::fprintf(stderr, "error opening trace output %s\n", out_path.c_str());
@@ -138,6 +175,7 @@ int Trace(const Workload& w, UtilityVariant variant, int iters,
   LlaConfig config;
   config.solver.variant = variant;
   config.gamma0 = 3.0;
+  config.num_threads = threads;
   config.trace_sink = &sink;
   config.metrics = &metrics;
 
@@ -272,26 +310,32 @@ int main(int argc, char** argv) {
   if (command == "solve") {
     UtilityVariant variant = UtilityVariant::kPathWeighted;
     int iters = 12000;
+    int threads = 1;
     for (int i = 3; i < argc; ++i) {
+      bool is_threads = false;
       if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
         variant = std::strcmp(argv[++i], "sum") == 0
                       ? UtilityVariant::kSum
                       : UtilityVariant::kPathWeighted;
       } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
         iters = std::atoi(argv[++i]);
-      } else {
+      } else if (!MatchThreadsFlag(argc, argv, &i, &threads, &is_threads)) {
+        return Usage();
+      } else if (!is_threads) {
         return Usage();
       }
     }
     if (iters < 1) return Usage();
-    return Solve(w, variant, iters);
+    return Solve(w, variant, iters, threads);
   }
 
   if (command == "trace") {
     UtilityVariant variant = UtilityVariant::kPathWeighted;
     int iters = 12000;
+    int threads = 1;
     std::string out_path = "-";
     for (int i = 3; i < argc; ++i) {
+      bool is_threads = false;
       if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
         variant = std::strcmp(argv[++i], "sum") == 0
                       ? UtilityVariant::kSum
@@ -300,12 +344,14 @@ int main(int argc, char** argv) {
         iters = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
         out_path = argv[++i];
-      } else {
+      } else if (!MatchThreadsFlag(argc, argv, &i, &threads, &is_threads)) {
+        return Usage();
+      } else if (!is_threads) {
         return Usage();
       }
     }
     if (iters < 1) return Usage();
-    return Trace(w, variant, iters, out_path);
+    return Trace(w, variant, iters, out_path, threads);
   }
 
   if (command == "check") {
