@@ -201,7 +201,30 @@ int main(int argc, char** argv) {
       {"fig6_12task", &fig6.value(), 500 / scale, 60000 / scale},
       {"random_96task", &random_workload.value(), 100 / scale, 6000 / scale},
   };
-  const std::vector<int> thread_counts = {1, 2, 4};
+
+  // Requested widths collapse to their effective (hardware-clamped) counts:
+  // on a 1-core host every width runs serial, so measuring 2 and 4 threads
+  // would just duplicate the 1-thread entry under different labels.  Keep
+  // the first width per distinct effective count and flag the collapse.
+  const std::vector<int> requested_thread_counts = {1, 2, 4};
+  std::vector<int> thread_counts;
+  for (int requested : requested_thread_counts) {
+    const int effective = std::min(requested, static_cast<int>(hardware));
+    bool duplicate = false;
+    for (int kept : thread_counts) {
+      if (std::min(kept, static_cast<int>(hardware)) == effective) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) thread_counts.push_back(requested);
+  }
+  const bool clamped = thread_counts.size() < requested_thread_counts.size();
+  if (clamped) {
+    std::printf("hardware clamps thread widths: measuring %zu of %zu "
+                "requested widths\n",
+                thread_counts.size(), requested_thread_counts.size());
+  }
 
   bench::JsonValue results = bench::JsonValue::Array();
   for (const WorkloadCase& wc : cases) {
@@ -327,7 +350,9 @@ int main(int argc, char** argv) {
   root.Add("unit", bench::JsonValue::String("steps_per_sec"));
   root.Add("hardware_concurrency",
            bench::JsonValue::Number(static_cast<double>(hardware)));
+  root.Add("clamped", bench::JsonValue::Bool(clamped));
   root.Add("quick", bench::JsonValue::Bool(quick));
+  bench::StampMeta(&root);
   root.Add("results", std::move(results));
   const std::string json_path = "BENCH_throughput.json";
   if (bench::WriteJson(json_path, root)) {

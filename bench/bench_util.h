@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -172,6 +174,39 @@ inline void WriteJsonValue(std::FILE* file, const JsonValue& value,
       std::fputc('}', file);
       break;
   }
+}
+
+/// The commit SHA the bench binary is reporting for: GITHUB_SHA (CI) or
+/// LLA_COMMIT (manual override), falling back to `git rev-parse HEAD`, then
+/// "unknown" outside a checkout.
+inline std::string CommitSha() {
+  for (const char* var : {"GITHUB_SHA", "LLA_COMMIT"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && value[0] != '\0') return value;
+  }
+  std::string sha;
+  if (std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buffer[64];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Stamps provenance into a BENCH_*.json root object: the commit SHA and
+/// the generation time (ISO 8601 UTC), so archived artifacts from the perf
+/// trajectory remain attributable to the code that produced them.
+inline void StampMeta(JsonValue* root) {
+  root->Add("commit", JsonValue::String(CommitSha()));
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  root->Add("generated_at", JsonValue::String(stamp));
 }
 
 /// Writes `value` to `path` (pretty-printed, trailing newline).  Returns

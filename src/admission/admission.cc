@@ -42,6 +42,14 @@ Expected<Workload> AdmissionController::BuildWorkload() const {
 
 std::vector<ProbeResult> AdmissionController::ProbeAll(
     const std::vector<std::vector<TaskSpec>>& candidate_sets) const {
+  // External callers probe arbitrary sets; none is known to be the
+  // incumbent, so no warm start applies.
+  return ProbeAllImpl(candidate_sets, candidate_sets.size());
+}
+
+std::vector<ProbeResult> AdmissionController::ProbeAllImpl(
+    const std::vector<std::vector<TaskSpec>>& candidate_sets,
+    std::size_t incumbent_index) const {
   std::vector<ProbeResult> results(candidate_sets.size());
 
   // Validation and the cheap prechecks run serially in set order; sets that
@@ -100,8 +108,19 @@ std::vector<ProbeResult> AdmissionController::ProbeAll(
   LlaConfig lla_config = config_.lla;
   lla_config.record_history = false;
   EngineBatch batch(config_.probe_threads);
-  for (PendingRun& run : pending) {
-    batch.Add(*run.workload, *run.model, lla_config);
+  std::size_t incumbent_pending = pending.size();
+  for (std::size_t p = 0; p < pending.size(); ++p) {
+    PendingRun& run = pending[p];
+    const int index = batch.Add(*run.workload, *run.model, lla_config);
+    if (run.index == incumbent_index && incumbent_prices_valid_ &&
+        incumbent_prices_.mu.size() == run.workload->resource_count() &&
+        incumbent_prices_.lambda.size() == run.workload->path_count()) {
+      // Re-probing the unchanged incumbent set: start at its last known
+      // optimum instead of cold.  The warm start primes the engine's
+      // active-set baseline, so the re-run's iterations are incremental.
+      batch.engine(index).WarmStart(incumbent_prices_);
+    }
+    if (run.index == incumbent_index) incumbent_pending = p;
   }
   const std::vector<RunResult> runs = batch.RunAll(config_.max_iterations);
   for (std::size_t p = 0; p < pending.size(); ++p) {
@@ -117,6 +136,10 @@ std::vector<ProbeResult> AdmissionController::ProbeAll(
       out.reason = os.str();
     } else {
       out.schedulable = true;
+      if (p == incumbent_pending) {
+        incumbent_prices_ = batch.engine(static_cast<int>(p)).prices();
+        incumbent_prices_valid_ = true;
+      }
     }
   }
   return results;
@@ -153,7 +176,8 @@ AdmissionReport AdmissionController::TryAdmit(const TaskSpec& candidate) {
   std::vector<std::vector<TaskSpec>> sets;
   if (!tasks_.empty()) sets.push_back(tasks_);
   sets.push_back(trial);
-  const std::vector<ProbeResult> probes = ProbeAll(sets);
+  const std::vector<ProbeResult> probes =
+      ProbeAllImpl(sets, tasks_.empty() ? sets.size() : 0);
   if (!tasks_.empty() && probes.front().schedulable) {
     report.utility_before = probes.front().utility;
   }
@@ -177,6 +201,7 @@ AdmissionReport AdmissionController::TryAdmit(const TaskSpec& candidate) {
   }
 
   tasks_.push_back(candidate);
+  incumbent_prices_valid_ = false;  // the admitted set (and its shape) moved
   report.decision = Decision::kAdmitted;
   std::ostringstream os;
   os << "admitted; optimal utility " << report.utility_before << " -> "
@@ -189,6 +214,7 @@ bool AdmissionController::Remove(const std::string& task_name) {
   for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
     if (it->name == task_name) {
       tasks_.erase(it);
+      incumbent_prices_valid_ = false;
       return true;
     }
   }
@@ -197,10 +223,8 @@ bool AdmissionController::Remove(const std::string& task_name) {
 
 double AdmissionController::CurrentUtility() const {
   if (tasks_.empty()) return 0.0;
-  double utility = 0.0;
-  std::string unused;
-  Schedulable(tasks_, &utility, &unused);
-  return utility;
+  const ProbeResult probe = ProbeAllImpl({tasks_}, 0).front();
+  return probe.evaluated ? probe.utility : 0.0;
 }
 
 }  // namespace lla::admission

@@ -102,6 +102,14 @@ class AdmissionController {
       const std::vector<std::vector<TaskSpec>>& candidate_sets) const;
 
  private:
+  /// ProbeAll plus knowledge of which set (if any) is exactly the admitted
+  /// incumbent set: that probe warm-starts from the cached incumbent prices
+  /// (inheriting the active set, so its re-run is mostly incremental) and
+  /// refreshes the cache when it converges.
+  std::vector<ProbeResult> ProbeAllImpl(
+      const std::vector<std::vector<TaskSpec>>& candidate_sets,
+      std::size_t incumbent_index) const;
+
   /// Runs the full schedulability pipeline on a task set; fills utility.
   bool Schedulable(const std::vector<TaskSpec>& tasks, double* utility,
                    std::string* reason) const;
@@ -109,6 +117,15 @@ class AdmissionController {
   std::vector<ResourceSpec> resources_;
   AdmissionConfig config_;
   std::vector<TaskSpec> tasks_;
+
+  /// Converged dual state of the last incumbent-only optimization.
+  /// Invalidated whenever the admitted set changes (TryAdmit success,
+  /// Remove); refreshed by incumbent probes (mutable: probing is logically
+  /// const).  Repeated probes of an unchanged incumbent set — every
+  /// TryAdmit evaluates it for the net-benefit baseline — then re-converge
+  /// from the optimum in a handful of near-zero-work iterations.
+  mutable PriceVector incumbent_prices_;
+  mutable bool incumbent_prices_valid_ = false;
 };
 
 }  // namespace lla::admission

@@ -32,10 +32,29 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
     pool_ = std::make_unique<ThreadPool>(config_.num_threads,
                                          config_.parallel);
   }
+  assert(config_.active_set.epsilon_quiescence >= 0.0 &&
+         config_.active_set.epsilon_quiescence < 1.0);
+  assert(config_.active_set.quiescence_epochs >= 1);
   if (config_.metrics != nullptr) {
     steps_counter_ = config_.metrics->GetCounter("engine.steps");
     solve_timer_ = config_.metrics->GetTimer("engine.solve");
     price_timer_ = config_.metrics->GetTimer("engine.price_update");
+    if (config_.active_set.enabled) {
+      active_tasks_solved_ =
+          config_.metrics->GetCounter("engine.active.tasks_solved");
+      active_subtasks_solved_ =
+          config_.metrics->GetCounter("engine.active.subtasks_solved");
+      active_resources_refreshed_ =
+          config_.metrics->GetCounter("engine.active.resources_refreshed");
+      active_paths_refreshed_ =
+          config_.metrics->GetCounter("engine.active.paths_refreshed");
+      active_primes_ = config_.metrics->GetCounter("engine.active.primes");
+      active_mu_skipped_ =
+          config_.metrics->GetCounter("engine.active.mu_skipped");
+      active_lambda_skipped_ =
+          config_.metrics->GetCounter("engine.active.lambda_skipped");
+      active_frozen_ = config_.metrics->GetCounter("engine.active.frozen");
+    }
   }
   workspace_.Resize(workload);
   Reset();
@@ -48,10 +67,29 @@ void LlaEngine::Reset() {
   step_policy_->Reset(*workload_);
   iteration_ = 0;
   converged_ = false;
+  total_subtask_solves_ = 0;
   recent_utilities_.clear();
   history_.clear();
   // Start from the price-greedy allocation so latencies_ is always valid.
-  solver_.SolveAll(prices_, &latencies_, pool_.get());
+  // In active-set mode this is the dense prime: it also fills the workspace
+  // and snapshots the inputs, so the first Step() is already incremental
+  // (its solve at the unchanged prices reuses everything).
+  PrimeOrSolve();
+}
+
+void LlaEngine::PrimeOrSolve() {
+  active_state_.Invalidate();
+  price_state_.Invalidate();
+  if (config_.active_set.enabled) {
+    const ActiveStepWork work = ActiveSolveAndFillStepWorkspace(
+        solver_, *workload_, *model_, prices_, config_.solver.variant,
+        config_.convergence.feasibility_tol, pool_.get(), &latencies_,
+        &workspace_, &active_state_);
+    (void)work;
+    if (active_primes_ != nullptr) active_primes_->Increment();
+  } else {
+    solver_.SolveAll(prices_, &latencies_, pool_.get());
+  }
 }
 
 void LlaEngine::ClearConvergenceWindow() {
@@ -59,7 +97,14 @@ void LlaEngine::ClearConvergenceWindow() {
   converged_ = false;
 }
 
-void LlaEngine::InvalidateModelCache() { solver_.InvalidateModelCache(); }
+void LlaEngine::InvalidateModelCache() {
+  solver_.InvalidateModelCache();
+  // In-place share mutations change solve/aggregation results without a
+  // revision bump, so every dirty-tracking baseline is stale: force a dense
+  // re-prime and a fully computed price update on the next Step().
+  active_state_.Invalidate();
+  price_state_.Invalidate();
+}
 
 void LlaEngine::WarmStart(const PriceVector& prices) {
   assert(prices.mu.size() == workload_->resource_count());
@@ -69,20 +114,37 @@ void LlaEngine::WarmStart(const PriceVector& prices) {
   for (double& lambda : prices_.lambda) lambda = std::max(0.0, lambda);
   step_policy_->Reset(*workload_);
   ClearConvergenceWindow();
-  solver_.SolveAll(prices_, &latencies_, pool_.get());
+  total_subtask_solves_ = 0;
+  // Same prime as Reset: warm-started engines (coordinator what-ifs,
+  // admission probes) inherit the active set through the warm prices — the
+  // first Step() diffs against this baseline instead of starting dense.
+  PrimeOrSolve();
 }
 
 IterationStats LlaEngine::Step() {
   // 1. Latency allocation at current prices plus the fused evaluation sweep
   //    (share sums, path latencies, utility aggregates) as a single
   //    fork-join region — one worker wake-up per step.  Everything below
-  //    reads the workspace arrays.
+  //    reads the workspace arrays.  Active-set mode recomputes only what a
+  //    changed price bit can reach; results are bit-identical either way.
+  ActiveStepWork work;
   {
     obs::ScopedTimer timing(solve_timer_);
-    SolveAndFillStepWorkspace(solver_, *workload_, *model_, prices_,
-                              config_.solver.variant,
-                              config_.convergence.feasibility_tol,
-                              pool_.get(), &latencies_, &workspace_);
+    if (config_.active_set.enabled) {
+      work = ActiveSolveAndFillStepWorkspace(
+          solver_, *workload_, *model_, prices_, config_.solver.variant,
+          config_.convergence.feasibility_tol, pool_.get(), &latencies_,
+          &workspace_, &active_state_);
+    } else {
+      SolveAndFillStepWorkspace(solver_, *workload_, *model_, prices_,
+                                config_.solver.variant,
+                                config_.convergence.feasibility_tol,
+                                pool_.get(), &latencies_, &workspace_);
+      work.tasks_solved = workload_->task_count();
+      work.subtasks_solved = workload_->subtask_count();
+      work.resources_refreshed = workload_->resource_count();
+      work.paths_refreshed = workload_->path_count();
+    }
   }
 
   // 2. Price computation: congestion feedback chooses the step sizes, then
@@ -90,12 +152,31 @@ IterationStats LlaEngine::Step() {
   {
     obs::ScopedTimer timing(price_timer_);
     step_policy_->Update(*workload_, workspace_.resource_congested, &steps_);
-    updater_.Update(workspace_.resource_share_sums, workspace_.path_latencies,
-                    steps_, &prices_);
+    if (config_.active_set.enabled) {
+      last_price_work_ = updater_.UpdateActive(
+          workspace_.resource_share_sums, workspace_.path_latencies, steps_,
+          config_.active_set.epsilon_quiescence,
+          config_.active_set.quiescence_epochs, &prices_, &price_state_);
+    } else {
+      updater_.Update(workspace_.resource_share_sums,
+                      workspace_.path_latencies, steps_, &prices_);
+    }
   }
 
   ++iteration_;
+  total_subtask_solves_ += work.subtasks_solved;
   if (steps_counter_ != nullptr) steps_counter_->Increment();
+  if (active_tasks_solved_ != nullptr) {
+    active_tasks_solved_->Increment(work.tasks_solved);
+    active_subtasks_solved_->Increment(work.subtasks_solved);
+    active_resources_refreshed_->Increment(work.resources_refreshed);
+    active_paths_refreshed_->Increment(work.paths_refreshed);
+    if (work.primed) active_primes_->Increment();
+    active_mu_skipped_->Increment(last_price_work_.mu_skipped);
+    active_lambda_skipped_->Increment(last_price_work_.lambda_skipped);
+    active_frozen_->Increment(last_price_work_.mu_frozen +
+                              last_price_work_.lambda_frozen);
+  }
 
   IterationStats stats;
   stats.iteration = iteration_;
@@ -103,6 +184,8 @@ IterationStats LlaEngine::Step() {
   stats.max_resource_excess = workspace_.feasibility.max_resource_excess;
   stats.max_path_ratio = workspace_.feasibility.max_path_ratio;
   stats.feasible = workspace_.feasibility.feasible;
+  stats.tasks_solved = static_cast<int>(work.tasks_solved);
+  stats.subtasks_solved = static_cast<int>(work.subtasks_solved);
   if (config_.record_history) history_.push_back(stats);
   if (config_.trace_sink != nullptr) EmitTrace(stats);
 
@@ -126,6 +209,17 @@ void LlaEngine::EmitTrace(const IterationStats& stats) {
   trace_.path_latencies = workspace_.path_latencies;
   trace_.path_lambda = prices_.lambda;
   trace_.path_step = steps_.path;
+  if (config_.active_set.enabled) {
+    trace_.tasks_solved = stats.tasks_solved;
+    trace_.subtasks_solved = stats.subtasks_solved;
+    trace_.active_mu = static_cast<int>(last_price_work_.mu_nonzero);
+    trace_.active_lambda = static_cast<int>(last_price_work_.lambda_nonzero);
+  } else {
+    trace_.tasks_solved = -1;
+    trace_.subtasks_solved = -1;
+    trace_.active_mu = -1;
+    trace_.active_lambda = -1;
+  }
   config_.trace_sink->OnIteration(trace_);
 }
 
@@ -176,6 +270,7 @@ RunResult LlaEngine::Run(int max_iterations) {
   for (int i = 0; i < max_iterations; ++i) {
     const IterationStats stats = Step();
     result.final_utility = stats.total_utility;
+    result.subtask_solves += static_cast<std::uint64_t>(stats.subtasks_solved);
     if (converged_) break;
   }
   result.converged = converged_;

@@ -28,6 +28,7 @@
 // revision by itself).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -65,6 +66,31 @@ struct ConvergenceConfig {
   double complementarity_tol = 0.1;
 };
 
+/// The incremental (active-set) stepping mode: dirty-tracked sparse dual
+/// iteration.  See DESIGN.md §7.6.
+struct ActiveSetConfig {
+  /// Master switch.  Enabled (the default) with epsilon_quiescence == 0 is
+  /// EXACT: every skip is keyed on bitwise-unchanged inputs, so the
+  /// trajectory is bit-for-bit the dense one at any thread count — only the
+  /// work per step shrinks.
+  bool enabled = true;
+  /// Opt-in approximation: freeze (stop publishing) a multiplier whose
+  /// per-update movement stayed within epsilon_quiescence * max(1, |value|)
+  /// for quiescence_epochs consecutive updates.  The dynamics are never
+  /// frozen — a shadow copy keeps integrating Eq. 8/9, and the price is
+  /// re-published the moment its accumulated drift from the published value
+  /// exceeds the same threshold.  Published prices therefore track the
+  /// shadow dual trajectory with per-component relative error <= epsilon,
+  /// which bounds the final objective gap at O(epsilon) relative (DESIGN.md
+  /// §7.6 gives the argument; active_set_property_test pins the bound with
+  /// a measured constant).  0 (the default) disables freezing.  Must be
+  /// >= 0 and < 1.
+  double epsilon_quiescence = 0.0;
+  /// Consecutive quiescent updates before a clamped-at-zero constraint is
+  /// retired / a stable multiplier is frozen.  Must be >= 1.
+  int quiescence_epochs = 3;
+};
+
 struct LlaConfig {
   LatencySolverConfig solver;
   StepPolicyKind step_policy = StepPolicyKind::kAdaptive;
@@ -74,6 +100,8 @@ struct LlaConfig {
   double initial_mu = 0.0;
   double initial_lambda = 0.0;
   ConvergenceConfig convergence;
+  /// Incremental active-set stepping (exact by default; see the struct).
+  ActiveSetConfig active_set;
   /// Record per-iteration stats (utility traces for the figures).
   bool record_history = true;
   /// Threads for the per-task solves and the evaluation sweeps.  1 (the
@@ -102,6 +130,10 @@ struct IterationStats {
   double max_resource_excess = 0.0;  ///< max over r of (share sum - B_r), >= 0
   double max_path_ratio = 0.0;       ///< max over p of latency / C_i
   bool feasible = false;
+  /// Work this step actually performed (equals the full task/subtask counts
+  /// in dense mode; smaller under active-set stepping).
+  int tasks_solved = 0;
+  int subtasks_solved = 0;
 };
 
 struct RunResult {
@@ -109,6 +141,9 @@ struct RunResult {
   int iterations = 0;
   double final_utility = 0.0;
   FeasibilityReport final_feasibility;
+  /// Sum of IterationStats::subtasks_solved over this Run's steps — the
+  /// convergence-work metric bench_convergence reports.
+  std::uint64_t subtask_solves = 0;
 };
 
 class LlaEngine {
@@ -147,6 +182,9 @@ class LlaEngine {
 
   bool Converged() const { return converged_; }
   int iteration() const { return iteration_; }
+  /// Cumulative subtask solves performed by Step() since the last
+  /// Reset/WarmStart (the dense mode counts every subtask every step).
+  std::uint64_t total_subtask_solves() const { return total_subtask_solves_; }
   const Assignment& latencies() const { return latencies_; }
   const PriceVector& prices() const { return prices_; }
   const std::vector<IterationStats>& history() const { return history_; }
@@ -161,6 +199,9 @@ class LlaEngine {
  private:
   void UpdateConvergence(double utility, bool feasible);
   void EmitTrace(const IterationStats& stats);
+  /// Invalidates the dirty-tracking state, then runs the initial solve at
+  /// prices_: the dense active-set prime when enabled, else SolveAll.
+  void PrimeOrSolve();
 
   const Workload* workload_;
   const LatencyModel* model_;
@@ -173,8 +214,13 @@ class LlaEngine {
   PriceVector prices_;
   Assignment latencies_;
   StepWorkspace workspace_;
+  ActiveSetState active_state_;
+  ActivePriceState price_state_;
   int iteration_ = 0;
   bool converged_ = false;
+  std::uint64_t total_subtask_solves_ = 0;
+  /// Sparsity of the last Step's price update (trace/metric source).
+  ActivePriceWork last_price_work_;
   std::deque<double> recent_utilities_;
   std::vector<IterationStats> history_;
 
@@ -183,6 +229,14 @@ class LlaEngine {
   obs::Counter* steps_counter_ = nullptr;
   obs::Timer* solve_timer_ = nullptr;  ///< fused solve+evaluate region
   obs::Timer* price_timer_ = nullptr;
+  obs::Counter* active_tasks_solved_ = nullptr;
+  obs::Counter* active_subtasks_solved_ = nullptr;
+  obs::Counter* active_resources_refreshed_ = nullptr;
+  obs::Counter* active_paths_refreshed_ = nullptr;
+  obs::Counter* active_primes_ = nullptr;
+  obs::Counter* active_mu_skipped_ = nullptr;
+  obs::Counter* active_lambda_skipped_ = nullptr;
+  obs::Counter* active_frozen_ = nullptr;
   obs::IterationTrace trace_;
 };
 

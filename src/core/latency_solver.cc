@@ -102,9 +102,14 @@ void LatencySolver::EnsureCacheFresh() const {
   }
   cached_revision_ = model_->revision();
   cache_valid_ = true;
+  // Cache rebuild means the model moved; stale compaction can't be trusted.
+  active_csr_valid_ = false;
 }
 
-void LatencySolver::InvalidateModelCache() { cache_valid_ = false; }
+void LatencySolver::InvalidateModelCache() {
+  cache_valid_ = false;
+  active_csr_valid_ = false;
+}
 
 double LatencySolver::LatLo(SubtaskId id) const {
   if (!config_.cache_invariants) return ComputeLatLo(id);
@@ -128,9 +133,13 @@ double LatencySolver::SolveSubtask(SubtaskId id, double utility_slope,
   if (lo >= hi) return lo;
 
   const double w = weight_[s];
+  const std::size_t* off =
+      active_csr_valid_ ? active_path_offset_.data() : path_offset_.data();
+  const std::size_t* idx =
+      active_csr_valid_ ? active_path_index_.data() : path_index_.data();
   double lambda_sum = 0.0;
-  for (std::size_t i = path_offset_[s]; i < path_offset_[s + 1]; ++i) {
-    lambda_sum += prices.lambda[path_index_[i]];
+  for (std::size_t i = off[s]; i < off[s + 1]; ++i) {
+    lambda_sum += prices.lambda[idx[i]];
   }
   const double mu =
       prices.mu[workload_->subtask(id).resource.value()];
@@ -156,12 +165,18 @@ void LatencySolver::SolveClosedSpan(std::size_t begin, std::size_t end,
                                     const PriceVector& prices,
                                     double* out) const {
   // Gather pass: per-subtask path-price sums, accumulated in CSR order
-  // (matching SolveSubtask exactly).
+  // (matching SolveSubtask exactly).  The active-compacted index only drops
+  // lambda == 0 entries, and adding 0.0 to a partial sum of non-negatives
+  // is a bitwise no-op, so both indexes produce the same bits.
   const double* lambda = prices.lambda.data();
+  const std::size_t* off =
+      active_csr_valid_ ? active_path_offset_.data() : path_offset_.data();
+  const std::size_t* idx =
+      active_csr_valid_ ? active_path_index_.data() : path_index_.data();
   for (std::size_t s = begin; s < end; ++s) {
     double lambda_sum = 0.0;
-    for (std::size_t i = path_offset_[s]; i < path_offset_[s + 1]; ++i) {
-      lambda_sum += lambda[path_index_[i]];
+    for (std::size_t i = off[s]; i < off[s + 1]; ++i) {
+      lambda_sum += lambda[idx[i]];
     }
     lambda_scratch_[s] = lambda_sum;
   }
@@ -275,10 +290,36 @@ void LatencySolver::SolveTaskFresh(TaskId task, const PriceVector& prices,
 void LatencySolver::SolveTask(TaskId task, const PriceVector& prices,
                               Assignment* latencies) const {
   EnsureCacheFresh();
+  // Arbitrary prices: a compacted index built for other prices could drop a
+  // now-nonzero path, so fall back to the full gather.
+  active_csr_valid_ = false;
   SolveTaskFresh(task, prices, latencies);
 }
 
-void LatencySolver::PrepareSolve() const { EnsureCacheFresh(); }
+void LatencySolver::PrepareSolve() const {
+  EnsureCacheFresh();
+  active_csr_valid_ = false;
+}
+
+void LatencySolver::PrepareSolve(const PriceVector& prices) const {
+  EnsureCacheFresh();
+  active_csr_valid_ = false;
+  if (!config_.compact_lambda_gather) return;
+  const std::size_t n = workload_->subtask_count();
+  active_path_offset_.resize(n + 1);
+  active_path_index_.clear();
+  active_path_index_.reserve(path_index_.size());
+  active_path_offset_[0] = 0;
+  const double* lambda = prices.lambda.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t i = path_offset_[s]; i < path_offset_[s + 1]; ++i) {
+      const std::size_t p = path_index_[i];
+      if (lambda[p] != 0.0) active_path_index_.push_back(p);
+    }
+    active_path_offset_[s + 1] = active_path_index_.size();
+  }
+  active_csr_valid_ = true;
+}
 
 void LatencySolver::SolveTaskRange(std::size_t begin, std::size_t end,
                                    const PriceVector& prices,
@@ -286,6 +327,15 @@ void LatencySolver::SolveTaskRange(std::size_t begin, std::size_t end,
   const std::vector<TaskInfo>& tasks = workload_->tasks();
   for (std::size_t t = begin; t < end; ++t) {
     SolveTaskFresh(tasks[t].id, prices, latencies);
+  }
+}
+
+void LatencySolver::SolveTaskList(const std::uint32_t* ids, std::size_t begin,
+                                  std::size_t end, const PriceVector& prices,
+                                  Assignment* latencies) const {
+  const std::vector<TaskInfo>& tasks = workload_->tasks();
+  for (std::size_t i = begin; i < end; ++i) {
+    SolveTaskFresh(tasks[ids[i]].id, prices, latencies);
   }
 }
 

@@ -53,6 +53,11 @@ struct LatencySolverConfig {
   /// solver did.  Reference/bench mode only — results are bit-identical
   /// either way.
   bool cache_invariants = true;
+  /// PrepareSolve(prices) compacts the subtask->path CSR down to paths with
+  /// lambda != 0 so the gather skips retired path constraints.  Bit-exact:
+  /// lambda entries are outputs of max(0.0, .) (never -0.0), and x + 0.0 == x
+  /// bitwise for any x that is itself a partial sum of non-negative terms.
+  bool compact_lambda_gather = true;
 };
 
 class LatencySolver {
@@ -76,17 +81,44 @@ class LatencySolver {
 
   /// Refreshes the invariant cache (serial).  Call once before fanning
   /// SolveTaskRange out across threads; workers then only read the cache.
+  /// Invalidates any active-compacted CSR (full gather until the next
+  /// PrepareSolve(prices)).
   void PrepareSolve() const;
 
+  /// PrepareSolve plus active-set compaction (serial): rebuilds the
+  /// subtask->path gather CSR keeping only paths with lambda != 0, so
+  /// retired path constraints cost nothing in the solve.  The compacted
+  /// index is valid ONLY for solves against bitwise the same `prices` —
+  /// callers must re-prepare whenever lambda changes.  Disabled (falls back
+  /// to the full CSR) when config.compact_lambda_gather is false.
+  void PrepareSolve(const PriceVector& prices) const;
+
   /// Solves tasks [begin, end) — the chunk body of a parallel solve.
-  /// Requires PrepareSolve() first; writes only the latency slots of the
+  /// Requires PrepareSolve first; writes only the latency slots of the
   /// chunk's own subtasks, so disjoint chunks compose race-free.
   void SolveTaskRange(std::size_t begin, std::size_t end,
                       const PriceVector& prices, Assignment* latencies) const;
 
+  /// Solves the tasks named by ids[begin..end) — the chunk body of a sparse
+  /// (active-set) parallel solve.  Same contract as SolveTaskRange: requires
+  /// PrepareSolve first, distinct tasks write disjoint latency slots.
+  void SolveTaskList(const std::uint32_t* ids, std::size_t begin,
+                     std::size_t end, const PriceVector& prices,
+                     Assignment* latencies) const;
+
   /// Clamping bounds for a subtask's latency.
   double LatLo(SubtaskId id) const;
   double LatHi(SubtaskId id) const;
+
+  /// EnsureCacheFresh without dropping an installed active-compacted CSR
+  /// (unless the model cache actually rebuilds).  The incremental stepping
+  /// path uses this: the compacted index survives across steps as long as
+  /// the lambda zero-pattern is unchanged.
+  void RefreshCache() const { EnsureCacheFresh(); }
+
+  /// True when an active-compacted gather CSR is installed (see
+  /// PrepareSolve(prices)).
+  bool has_active_gather() const { return active_csr_valid_; }
 
   /// Drops the cached per-subtask model invariants so the next solve
   /// rebuilds them.  Share-function *replacements* are detected via
@@ -147,6 +179,13 @@ class LatencySolver {
   /// Per-subtask scratch for the kernel's path-price gather; tasks own
   /// disjoint spans, so parallel chunks never collide.
   mutable std::vector<double> lambda_scratch_;
+
+  // Active-compacted gather CSR (PrepareSolve(prices)).  Valid only for the
+  // prices it was built from; every other entry point clears the flag so
+  // solves fall back to the full CSR rather than drop a now-nonzero term.
+  mutable bool active_csr_valid_ = false;
+  mutable std::vector<std::size_t> active_path_offset_;
+  mutable std::vector<std::size_t> active_path_index_;
 };
 
 }  // namespace lla

@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstring>
 
 namespace lla {
+namespace {
+
+inline bool SameBits(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+}  // namespace
 
 PriceUpdater::PriceUpdater(const Workload& workload, const LatencyModel& model)
     : workload_(&workload), model_(&model) {}
@@ -60,6 +72,158 @@ void PriceUpdater::Update(const std::vector<double>& resource_share_sums,
     prices->lambda[p] =
         std::max(0.0, prices->lambda[p] - steps.path[p] * slack);
   }
+}
+
+ActivePriceWork PriceUpdater::UpdateActive(
+    const std::vector<double>& resource_share_sums,
+    const std::vector<double>& path_latencies, const StepSizes& steps,
+    double epsilon_quiescence, int quiescence_epochs, PriceVector* prices,
+    ActivePriceState* state) const {
+  const std::size_t resource_count = workload_->resource_count();
+  const std::size_t path_count = workload_->path_count();
+  assert(resource_share_sums.size() == resource_count);
+  assert(path_latencies.size() == path_count);
+  assert(steps.resource.size() == resource_count);
+  assert(steps.path.size() == path_count);
+  assert(prices->mu.size() == resource_count);
+  assert(prices->lambda.size() == path_count);
+  assert(epsilon_quiescence >= 0.0);
+  assert(quiescence_epochs >= 1);
+
+  ActivePriceWork work;
+  const bool primed = state->primed &&
+                      state->prev_share_sums.size() == resource_count &&
+                      state->prev_path_latencies.size() == path_count;
+  if (!primed) {
+    state->mu_settled.assign(resource_count, 0);
+    state->lambda_settled.assign(path_count, 0);
+    state->mu_zero_epochs.assign(resource_count, 0);
+    state->lambda_zero_epochs.assign(path_count, 0);
+    state->mu_stable_epochs.assign(resource_count, 0);
+    state->lambda_stable_epochs.assign(path_count, 0);
+    state->shadow_mu = prices->mu;
+    state->shadow_lambda = prices->lambda;
+    state->prev_share_sums.resize(resource_count);
+    state->prev_path_latencies.resize(path_count);
+  }
+  const std::uint32_t retire_after =
+      static_cast<std::uint32_t>(quiescence_epochs);
+
+  const std::vector<ResourceInfo>& resources = workload_->resources();
+  for (std::size_t r = 0; r < resource_count; ++r) {
+    const double sum = resource_share_sums[r];
+    const bool changed = !primed || !SameBits(sum, state->prev_share_sums[r]);
+    // Retired: multiplier clamped at 0 long enough, input bits unchanged.
+    if (!changed && prices->mu[r] == 0.0 && state->mu_settled[r] != 0 &&
+        state->mu_zero_epochs[r] >= retire_after) {
+      ++state->mu_zero_epochs[r];
+      ++work.mu_skipped;
+      continue;
+    }
+    const double old_mu = prices->mu[r];
+    const double slack = resources[r].capacity - sum;
+    bool settled;
+    bool write = true;
+    if (epsilon_quiescence > 0.0) {
+      // The shadow integrates Eq. 8 unconditionally; publishing is lazy.
+      // Freezing only ever suppresses writes, so a slow persistent drift
+      // accumulates in the shadow and forces a re-publish once it exceeds
+      // the epsilon threshold — the publish error stays <= epsilon
+      // (relative) no matter how long the freeze lasts.
+      const double proposed =
+          std::max(0.0, state->shadow_mu[r] - steps.resource[r] * slack);
+      state->shadow_mu[r] = proposed;
+      settled = proposed == 0.0;
+      const bool stable =
+          std::fabs(proposed - old_mu) <=
+          epsilon_quiescence * std::max(1.0, std::fabs(old_mu));
+      const bool frozen = state->mu_stable_epochs[r] >= retire_after;
+      if (!stable) state->mu_stable_epochs[r] = 0;
+      if (frozen) {
+        write = !stable;
+      } else if (stable && ++state->mu_stable_epochs[r] >= retire_after) {
+        write = false;
+      }
+      if (write) {
+        prices->mu[r] = proposed;
+        ++work.mu_updated;
+      } else {
+        ++work.mu_frozen;
+      }
+    } else {
+      const double proposed =
+          std::max(0.0, old_mu - steps.resource[r] * slack);
+      settled = proposed == 0.0;
+      prices->mu[r] = proposed;
+      ++work.mu_updated;
+    }
+    state->mu_zero_epochs[r] = (settled && prices->mu[r] == 0.0)
+                                   ? state->mu_zero_epochs[r] + 1
+                                   : 0;
+    state->mu_settled[r] = settled ? 1 : 0;
+    state->prev_share_sums[r] = sum;
+  }
+
+  const std::vector<PathInfo>& paths = workload_->paths();
+  for (std::size_t p = 0; p < path_count; ++p) {
+    const double latency = path_latencies[p];
+    const bool changed =
+        !primed || !SameBits(latency, state->prev_path_latencies[p]);
+    if (!changed && prices->lambda[p] == 0.0 &&
+        state->lambda_settled[p] != 0 &&
+        state->lambda_zero_epochs[p] >= retire_after) {
+      ++state->lambda_zero_epochs[p];
+      ++work.lambda_skipped;
+      continue;
+    }
+    const double old_lambda = prices->lambda[p];
+    const double slack = 1.0 - latency / paths[p].critical_time_ms;
+    bool settled;
+    bool write = true;
+    if (epsilon_quiescence > 0.0) {
+      const double proposed =
+          std::max(0.0, state->shadow_lambda[p] - steps.path[p] * slack);
+      state->shadow_lambda[p] = proposed;
+      settled = proposed == 0.0;
+      const bool stable =
+          std::fabs(proposed - old_lambda) <=
+          epsilon_quiescence * std::max(1.0, std::fabs(old_lambda));
+      const bool frozen = state->lambda_stable_epochs[p] >= retire_after;
+      if (!stable) state->lambda_stable_epochs[p] = 0;
+      if (frozen) {
+        write = !stable;
+      } else if (stable &&
+                 ++state->lambda_stable_epochs[p] >= retire_after) {
+        write = false;
+      }
+      if (write) {
+        prices->lambda[p] = proposed;
+        ++work.lambda_updated;
+      } else {
+        ++work.lambda_frozen;
+      }
+    } else {
+      const double proposed =
+          std::max(0.0, old_lambda - steps.path[p] * slack);
+      settled = proposed == 0.0;
+      prices->lambda[p] = proposed;
+      ++work.lambda_updated;
+    }
+    state->lambda_zero_epochs[p] = (settled && prices->lambda[p] == 0.0)
+                                       ? state->lambda_zero_epochs[p] + 1
+                                       : 0;
+    state->lambda_settled[p] = settled ? 1 : 0;
+    state->prev_path_latencies[p] = latency;
+  }
+  state->primed = true;
+
+  for (double mu : prices->mu) {
+    if (mu != 0.0) ++work.mu_nonzero;
+  }
+  for (double lambda : prices->lambda) {
+    if (lambda != 0.0) ++work.lambda_nonzero;
+  }
+  return work;
 }
 
 std::vector<bool> PriceUpdater::ResourceCongestion(

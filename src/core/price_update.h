@@ -13,6 +13,7 @@
 // bit-identical prices.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/prices.h"
@@ -22,6 +23,54 @@
 #include "model/workload.h"
 
 namespace lla {
+
+/// Dirty/quiescence state of the incremental price update (UpdateActive).
+///
+/// A constraint is RETIRED when its multiplier has sat clamped at exactly 0
+/// for `quiescence_epochs` consecutive computed updates; retired constraints
+/// skip the gradient-projection arithmetic entirely until any input bit
+/// changes.  The skip is exact and step-size independent: a computed update
+/// that output 0 proves mu_prev - gamma * slack <= 0 with mu_prev >= 0,
+/// hence slack >= 0; with the share sum (or path latency) bitwise unchanged,
+/// max(0, 0 - gamma' * slack) == +0.0 for ANY gamma' >= 0.
+struct ActivePriceState {
+  bool primed = false;
+  /// Last computed update for this constraint output exactly 0.0.
+  std::vector<std::uint8_t> mu_settled;
+  std::vector<std::uint8_t> lambda_settled;
+  /// Consecutive updates (computed or skipped) with the multiplier at 0.
+  std::vector<std::uint32_t> mu_zero_epochs;
+  std::vector<std::uint32_t> lambda_zero_epochs;
+  /// Consecutive computed updates with |proposed - published| within
+  /// epsilon (relative); feeds the opt-in epsilon_quiescence freeze.
+  std::vector<std::uint32_t> mu_stable_epochs;
+  std::vector<std::uint32_t> lambda_stable_epochs;
+  /// epsilon_quiescence > 0 only: the un-frozen dual state.  The shadow
+  /// keeps integrating Eq. 8/9 every computed update even while the
+  /// published price is frozen, so a slow persistent drift accumulates here
+  /// and eventually forces a re-publish — freezing suppresses writes, never
+  /// the dynamics.  Invariant: |published - shadow| <= epsilon *
+  /// max(1, |published|) after every update.
+  std::vector<double> shadow_mu;
+  std::vector<double> shadow_lambda;
+  /// Inputs of the previous update, for exact (bitwise) change detection.
+  std::vector<double> prev_share_sums;
+  std::vector<double> prev_path_latencies;
+
+  void Invalidate() { primed = false; }
+};
+
+/// Work/sparsity report of one UpdateActive call.
+struct ActivePriceWork {
+  std::size_t mu_updated = 0;
+  std::size_t mu_skipped = 0;  ///< retired constraints (exact, at 0)
+  std::size_t mu_frozen = 0;   ///< epsilon-quiescence holds (opt-in mode)
+  std::size_t lambda_updated = 0;
+  std::size_t lambda_skipped = 0;
+  std::size_t lambda_frozen = 0;
+  std::size_t mu_nonzero = 0;      ///< active-set size after the update
+  std::size_t lambda_nonzero = 0;
+};
 
 class PriceUpdater {
  public:
@@ -44,6 +93,26 @@ class PriceUpdater {
   void Update(const std::vector<double>& resource_share_sums,
               const std::vector<double>& path_latencies,
               const StepSizes& steps, PriceVector* prices) const;
+
+  /// The array-form Update with retirement and (opt-in) epsilon freezing.
+  ///
+  /// With epsilon_quiescence == 0 the written prices are bit-identical to
+  /// Update() for every constraint: non-retired constraints run the same
+  /// arithmetic, and retired ones skip a computation proven to output +0.0
+  /// (see ActivePriceState).  With epsilon_quiescence > 0, a multiplier
+  /// whose computed move stayed within epsilon * max(1, |published|) for
+  /// `quiescence_epochs` consecutive updates is frozen (not written); its
+  /// shadow keeps integrating the dynamics and the price is re-published as
+  /// soon as the accumulated drift exceeds the same threshold.  Published
+  /// prices therefore track the shadow dual trajectory with per-component
+  /// relative error <= epsilon — a documented suboptimality trade
+  /// (DESIGN.md §7.6), not an exact mode.
+  ActivePriceWork UpdateActive(const std::vector<double>& resource_share_sums,
+                               const std::vector<double>& path_latencies,
+                               const StepSizes& steps,
+                               double epsilon_quiescence,
+                               int quiescence_epochs, PriceVector* prices,
+                               ActivePriceState* state) const;
 
   /// True for every resource whose share sum exceeds its capacity at the
   /// given latencies (the congestion signal the adaptive policy consumes).

@@ -13,6 +13,7 @@
 // scalar oracles in model/evaluation.h for any thread count.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/parallel.h"
@@ -65,5 +66,69 @@ void SolveAndFillStepWorkspace(const LatencySolver& solver,
                                UtilityVariant variant, double feasibility_tol,
                                ThreadPool* pool, Assignment* latencies,
                                StepWorkspace* workspace);
+
+/// Dirty-tracking state of the incremental (active-set) stepping mode.
+///
+/// The sparse step keys every skip on exact bitwise equality: a task whose
+/// subtasks see bit-identical mu and lambda re-solves to bit-identical
+/// latencies, so its persisted latency/workspace entries ARE the re-solve's
+/// result; a resource/path whose member latencies are all bit-unchanged
+/// re-aggregates to the same sum.  Dirty items are recomputed in full with
+/// the dense arithmetic (never delta-updated), which makes the incremental
+/// trajectory bit-for-bit equal to the dense one at any thread count.
+///
+/// Invalidate() (or a LatencyModel::revision() move, or a shape change)
+/// forces a dense re-prime on the next step — required whenever the model is
+/// mutated in place (see LlaEngine::InvalidateModelCache).
+struct ActiveSetState {
+  bool primed = false;
+  std::uint64_t model_revision = 0;
+
+  /// Inputs/outputs the current workspace and latency buffers were computed
+  /// from (the baseline the next step diffs against).
+  PriceVector solve_prices;
+  Assignment prev_latencies;
+
+  /// Reverse index: resource -> distinct tasks with a subtask on it (CSR,
+  /// ascending task ids).  Built at prime time.
+  std::vector<std::size_t> res_task_offset;
+  std::vector<std::uint32_t> res_task_index;
+
+  /// Per-step scratch, reused (allocation-free in steady state).
+  std::vector<std::uint8_t> mu_changed;
+  std::vector<std::uint8_t> lambda_changed;
+  std::vector<std::uint8_t> task_dirty;
+  std::vector<std::uint8_t> resource_dirty;
+  std::vector<std::uint8_t> path_dirty;
+  std::vector<std::uint32_t> dirty_tasks;
+  std::vector<std::uint32_t> dirty_resources;
+  std::vector<std::uint32_t> dirty_paths;
+
+  void Invalidate() { primed = false; }
+};
+
+/// What one incremental step actually computed (the skipped-work /
+/// active-set observability signal; dense mode reports the full counts).
+struct ActiveStepWork {
+  std::size_t tasks_solved = 0;
+  std::size_t subtasks_solved = 0;
+  std::size_t resources_refreshed = 0;
+  std::size_t paths_refreshed = 0;
+  bool primed = false;  ///< this step ran the dense prime
+};
+
+/// SolveAndFillStepWorkspace with dirty tracking: only tasks whose prices
+/// changed (bitwise, vs. state->solve_prices) are re-solved, and only
+/// resources/paths/tasks with a bit-changed member latency are
+/// re-aggregated; everything else reuses the persisted workspace entries.
+/// Results are bit-identical to SolveAndFillStepWorkspace at any thread
+/// count (see ActiveSetState).  The first call (or any call after
+/// Invalidate(), a model revision move, or a shape change) primes densely.
+/// `latencies` and `workspace` must be the same objects across calls.
+ActiveStepWork ActiveSolveAndFillStepWorkspace(
+    const LatencySolver& solver, const Workload& workload,
+    const LatencyModel& model, const PriceVector& prices,
+    UtilityVariant variant, double feasibility_tol, ThreadPool* pool,
+    Assignment* latencies, StepWorkspace* workspace, ActiveSetState* state);
 
 }  // namespace lla

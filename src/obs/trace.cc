@@ -75,6 +75,15 @@ void JsonlTraceSink::OnIteration(const IterationTrace& trace) {
   WriteJsonArray(file_, "path_latencies", trace.path_latencies);
   WriteJsonArray(file_, "path_lambda", trace.path_lambda);
   WriteJsonArray(file_, "path_step", trace.path_step);
+  // Active-set sparsity, present only when the producer runs incrementally.
+  if (trace.tasks_solved >= 0) {
+    std::fprintf(file_, ",\"tasks_solved\":%d,\"subtasks_solved\":%d",
+                 trace.tasks_solved, trace.subtasks_solved);
+  }
+  if (trace.active_mu >= 0) {
+    std::fprintf(file_, ",\"active_mu\":%d,\"active_lambda\":%d",
+                 trace.active_mu, trace.active_lambda);
+  }
   std::fputs("}\n", file_);
 }
 

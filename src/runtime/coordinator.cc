@@ -203,9 +203,22 @@ std::vector<RunResult> Coordinator::EvaluateScenarios(
   EngineBatch batch(num_threads);
   for (const LlaConfig& config : configs) {
     const int index = batch.Add(*workload_, *model_, config);
+    // WarmStart primes the engine's active set at the running system's
+    // operating point, so scenario re-convergence steps are incremental
+    // from the first iteration (only constraints the what-if perturbs
+    // re-solve) instead of resetting to dense work.
     batch.engine(index).WarmStart(prices);
   }
-  return batch.RunAll(max_iterations);
+  std::vector<RunResult> results = batch.RunAll(max_iterations);
+  if (config_.metrics != nullptr) {
+    std::uint64_t solves = 0;
+    for (const RunResult& result : results) solves += result.subtask_solves;
+    config_.metrics->GetCounter("coordinator.scenario.runs")
+        ->Increment(results.size());
+    config_.metrics->GetCounter("coordinator.scenario.subtask_solves")
+        ->Increment(solves);
+  }
+  return results;
 }
 
 double Coordinator::CurrentUtility() const {

@@ -192,5 +192,47 @@ TEST(ModelCacheTest, EngineInvalidateAfterInPlaceMutation) {
   EXPECT_EQ(live.latencies(), fresh.latencies());
 }
 
+// Regression: InvalidateModelCache() must also invalidate the active-set
+// dirty-tracking state.  An in-place share mutation changes solve results
+// without changing a single price bit, so if the active engine kept its
+// baseline it would classify every task as clean and serve stale workspace
+// latencies forever.  A dense engine stepped in lockstep is the oracle.
+TEST(ModelCacheTest, InvalidateResetsActiveSetDirtyTracking) {
+  const Workload w = MakeWorkload(37);
+  LatencyModel model(w);
+
+  const SubtaskId target(std::size_t{1});
+  auto mutable_share = std::make_shared<MutableWorkShare>(4.0);
+  model.SetShareFunction(target, mutable_share);
+
+  LlaConfig dense_config = TestConfig();
+  dense_config.active_set.enabled = false;
+  LlaConfig active_config = TestConfig();
+  active_config.active_set.enabled = true;
+
+  LlaEngine dense(w, model, dense_config);
+  LlaEngine active(w, model, active_config);
+  for (int i = 0; i < 150; ++i) {
+    dense.Step();
+    active.Step();
+    ASSERT_EQ(dense.latencies(), active.latencies()) << "pre step " << i;
+  }
+
+  // The mutation is invisible to the model revision AND to the price bits:
+  // only the explicit hook can tell the active engine its baseline is void.
+  mutable_share->set_work_ms(8.0);
+  dense.InvalidateModelCache();
+  active.InvalidateModelCache();
+
+  for (int i = 0; i < 150; ++i) {
+    dense.Step();
+    active.Step();
+    ASSERT_EQ(dense.latencies(), active.latencies()) << "post step " << i;
+    ASSERT_EQ(dense.prices().mu, active.prices().mu) << "post step " << i;
+    ASSERT_EQ(dense.prices().lambda, active.prices().lambda)
+        << "post step " << i;
+  }
+}
+
 }  // namespace
 }  // namespace lla

@@ -74,7 +74,8 @@ TEST_P(TraceNonInterference, PaperWorkloadTrajectoryUnchanged) {
 
   ExpectBitIdentical(plain, traced);
   EXPECT_EQ(sink.total_received(), static_cast<std::uint64_t>(iterations));
-  EXPECT_EQ(metrics.Snapshot().counters.size(), 1u);  // engine.steps
+  // engine.steps plus the eight engine.active.* skipped-work counters.
+  EXPECT_EQ(metrics.Snapshot().counters.size(), 9u);
   // The newest retained record reflects the final engine state exactly.
   const obs::IterationTrace& last = sink.at(sink.size() - 1);
   EXPECT_EQ(last.iteration, iterations);

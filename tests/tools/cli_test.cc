@@ -77,6 +77,25 @@ TEST(CliTest, InvalidThreadsValueReturnsTwo) {
             2);
 }
 
+TEST(CliTest, EpsilonQuiescenceFlagAcceptedOnSolve) {
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=1e-3"), 0);
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence 1e-4"), 0);  // space form
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=0"), 0);     // exact mode
+}
+
+TEST(CliTest, InvalidEpsilonQuiescenceValueReturnsTwo) {
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=-0.1"), 2);  // negative
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=1"), 2);     // >= 1
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=1.5"), 2);   // >= 1
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=abc"), 2);   // not a number
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=1e-3x"), 2); // garbage
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence="), 2);      // empty value
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence"), 2);       // missing
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=nan"), 2);   // not finite
+}
+
 TEST(CliTest, LoadErrorsReturnThree) {
   EXPECT_EQ(RunCli("describe /nonexistent/workload.lla"), 3);
   EXPECT_EQ(RunCli("solve /nonexistent/workload.lla"), 3);

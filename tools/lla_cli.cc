@@ -51,7 +51,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  lla solve <file> [--variant sum|path-weighted] [--iters N] "
-               "[--threads=N]\n"
+               "[--threads=N] [--epsilon-quiescence=X]\n"
                "  lla check <file> [--iters N]\n"
                "  lla simulate <file> <seconds> [--sfs]\n"
                "  lla describe <file>\n"
@@ -96,6 +96,42 @@ bool MatchThreadsFlag(int argc, char** argv, int* i, int* threads,
   return true;  // not a --threads flag at all
 }
 
+// Strict parse for --epsilon-quiescence: the whole token must be a finite
+// decimal in [0, 1) — the range ActiveSetConfig accepts.  Anything else
+// (including a bare "--epsilon-quiescence" with no value) is a usage error;
+// a silently clamped value would run an approximation the user did not ask
+// for.
+bool ParseEpsilonQuiescence(const char* text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  if (!(value >= 0.0) || value >= 1.0) return false;
+  *out = value;
+  return true;
+}
+
+// Accepts "--epsilon-quiescence X" and "--epsilon-quiescence=X"; advances
+// *i past a consumed separate value.  Returns false (usage error) on a
+// malformed or missing value.
+bool MatchEpsilonFlag(int argc, char** argv, int* i, double* epsilon,
+                      bool* matched) {
+  *matched = false;
+  const char* arg = argv[*i];
+  constexpr const char* kFlag = "--epsilon-quiescence";
+  const std::size_t len = std::strlen(kFlag);
+  if (std::strncmp(arg, kFlag, len) == 0 && arg[len] == '=') {
+    *matched = true;
+    return ParseEpsilonQuiescence(arg + len + 1, epsilon);
+  }
+  if (std::strcmp(arg, kFlag) == 0) {
+    *matched = true;
+    if (*i + 1 >= argc) return false;
+    return ParseEpsilonQuiescence(argv[++*i], epsilon);
+  }
+  return true;  // not an --epsilon-quiescence flag at all
+}
+
 Expected<Workload> Load(const char* path) {
   auto workload = LoadWorkloadFromFile(path);
   if (!workload.ok()) {
@@ -127,19 +163,27 @@ int Describe(const Workload& w) {
 }
 
 int Solve(const Workload& w, UtilityVariant variant, int iters,
-          int threads) {
+          int threads, double epsilon_quiescence) {
   LatencyModel model(w);
   LlaConfig config;
   config.solver.variant = variant;
   config.gamma0 = 3.0;
   config.num_threads = threads;
+  config.active_set.epsilon_quiescence = epsilon_quiescence;
   LlaEngine engine(w, model, config);
   const RunResult run = engine.Run(iters);
   std::printf("%s after %d iterations; utility %.3f (%s variant); "
-              "feasible: %s\n\n",
+              "feasible: %s\n",
               run.converged ? "converged" : "NOT converged", run.iterations,
               run.final_utility, ToString(variant),
               run.final_feasibility.feasible ? "yes" : "no");
+  if (epsilon_quiescence > 0.0) {
+    std::printf("epsilon-quiescence %.3g: %llu subtask solves (approximate "
+                "mode; objective within O(epsilon) of exact)\n",
+                epsilon_quiescence,
+                static_cast<unsigned long long>(run.subtask_solves));
+  }
+  std::printf("\n");
   std::printf("%-24s %12s %10s\n", "subtask", "latency(ms)", "share");
   for (const SubtaskInfo& sub : w.subtasks()) {
     const double latency = engine.latencies()[sub.id.value()];
@@ -311,8 +355,10 @@ int main(int argc, char** argv) {
     UtilityVariant variant = UtilityVariant::kPathWeighted;
     int iters = 12000;
     int threads = 1;
+    double epsilon_quiescence = 0.0;
     for (int i = 3; i < argc; ++i) {
       bool is_threads = false;
+      bool is_epsilon = false;
       if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
         variant = std::strcmp(argv[++i], "sum") == 0
                       ? UtilityVariant::kSum
@@ -321,12 +367,16 @@ int main(int argc, char** argv) {
         iters = std::atoi(argv[++i]);
       } else if (!MatchThreadsFlag(argc, argv, &i, &threads, &is_threads)) {
         return Usage();
-      } else if (!is_threads) {
+      } else if (is_threads) {
+      } else if (!MatchEpsilonFlag(argc, argv, &i, &epsilon_quiescence,
+                                   &is_epsilon)) {
+        return Usage();
+      } else if (!is_epsilon) {
         return Usage();
       }
     }
     if (iters < 1) return Usage();
-    return Solve(w, variant, iters, threads);
+    return Solve(w, variant, iters, threads, epsilon_quiescence);
   }
 
   if (command == "trace") {
