@@ -22,7 +22,7 @@ class RunningStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
-  double variance() const;  ///< population variance
+  double variance() const;  ///< sample variance (n - 1); 0 below 2 samples
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }

@@ -121,6 +121,121 @@ void LlaEngine::WarmStart(const PriceVector& prices) {
   PrimeOrSolve();
 }
 
+StateSnapshot LlaEngine::Checkpoint() const {
+  StateSnapshot snap;
+  snap.resource_count = workload_->resource_count();
+  snap.path_count = workload_->path_count();
+  snap.subtask_count = workload_->subtask_count();
+  snap.task_count = workload_->task_count();
+  snap.iteration = iteration_;
+  snap.converged = converged_;
+  snap.total_subtask_solves = total_subtask_solves_;
+  snap.mu = prices_.mu;
+  snap.lambda = prices_.lambda;
+  StepPolicyState policy_state;
+  step_policy_->SaveState(&policy_state);
+  snap.resource_step_multiplier = std::move(policy_state.resource_multiplier);
+  snap.path_step_multiplier = std::move(policy_state.path_multiplier);
+  snap.step_iteration = policy_state.iteration;
+  snap.recent_utilities.assign(recent_utilities_.begin(),
+                               recent_utilities_.end());
+  snap.price_state_primed = price_state_.primed;
+  if (price_state_.primed) {
+    snap.mu_settled = price_state_.mu_settled;
+    snap.lambda_settled = price_state_.lambda_settled;
+    snap.mu_zero_epochs = price_state_.mu_zero_epochs;
+    snap.lambda_zero_epochs = price_state_.lambda_zero_epochs;
+    snap.mu_stable_epochs = price_state_.mu_stable_epochs;
+    snap.lambda_stable_epochs = price_state_.lambda_stable_epochs;
+    snap.shadow_mu = price_state_.shadow_mu;
+    snap.shadow_lambda = price_state_.shadow_lambda;
+    snap.prev_share_sums = price_state_.prev_share_sums;
+    snap.prev_path_latencies = price_state_.prev_path_latencies;
+  }
+  return snap;
+}
+
+Status LlaEngine::Restore(const StateSnapshot& snapshot) {
+  if (snapshot.resource_count != workload_->resource_count() ||
+      snapshot.path_count != workload_->path_count() ||
+      snapshot.subtask_count != workload_->subtask_count() ||
+      snapshot.task_count != workload_->task_count()) {
+    return Status::Error(
+        "Restore: snapshot shape does not match this workload");
+  }
+  if (snapshot.mu.size() != workload_->resource_count() ||
+      snapshot.lambda.size() != workload_->path_count()) {
+    return Status::Error("Restore: snapshot price vectors are misshapen");
+  }
+  if (snapshot.price_state_primed) {
+    // UpdateActive indexes every primed vector unchecked; refuse a corrupt
+    // snapshot up front rather than reading out of bounds later.
+    const std::size_t R = workload_->resource_count();
+    const std::size_t P = workload_->path_count();
+    if (snapshot.mu_settled.size() != R || snapshot.lambda_settled.size() != P ||
+        snapshot.mu_zero_epochs.size() != R ||
+        snapshot.lambda_zero_epochs.size() != P ||
+        snapshot.mu_stable_epochs.size() != R ||
+        snapshot.lambda_stable_epochs.size() != P ||
+        snapshot.shadow_mu.size() != R || snapshot.shadow_lambda.size() != P ||
+        snapshot.prev_share_sums.size() != R ||
+        snapshot.prev_path_latencies.size() != P) {
+      return Status::Error(
+          "Restore: snapshot active-set price state is misshapen");
+    }
+  }
+  prices_.mu = snapshot.mu;
+  prices_.lambda = snapshot.lambda;
+  // Reset sizes the policy's vectors for this workload; LoadState then
+  // overwrites the saved fields (and ignores a foreign-policy snapshot —
+  // e.g. a fixed-policy checkpoint restored into an adaptive engine simply
+  // keeps the reset state).
+  step_policy_->Reset(*workload_);
+  StepPolicyState policy_state;
+  policy_state.resource_multiplier = snapshot.resource_step_multiplier;
+  policy_state.path_multiplier = snapshot.path_step_multiplier;
+  policy_state.iteration = snapshot.step_iteration;
+  step_policy_->LoadState(policy_state);
+  iteration_ = static_cast<int>(snapshot.iteration);
+  converged_ = snapshot.converged;
+  total_subtask_solves_ = snapshot.total_subtask_solves;
+  recent_utilities_.assign(snapshot.recent_utilities.begin(),
+                           snapshot.recent_utilities.end());
+  history_.clear();
+  // Re-derive latencies_ and the workspace from the restored prices.  This
+  // is deliberately NOT PrimeOrSolve(): that would leave price_state_
+  // invalidated, losing the restored retirement/freeze counters.  The dense
+  // prime at prices_ reproduces bitwise the latencies the checkpointed
+  // engine held (the active-set invariant: a full solve at the same price
+  // bits equals the incremental state), after which the saved price state
+  // is layered back on.
+  active_state_.Invalidate();
+  price_state_.Invalidate();
+  if (config_.active_set.enabled) {
+    ActiveSolveAndFillStepWorkspace(
+        solver_, *workload_, *model_, prices_, config_.solver.variant,
+        config_.convergence.feasibility_tol, pool_.get(), &latencies_,
+        &workspace_, &active_state_);
+    if (active_primes_ != nullptr) active_primes_->Increment();
+    if (snapshot.price_state_primed) {
+      price_state_.primed = true;
+      price_state_.mu_settled = snapshot.mu_settled;
+      price_state_.lambda_settled = snapshot.lambda_settled;
+      price_state_.mu_zero_epochs = snapshot.mu_zero_epochs;
+      price_state_.lambda_zero_epochs = snapshot.lambda_zero_epochs;
+      price_state_.mu_stable_epochs = snapshot.mu_stable_epochs;
+      price_state_.lambda_stable_epochs = snapshot.lambda_stable_epochs;
+      price_state_.shadow_mu = snapshot.shadow_mu;
+      price_state_.shadow_lambda = snapshot.shadow_lambda;
+      price_state_.prev_share_sums = snapshot.prev_share_sums;
+      price_state_.prev_path_latencies = snapshot.prev_path_latencies;
+    }
+  } else {
+    solver_.SolveAll(prices_, &latencies_, pool_.get());
+  }
+  return Status{};
+}
+
 IterationStats LlaEngine::Step() {
   // 1. Latency allocation at current prices plus the fused evaluation sweep
   //    (share sums, path latencies, utility aggregates) as a single

@@ -43,6 +43,7 @@
 #include "core/step_workspace.h"
 #include "model/evaluation.h"
 #include "model/latency_model.h"
+#include "model/serialization.h"
 #include "model/workload.h"
 
 namespace lla {
@@ -179,6 +180,23 @@ class LlaEngine {
   /// much faster than a cold start).  Price vector sizes must match this
   /// workload; negative entries are projected to zero.
   void WarmStart(const PriceVector& prices);
+
+  /// Captures the complete dual state — prices, step-size policy state,
+  /// convergence window, counters, and the active-set price state — into a
+  /// durable snapshot (DESIGN.md §7.7).  Restore() of the snapshot into a
+  /// fresh engine on the same workload resumes the dense trajectory
+  /// bit-identically: every subsequent Step() produces bitwise the same
+  /// prices and latencies the checkpointed engine would have produced.
+  /// History is diagnostics and is not captured.
+  StateSnapshot Checkpoint() const;
+
+  /// Adopts a snapshot taken by Checkpoint() (possibly in another process).
+  /// Fails without touching the engine if the snapshot's shape does not
+  /// match this workload.  On success the engine's latencies and workspace
+  /// are re-derived from the restored prices by a dense solve, history is
+  /// cleared, and the next Step() continues the checkpointed trajectory
+  /// bit-for-bit (any thread count, active-set on or off).
+  Status Restore(const StateSnapshot& snapshot);
 
   bool Converged() const { return converged_; }
   int iteration() const { return iteration_; }

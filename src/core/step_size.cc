@@ -91,6 +91,21 @@ void AdaptiveStepSize::Update(const Workload& workload,
   }
 }
 
+void AdaptiveStepSize::SaveState(StepPolicyState* out) const {
+  out->resource_multiplier = resource_multiplier_;
+  out->path_multiplier = path_multiplier_;
+}
+
+void AdaptiveStepSize::LoadState(const StepPolicyState& in) {
+  // Size mismatches fall back to the Reset() state (all 1.0) rather than
+  // adopting misindexed multipliers; Update() rebuilds on mismatch anyway.
+  if (in.resource_multiplier.size() == resource_multiplier_.size() &&
+      in.path_multiplier.size() == path_multiplier_.size()) {
+    resource_multiplier_ = in.resource_multiplier;
+    path_multiplier_ = in.path_multiplier;
+  }
+}
+
 std::string AdaptiveStepSize::Describe() const {
   std::ostringstream os;
   os << "adaptive(gamma0=" << gamma0_ << ", cap=" << max_multiplier_ << ")";
@@ -114,6 +129,14 @@ void DiminishingStepSize::Update(const Workload& workload,
   ++iteration_;
   steps->resource.assign(workload.resource_count(), gamma);
   steps->path.assign(workload.path_count(), gamma);
+}
+
+void DiminishingStepSize::SaveState(StepPolicyState* out) const {
+  out->iteration = iteration_;
+}
+
+void DiminishingStepSize::LoadState(const StepPolicyState& in) {
+  iteration_ = static_cast<int>(in.iteration);
 }
 
 std::string DiminishingStepSize::Describe() const {

@@ -9,6 +9,7 @@
 // convergence-guaranteed alternative.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,16 @@ namespace lla {
 struct StepSizes {
   std::vector<double> resource;  ///< indexed by ResourceId
   std::vector<double> path;      ///< indexed by PathId
+};
+
+/// Serializable state of a step-size policy, for engine checkpoints
+/// (DESIGN.md §7.7).  A policy only fills / reads the fields it owns:
+/// adaptive uses the multiplier vectors, diminishing the iteration counter,
+/// fixed nothing.
+struct StepPolicyState {
+  std::vector<double> resource_multiplier;
+  std::vector<double> path_multiplier;
+  std::int64_t iteration = 0;
 };
 
 class StepSizePolicy {
@@ -36,6 +47,13 @@ class StepSizePolicy {
   virtual void Update(const Workload& workload,
                       const std::vector<bool>& resource_congested,
                       StepSizes* steps) = 0;
+
+  /// Checkpoint hooks: SaveState writes the policy's mutable state into
+  /// `out` (leaving foreign fields untouched); LoadState restores it.
+  /// Stateless policies inherit the no-ops.  Call Reset() before LoadState
+  /// so vectors not covered by the saved state are correctly sized.
+  virtual void SaveState(StepPolicyState* out) const { (void)out; }
+  virtual void LoadState(const StepPolicyState& in) { (void)in; }
 
   virtual std::string Describe() const = 0;
 };
@@ -64,6 +82,8 @@ class AdaptiveStepSize final : public StepSizePolicy {
   void Update(const Workload& workload,
               const std::vector<bool>& resource_congested,
               StepSizes* steps) override;
+  void SaveState(StepPolicyState* out) const override;
+  void LoadState(const StepPolicyState& in) override;
   std::string Describe() const override;
 
  private:
@@ -82,6 +102,8 @@ class DiminishingStepSize final : public StepSizePolicy {
   void Update(const Workload& workload,
               const std::vector<bool>& resource_congested,
               StepSizes* steps) override;
+  void SaveState(StepPolicyState* out) const override;
+  void LoadState(const StepPolicyState& in) override;
   std::string Describe() const override;
 
  private:

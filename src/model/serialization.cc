@@ -1,6 +1,9 @@
 #include "model/serialization.h"
 
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -289,6 +292,290 @@ Status SaveWorkloadToFile(const Workload& workload, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::Error("cannot open '" + path + "' for writing");
   return SaveWorkload(workload, out);
+}
+
+// ---------------------------------------------------------------------------
+// StateSnapshot: line-oriented like the workload format above, but every
+// double travels as the zero-padded hex of its IEEE-754 bit pattern so the
+// round-trip is bit-exact (the Restore() memcmp guarantee depends on it).
+//
+//   snapshot v1
+//   shape <resources> <paths> <subtasks> <tasks>
+//   counters <iteration> <converged 0|1> <total_subtask_solves>
+//   step_iteration <n>
+//   price_state_primed <0|1>
+//   fvec <name> <count> <hex64>...
+//   u8vec <name> <count> <int>...
+//   u32vec <name> <count> <int>...
+//   end
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t DoubleBits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+bool ParseU64(const std::string& token, int base, std::uint64_t* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stoull(token, &consumed, base);
+  } catch (...) {
+    return false;
+  }
+  return consumed == token.size();
+}
+
+bool ParseI64(const std::string& token, std::int64_t* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stoll(token, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == token.size();
+}
+
+void WriteDoubleVec(std::ostream& out, const char* name,
+                    const std::vector<double>& values) {
+  out << "fvec " << name << ' ' << values.size() << std::hex;
+  for (double value : values) {
+    out << ' ' << std::setw(16) << std::setfill('0') << DoubleBits(value);
+  }
+  out << std::dec << std::setfill(' ') << '\n';
+}
+
+template <typename T>
+void WriteIntVec(std::ostream& out, const char* tag, const char* name,
+                 const std::vector<T>& values) {
+  out << tag << ' ' << name << ' ' << values.size();
+  for (T value : values) out << ' ' << static_cast<std::uint64_t>(value);
+  out << '\n';
+}
+
+}  // namespace
+
+Status SaveSnapshot(const StateSnapshot& snapshot, std::ostream& out) {
+  out << "# LLA state snapshot (see model/serialization.h for the format)\n";
+  out << "snapshot v1\n";
+  out << "shape " << snapshot.resource_count << ' ' << snapshot.path_count
+      << ' ' << snapshot.subtask_count << ' ' << snapshot.task_count << '\n';
+  out << "counters " << snapshot.iteration << ' '
+      << (snapshot.converged ? 1 : 0) << ' ' << snapshot.total_subtask_solves
+      << '\n';
+  out << "step_iteration " << snapshot.step_iteration << '\n';
+  out << "price_state_primed " << (snapshot.price_state_primed ? 1 : 0)
+      << '\n';
+  WriteDoubleVec(out, "mu", snapshot.mu);
+  WriteDoubleVec(out, "lambda", snapshot.lambda);
+  WriteDoubleVec(out, "resource_step_multiplier",
+                 snapshot.resource_step_multiplier);
+  WriteDoubleVec(out, "path_step_multiplier", snapshot.path_step_multiplier);
+  WriteDoubleVec(out, "recent_utilities", snapshot.recent_utilities);
+  WriteDoubleVec(out, "shadow_mu", snapshot.shadow_mu);
+  WriteDoubleVec(out, "shadow_lambda", snapshot.shadow_lambda);
+  WriteDoubleVec(out, "prev_share_sums", snapshot.prev_share_sums);
+  WriteDoubleVec(out, "prev_path_latencies", snapshot.prev_path_latencies);
+  WriteIntVec(out, "u8vec", "mu_settled", snapshot.mu_settled);
+  WriteIntVec(out, "u8vec", "lambda_settled", snapshot.lambda_settled);
+  WriteIntVec(out, "u32vec", "mu_zero_epochs", snapshot.mu_zero_epochs);
+  WriteIntVec(out, "u32vec", "lambda_zero_epochs",
+              snapshot.lambda_zero_epochs);
+  WriteIntVec(out, "u32vec", "mu_stable_epochs", snapshot.mu_stable_epochs);
+  WriteIntVec(out, "u32vec", "lambda_stable_epochs",
+              snapshot.lambda_stable_epochs);
+  out << "end\n";
+  if (!out) return Status::Error("SaveSnapshot: stream write failed");
+  return Status{};
+}
+
+Expected<StateSnapshot> LoadSnapshot(std::istream& in) {
+  using E = Expected<StateSnapshot>;
+  StateSnapshot snap;
+  bool saw_header = false;
+  bool saw_end = false;
+
+  std::map<std::string, std::vector<double>*> fvecs = {
+      {"mu", &snap.mu},
+      {"lambda", &snap.lambda},
+      {"resource_step_multiplier", &snap.resource_step_multiplier},
+      {"path_step_multiplier", &snap.path_step_multiplier},
+      {"recent_utilities", &snap.recent_utilities},
+      {"shadow_mu", &snap.shadow_mu},
+      {"shadow_lambda", &snap.shadow_lambda},
+      {"prev_share_sums", &snap.prev_share_sums},
+      {"prev_path_latencies", &snap.prev_path_latencies},
+  };
+  std::map<std::string, std::vector<std::uint8_t>*> u8vecs = {
+      {"mu_settled", &snap.mu_settled},
+      {"lambda_settled", &snap.lambda_settled},
+  };
+  std::map<std::string, std::vector<std::uint32_t>*> u32vecs = {
+      {"mu_zero_epochs", &snap.mu_zero_epochs},
+      {"lambda_zero_epochs", &snap.lambda_zero_epochs},
+      {"mu_stable_epochs", &snap.mu_stable_epochs},
+      {"lambda_stable_epochs", &snap.lambda_stable_epochs},
+  };
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    if (saw_end) {
+      return E::Error(LineError(line_number, "content after 'end'"));
+    }
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "snapshot") {
+      if (tokens.size() != 2 || tokens[1] != "v1") {
+        return E::Error(LineError(line_number, "expected: snapshot v1"));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return E::Error(
+          LineError(line_number, "file does not start with 'snapshot v1'"));
+    }
+
+    if (keyword == "shape") {
+      if (tokens.size() != 5 ||
+          !ParseU64(tokens[1], 10, &snap.resource_count) ||
+          !ParseU64(tokens[2], 10, &snap.path_count) ||
+          !ParseU64(tokens[3], 10, &snap.subtask_count) ||
+          !ParseU64(tokens[4], 10, &snap.task_count)) {
+        return E::Error(LineError(
+            line_number, "expected: shape <resources> <paths> <subtasks> "
+                         "<tasks>"));
+      }
+    } else if (keyword == "counters") {
+      std::uint64_t converged = 0;
+      if (tokens.size() != 4 || !ParseI64(tokens[1], &snap.iteration) ||
+          !ParseU64(tokens[2], 10, &converged) || converged > 1 ||
+          !ParseU64(tokens[3], 10, &snap.total_subtask_solves)) {
+        return E::Error(LineError(
+            line_number,
+            "expected: counters <iteration> <converged 0|1> <solves>"));
+      }
+      snap.converged = converged == 1;
+    } else if (keyword == "step_iteration") {
+      if (tokens.size() != 2 || !ParseI64(tokens[1], &snap.step_iteration)) {
+        return E::Error(LineError(line_number, "bad step_iteration"));
+      }
+    } else if (keyword == "price_state_primed") {
+      std::uint64_t primed = 0;
+      if (tokens.size() != 2 || !ParseU64(tokens[1], 10, &primed) ||
+          primed > 1) {
+        return E::Error(LineError(line_number, "bad price_state_primed"));
+      }
+      snap.price_state_primed = primed == 1;
+    } else if (keyword == "fvec" || keyword == "u8vec" ||
+               keyword == "u32vec") {
+      if (tokens.size() < 3) {
+        return E::Error(
+            LineError(line_number, "expected: " + keyword + " <name> <count>"));
+      }
+      std::uint64_t count = 0;
+      if (!ParseU64(tokens[2], 10, &count) || tokens.size() != count + 3) {
+        return E::Error(LineError(line_number,
+                                  "vector count does not match values"));
+      }
+      const std::string& name = tokens[1];
+      if (keyword == "fvec") {
+        const auto it = fvecs.find(name);
+        if (it == fvecs.end()) {
+          return E::Error(LineError(line_number, "unknown fvec '" + name + "'"));
+        }
+        it->second->resize(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          std::uint64_t bits = 0;
+          if (!ParseU64(tokens[3 + i], 16, &bits)) {
+            return E::Error(LineError(line_number, "bad hex double"));
+          }
+          (*it->second)[i] = DoubleFromBits(bits);
+        }
+      } else if (keyword == "u8vec") {
+        const auto it = u8vecs.find(name);
+        if (it == u8vecs.end()) {
+          return E::Error(
+              LineError(line_number, "unknown u8vec '" + name + "'"));
+        }
+        it->second->resize(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          std::uint64_t value = 0;
+          if (!ParseU64(tokens[3 + i], 10, &value) || value > 0xff) {
+            return E::Error(LineError(line_number, "bad u8 value"));
+          }
+          (*it->second)[i] = static_cast<std::uint8_t>(value);
+        }
+      } else {
+        const auto it = u32vecs.find(name);
+        if (it == u32vecs.end()) {
+          return E::Error(
+              LineError(line_number, "unknown u32vec '" + name + "'"));
+        }
+        it->second->resize(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          std::uint64_t value = 0;
+          if (!ParseU64(tokens[3 + i], 10, &value) || value > 0xffffffffull) {
+            return E::Error(LineError(line_number, "bad u32 value"));
+          }
+          (*it->second)[i] = static_cast<std::uint32_t>(value);
+        }
+      }
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      return E::Error(
+          LineError(line_number, "unknown keyword '" + keyword + "'"));
+    }
+  }
+  if (!saw_end) {
+    return E::Error("unexpected end of input: snapshot missing 'end'");
+  }
+  if (snap.mu.size() != snap.resource_count ||
+      snap.lambda.size() != snap.path_count) {
+    return E::Error("snapshot price vectors do not match declared shape");
+  }
+  return snap;
+}
+
+Expected<StateSnapshot> LoadSnapshotFromString(const std::string& text) {
+  std::istringstream is(text);
+  return LoadSnapshot(is);
+}
+
+Expected<StateSnapshot> LoadSnapshotFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Expected<StateSnapshot>::Error("cannot open '" + path + "'");
+  }
+  return LoadSnapshot(in);
+}
+
+Expected<std::string> SaveSnapshotToString(const StateSnapshot& snapshot) {
+  std::ostringstream os;
+  const Status status = SaveSnapshot(snapshot, os);
+  if (!status.ok()) return Expected<std::string>::Error(status.error());
+  return os.str();
+}
+
+Status SaveSnapshotToFile(const StateSnapshot& snapshot,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Error("cannot open '" + path + "' for writing");
+  return SaveSnapshot(snapshot, out);
 }
 
 }  // namespace lla

@@ -20,8 +20,10 @@
 // save/load round-trips.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/expected.h"
 #include "model/workload.h"
@@ -39,5 +41,67 @@ Expected<Workload> LoadWorkloadFromFile(const std::string& path);
 Status SaveWorkload(const Workload& workload, std::ostream& out);
 Expected<std::string> SaveWorkloadToString(const Workload& workload);
 Status SaveWorkloadToFile(const Workload& workload, const std::string& path);
+
+/// Durable checkpoint of an engine's dual state (DESIGN.md §7.7): everything
+/// LlaEngine::Restore() needs to resume the dense trajectory bit-identically.
+/// Lives in the model layer (plain vectors, no core types) so serialization
+/// stays dependency-free; the engine translates to/from its internal state.
+///
+/// Every floating-point value is persisted as the hex IEEE-754 bit pattern
+/// of the double, so a save/load round-trip is bit-exact — decimal text
+/// would round and break the memcmp resume guarantee.
+struct StateSnapshot {
+  /// Shape guard: Restore() refuses a snapshot taken against a workload
+  /// with different counts (prices would be misindexed, not just stale).
+  std::uint64_t resource_count = 0;
+  std::uint64_t path_count = 0;
+  std::uint64_t subtask_count = 0;
+  std::uint64_t task_count = 0;
+
+  std::int64_t iteration = 0;
+  bool converged = false;
+  std::uint64_t total_subtask_solves = 0;
+
+  /// Dual variables (PriceVector::mu / ::lambda).
+  std::vector<double> mu;
+  std::vector<double> lambda;
+
+  /// Step-size policy state: adaptive doubling multipliers (empty for the
+  /// fixed policy) and the diminishing-schedule iteration counter.
+  std::vector<double> resource_step_multiplier;
+  std::vector<double> path_step_multiplier;
+  std::int64_t step_iteration = 0;
+
+  /// Trailing utility window of the convergence detector.
+  std::vector<double> recent_utilities;
+
+  /// Active-set price state (ActivePriceState): retirement / quiescence
+  /// counters, epsilon-freeze shadow prices, and the bitwise change-detection
+  /// baselines.  All empty when `price_state_primed` is false (dense mode,
+  /// or a checkpoint taken before the first step).
+  bool price_state_primed = false;
+  std::vector<std::uint8_t> mu_settled;
+  std::vector<std::uint8_t> lambda_settled;
+  std::vector<std::uint32_t> mu_zero_epochs;
+  std::vector<std::uint32_t> lambda_zero_epochs;
+  std::vector<std::uint32_t> mu_stable_epochs;
+  std::vector<std::uint32_t> lambda_stable_epochs;
+  std::vector<double> shadow_mu;
+  std::vector<double> shadow_lambda;
+  std::vector<double> prev_share_sums;
+  std::vector<double> prev_path_latencies;
+};
+
+/// Parses a snapshot written by SaveSnapshot; returns it or a message with
+/// the offending line number.
+Expected<StateSnapshot> LoadSnapshot(std::istream& in);
+Expected<StateSnapshot> LoadSnapshotFromString(const std::string& text);
+Expected<StateSnapshot> LoadSnapshotFromFile(const std::string& path);
+
+/// Writes the line-oriented snapshot format (doubles as hex bit patterns).
+Status SaveSnapshot(const StateSnapshot& snapshot, std::ostream& out);
+Expected<std::string> SaveSnapshotToString(const StateSnapshot& snapshot);
+Status SaveSnapshotToFile(const StateSnapshot& snapshot,
+                          const std::string& path);
 
 }  // namespace lla

@@ -1,6 +1,7 @@
 #include "net/bus.h"
 
 #include <cassert>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -33,14 +34,22 @@ EndpointId InProcessBus::Register(std::string name, MessageHandler on_message,
   }
   endpoints_.push_back(std::move(endpoint));
   blackout_until_ms_.push_back(-1.0);
+  incarnation_.push_back(0);
   return id;
 }
 
 void InProcessBus::CountDrop(const Message& message) {
   ++stats_.dropped;
-  if (dropped_counter_ != nullptr) {
-    dropped_counter_->Increment();
+  // The endpoint counters are resolved independently of the global one
+  // (Register creates them iff a registry is configured), so each gets its
+  // own null test: gating the endpoint increments on the global counter
+  // silently lost endpoint drop metrics whenever only endpoint-level
+  // counters existed.
+  if (dropped_counter_ != nullptr) dropped_counter_->Increment();
+  if (endpoints_[message.sender].dropped != nullptr) {
     endpoints_[message.sender].dropped->Increment();
+  }
+  if (endpoints_[message.receiver].dropped != nullptr) {
     endpoints_[message.receiver].dropped->Increment();
   }
 }
@@ -53,6 +62,17 @@ void InProcessBus::BlackoutEndpoint(EndpointId endpoint, double until_ms) {
 
 bool InProcessBus::IsBlackedOut(EndpointId endpoint) const {
   return now_ms_ < blackout_until_ms_[endpoint];
+}
+
+void InProcessBus::CrashEndpoint(EndpointId endpoint) {
+  assert(endpoint < endpoints_.size());
+  blackout_until_ms_[endpoint] = std::numeric_limits<double>::infinity();
+}
+
+void InProcessBus::RestartEndpoint(EndpointId endpoint) {
+  assert(endpoint < endpoints_.size());
+  blackout_until_ms_[endpoint] = -1.0;
+  ++incarnation_[endpoint];
 }
 
 void InProcessBus::Push(double at_ms, Event event) {
@@ -69,11 +89,15 @@ void InProcessBus::Push(double at_ms, Event event) {
 }
 
 void InProcessBus::Send(Message message) {
+  assert(message.sender < endpoints_.size());
   assert(message.receiver < endpoints_.size());
+  // Stamp the sender's incarnation before any accounting so the wire bytes
+  // and the delivered message agree.
+  message.incarnation = incarnation_[message.sender];
   ++stats_.sent;
   stats_.bytes += WireSize(message);
-  if (sent_counter_ != nullptr) {
-    sent_counter_->Increment();
+  if (sent_counter_ != nullptr) sent_counter_->Increment();
+  if (endpoints_[message.sender].sent != nullptr) {
     endpoints_[message.sender].sent->Increment();
   }
   if (IsBlackedOut(message.sender) || IsBlackedOut(message.receiver)) {
@@ -125,10 +149,8 @@ void InProcessBus::Dispatch(double at_ms, const Event& event) {
     return;
   }
   ++stats_.delivered;
-  if (delivered_counter_ != nullptr) {
-    delivered_counter_->Increment();
-    endpoint.delivered->Increment();
-  }
+  if (delivered_counter_ != nullptr) delivered_counter_->Increment();
+  if (endpoint.delivered != nullptr) endpoint.delivered->Increment();
   if (config_.verify_wire_format) {
     const auto round_trip = Deserialize(Serialize(event.message));
     assert(round_trip.has_value() && *round_trip == event.message);

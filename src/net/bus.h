@@ -76,6 +76,20 @@ class InProcessBus {
   /// True while the endpoint is inside a blackout window.
   bool IsBlackedOut(EndpointId endpoint) const;
 
+  /// Crash-restart injection (DESIGN.md §7.7).  CrashEndpoint is an
+  /// open-ended blackout: every message to or from the endpoint drops until
+  /// RestartEndpoint, which clears the blackout and bumps the endpoint's
+  /// incarnation — messages the endpoint sends from then on carry the new
+  /// number, and anything it sent pre-crash (still in flight, or replayed
+  /// from stale peer state) is identifiable as a lower incarnation.
+  void CrashEndpoint(EndpointId endpoint);
+  void RestartEndpoint(EndpointId endpoint);
+
+  /// Current incarnation of the endpoint (0 until its first restart).
+  std::uint32_t incarnation(EndpointId endpoint) const {
+    return incarnation_[endpoint];
+  }
+
   /// Schedules a timer at now + delay_ms for the endpoint.
   void ScheduleTimer(EndpointId endpoint, double delay_ms,
                      std::uint64_t token);
@@ -135,6 +149,7 @@ class InProcessBus {
   Rng rng_;
   std::vector<Endpoint> endpoints_;
   std::vector<double> blackout_until_ms_;  ///< parallel to endpoints_
+  std::vector<std::uint32_t> incarnation_;  ///< parallel to endpoints_
   std::priority_queue<EventKey, std::vector<EventKey>, EventLater> events_;
   std::vector<Event> slots_;
   std::vector<std::size_t> free_slots_;

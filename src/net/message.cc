@@ -7,6 +7,8 @@ namespace {
 
 constexpr std::uint8_t kTagLatencyUpdate = 1;
 constexpr std::uint8_t kTagResourcePriceUpdate = 2;
+constexpr std::uint8_t kTagRepairRequest = 3;
+constexpr std::uint8_t kTagRepairResponse = 4;
 
 class Writer {
  public:
@@ -66,6 +68,7 @@ std::vector<std::uint8_t> Serialize(const Message& message) {
   Writer w(&bytes);
   w.U32(message.sender);
   w.U32(message.receiver);
+  w.U32(message.incarnation);
   if (const auto* latency = std::get_if<LatencyUpdate>(&message.payload)) {
     w.U8(kTagLatencyUpdate);
     w.U32(latency->task.value());
@@ -74,13 +77,30 @@ std::vector<std::uint8_t> Serialize(const Message& message) {
       w.U32(latency->subtasks[i].value());
       w.F64(latency->latencies_ms[i]);
     }
-  } else {
-    const auto& price = std::get<ResourcePriceUpdate>(message.payload);
+  } else if (const auto* price =
+                 std::get_if<ResourcePriceUpdate>(&message.payload)) {
     w.U8(kTagResourcePriceUpdate);
-    w.U32(price.resource.value());
-    w.F64(price.mu);
-    w.U32(price.epoch);
-    w.U8(price.congested ? 1 : 0);
+    w.U32(price->resource.value());
+    w.F64(price->mu);
+    w.U32(price->epoch);
+    w.U8(price->congested ? 1 : 0);
+  } else if (const auto* request =
+                 std::get_if<RepairRequest>(&message.payload)) {
+    w.U8(kTagRepairRequest);
+    w.U32(request->resource.value());
+  } else {
+    const auto& repair = std::get<RepairResponse>(message.payload);
+    w.U8(kTagRepairResponse);
+    w.U32(repair.resource.value());
+    w.U32(repair.task.value());
+    w.F64(repair.mu);
+    w.U32(repair.epoch);
+    w.U8(repair.congested ? 1 : 0);
+    w.U32(static_cast<std::uint32_t>(repair.subtasks.size()));
+    for (std::size_t i = 0; i < repair.subtasks.size(); ++i) {
+      w.U32(repair.subtasks[i].value());
+      w.F64(repair.latencies_ms[i]);
+    }
   }
   return bytes;
 }
@@ -89,7 +109,8 @@ std::optional<Message> Deserialize(const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
   Message message;
   std::uint8_t tag = 0;
-  if (!r.U32(&message.sender) || !r.U32(&message.receiver) || !r.U8(&tag)) {
+  if (!r.U32(&message.sender) || !r.U32(&message.receiver) ||
+      !r.U32(&message.incarnation) || !r.U8(&tag)) {
     return std::nullopt;
   }
   if (tag == kTagLatencyUpdate) {
@@ -118,6 +139,34 @@ std::optional<Message> Deserialize(const std::vector<std::uint8_t>& bytes) {
     update.resource = ResourceId(resource);
     update.congested = congested != 0;
     message.payload = std::move(update);
+  } else if (tag == kTagRepairRequest) {
+    RepairRequest request;
+    std::uint32_t resource = 0;
+    if (!r.U32(&resource)) return std::nullopt;
+    request.resource = ResourceId(resource);
+    message.payload = std::move(request);
+  } else if (tag == kTagRepairResponse) {
+    RepairResponse repair;
+    std::uint32_t resource = 0, task = 0, count = 0;
+    std::uint8_t congested = 0;
+    if (!r.U32(&resource) || !r.U32(&task) || !r.F64(&repair.mu) ||
+        !r.U32(&repair.epoch) || !r.U8(&congested) || congested > 1 ||
+        !r.U32(&count)) {
+      return std::nullopt;
+    }
+    repair.resource = ResourceId(resource);
+    repair.task = TaskId(task);
+    repair.congested = congested != 0;
+    repair.subtasks.reserve(count);
+    repair.latencies_ms.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t subtask = 0;
+      double latency = 0.0;
+      if (!r.U32(&subtask) || !r.F64(&latency)) return std::nullopt;
+      repair.subtasks.push_back(SubtaskId(subtask));
+      repair.latencies_ms.push_back(latency);
+    }
+    message.payload = std::move(repair);
   } else {
     return std::nullopt;
   }
@@ -126,10 +175,18 @@ std::optional<Message> Deserialize(const std::vector<std::uint8_t>& bytes) {
 }
 
 std::size_t WireSize(const Message& message) {
+  constexpr std::size_t kHeader = 4 + 4 + 4 + 1;  // sender/receiver/inc/tag
   if (const auto* latency = std::get_if<LatencyUpdate>(&message.payload)) {
-    return 4 + 4 + 1 + 4 + 4 + latency->subtasks.size() * 12;
+    return kHeader + 4 + 4 + latency->subtasks.size() * 12;
   }
-  return 4 + 4 + 1 + 4 + 8 + 4 + 1;
+  if (std::holds_alternative<ResourcePriceUpdate>(message.payload)) {
+    return kHeader + 4 + 8 + 4 + 1;
+  }
+  if (std::holds_alternative<RepairRequest>(message.payload)) {
+    return kHeader + 4;
+  }
+  const auto& repair = std::get<RepairResponse>(message.payload);
+  return kHeader + 4 + 4 + 8 + 4 + 1 + 4 + repair.subtasks.size() * 12;
 }
 
 }  // namespace lla::net

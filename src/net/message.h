@@ -1,15 +1,26 @@
 // Wire messages of the distributed LLA protocol (paper Sec. 4.1).
 //
-// Two message kinds circulate:
+// Four message kinds circulate:
 //   LatencyUpdate      controller -> resource: the new predicted latencies of
 //                      the controller's subtasks hosted on that resource
 //                      (the input to the resource's price computation).
 //   ResourcePriceUpdate resource -> controller: the resource's new price mu_r.
+//   RepairRequest      restarted resource -> controller: "I lost my state;
+//                      send me yours" (crash-restart recovery, DESIGN.md
+//                      §7.7).
+//   RepairResponse     controller -> resource: absolute state — the
+//                      controller's cached mu_r (with its epoch) plus the
+//                      latencies of its subtasks hosted on that resource, so
+//                      the resource can rebuild both halves of its price
+//                      computation without waiting a full gossip round.
 //
 // Path prices never travel: each controller owns its task's paths and
-// computes lambda_p locally (Sec. 4.3).  Messages are serialized to a binary
-// wire format so the bus can account for bytes and tests can verify
-// round-tripping.
+// computes lambda_p locally (Sec. 4.3).  Every Message additionally carries
+// the sender's incarnation number, stamped by the bus at Send time: a
+// restarted endpoint bumps its incarnation, which lets receivers discard
+// price messages that were in flight (or queued by stale epochs) from
+// before the crash.  Messages are serialized to a binary wire format so the
+// bus can account for bytes and tests can verify round-tripping.
 #pragma once
 
 #include <cstdint>
@@ -44,11 +55,44 @@ struct ResourcePriceUpdate {
   bool operator==(const ResourcePriceUpdate&) const = default;
 };
 
-using Payload = std::variant<LatencyUpdate, ResourcePriceUpdate>;
+/// Sent by a resource agent that restarted without state: every client
+/// controller answers with a RepairResponse.
+struct RepairRequest {
+  ResourceId resource;
+
+  bool operator==(const RepairRequest&) const = default;
+};
+
+/// A controller's absolute view of one resource, sent in reply to a
+/// RepairRequest: the cached price (so the restarted agent resumes from the
+/// freshest surviving mu_r instead of 0) and the controller's current
+/// subtask latencies on that resource (so the agent's share-sum input is
+/// rebuilt immediately).
+struct RepairResponse {
+  ResourceId resource;
+  TaskId task;  ///< the responding controller's task
+  double mu = 0.0;
+  /// The resource epoch at which the controller cached `mu` — the restarted
+  /// agent adopts the highest-epoch response it receives.
+  std::uint32_t epoch = 0;
+  bool congested = false;
+  /// Parallel arrays: the controller's subtasks hosted on `resource`.
+  std::vector<SubtaskId> subtasks;
+  std::vector<double> latencies_ms;
+
+  bool operator==(const RepairResponse&) const = default;
+};
+
+using Payload = std::variant<LatencyUpdate, ResourcePriceUpdate,
+                             RepairRequest, RepairResponse>;
 
 struct Message {
   std::uint32_t sender = 0;    ///< EndpointId of the origin
   std::uint32_t receiver = 0;  ///< EndpointId of the destination
+  /// Incarnation of the sender, stamped by the bus at Send time (0 until
+  /// the endpoint restarts).  Receivers drop price traffic from a lower
+  /// incarnation than the highest they have seen from that peer.
+  std::uint32_t incarnation = 0;
   Payload payload;
 
   bool operator==(const Message&) const = default;

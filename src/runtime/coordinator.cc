@@ -79,6 +79,99 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
   }
   controller_endpoints_ = std::move(controller_endpoints);
   resource_endpoints_ = std::move(resource_endpoints);
+
+  recovery_hooks_ = RecoveryHooks::Resolve(config_.metrics);
+  for (auto& controller : controllers_) {
+    controller->set_recovery_hooks(recovery_hooks_);
+  }
+  for (auto& agent : agents_) agent->set_recovery_hooks(recovery_hooks_);
+}
+
+void Coordinator::EmitRecoveryEvent(const char* type,
+                                    net::EndpointId endpoint,
+                                    bool is_resource, double index,
+                                    bool cold) {
+  if (config_.trace_sink == nullptr) return;
+  obs::TraceEvent event;
+  event.type = type;
+  event.fields = {
+      {"at_ms", bus_->now_ms()},
+      {is_resource ? "resource" : "task", index},
+      {"cold", cold ? 1.0 : 0.0},
+      {"incarnation", static_cast<double>(bus_->incarnation(endpoint))},
+  };
+  config_.trace_sink->OnEvent(event);
+}
+
+void Coordinator::CrashEndpoint(ResourceId resource) {
+  const net::EndpointId endpoint = resource_endpoints_[resource.value()];
+  bus_->CrashEndpoint(endpoint);
+  agents_[resource.value()]->Crash();
+  EmitRecoveryEvent("recovery.crash", endpoint, /*is_resource=*/true,
+                    static_cast<double>(resource.value()), /*cold=*/false);
+}
+
+void Coordinator::CrashEndpoint(TaskId task) {
+  const net::EndpointId endpoint = controller_endpoints_[task.value()];
+  bus_->CrashEndpoint(endpoint);
+  controllers_[task.value()]->Crash();
+  EmitRecoveryEvent("recovery.crash", endpoint, /*is_resource=*/false,
+                    static_cast<double>(task.value()), /*cold=*/false);
+}
+
+void Coordinator::RestartEndpoint(ResourceId resource) {
+  const net::EndpointId endpoint = resource_endpoints_[resource.value()];
+  bus_->RestartEndpoint(endpoint);
+  agents_[resource.value()]->ColdRestart();
+  if (recovery_hooks_.restarts != nullptr) {
+    recovery_hooks_.restarts->Increment();
+  }
+  EmitRecoveryEvent("recovery.restart", endpoint, /*is_resource=*/true,
+                    static_cast<double>(resource.value()), /*cold=*/true);
+}
+
+void Coordinator::RestartEndpoint(TaskId task) {
+  const net::EndpointId endpoint = controller_endpoints_[task.value()];
+  bus_->RestartEndpoint(endpoint);
+  controllers_[task.value()]->ColdRestart();
+  if (recovery_hooks_.restarts != nullptr) {
+    recovery_hooks_.restarts->Increment();
+  }
+  EmitRecoveryEvent("recovery.restart", endpoint, /*is_resource=*/false,
+                    static_cast<double>(task.value()), /*cold=*/true);
+}
+
+void Coordinator::RestartEndpoint(ResourceId resource,
+                                  const ResourceAgentSnapshot& snapshot) {
+  const net::EndpointId endpoint = resource_endpoints_[resource.value()];
+  bus_->RestartEndpoint(endpoint);
+  agents_[resource.value()]->RestoreFromSnapshot(snapshot);
+  if (recovery_hooks_.restarts != nullptr) {
+    recovery_hooks_.restarts->Increment();
+  }
+  EmitRecoveryEvent("recovery.restart", endpoint, /*is_resource=*/true,
+                    static_cast<double>(resource.value()), /*cold=*/false);
+}
+
+void Coordinator::RestartEndpoint(TaskId task,
+                                  const TaskControllerSnapshot& snapshot) {
+  const net::EndpointId endpoint = controller_endpoints_[task.value()];
+  bus_->RestartEndpoint(endpoint);
+  controllers_[task.value()]->RestoreFromSnapshot(snapshot);
+  if (recovery_hooks_.restarts != nullptr) {
+    recovery_hooks_.restarts->Increment();
+  }
+  EmitRecoveryEvent("recovery.restart", endpoint, /*is_resource=*/false,
+                    static_cast<double>(task.value()), /*cold=*/false);
+}
+
+ResourceAgentSnapshot Coordinator::CheckpointResource(
+    ResourceId resource) const {
+  return agents_[resource.value()]->Snapshot();
+}
+
+TaskControllerSnapshot Coordinator::CheckpointController(TaskId task) const {
+  return controllers_[task.value()]->Snapshot();
 }
 
 void Coordinator::PartitionResource(ResourceId resource,

@@ -98,6 +98,24 @@ class Coordinator {
   void PartitionResource(ResourceId resource, double duration_ms);
   void PartitionController(TaskId task, double duration_ms);
 
+  /// Crash-restart fault injection (DESIGN.md §7.7).  CrashEndpoint halts
+  /// the agent and black-holes its traffic open-endedly; RestartEndpoint
+  /// clears the fault, bumps the endpoint's incarnation (so peers reject its
+  /// pre-crash prices as stale), and rejoins the agent either cold — total
+  /// state loss followed by the peer repair exchange — or from a snapshot
+  /// previously taken by CheckpointResource/CheckpointController (bounded
+  /// staleness, no repair needed).  Each restart increments
+  /// recovery.restarts and emits a "recovery.restart" trace event.
+  void CrashEndpoint(ResourceId resource);
+  void CrashEndpoint(TaskId task);
+  void RestartEndpoint(ResourceId resource);
+  void RestartEndpoint(TaskId task);
+  void RestartEndpoint(ResourceId resource,
+                       const ResourceAgentSnapshot& snapshot);
+  void RestartEndpoint(TaskId task, const TaskControllerSnapshot& snapshot);
+  ResourceAgentSnapshot CheckpointResource(ResourceId resource) const;
+  TaskControllerSnapshot CheckpointController(TaskId task) const;
+
   /// The latest latency assignment across all controllers.
   Assignment CurrentAssignment() const;
   double CurrentUtility() const;
@@ -145,6 +163,8 @@ class Coordinator {
   void UpdateConvergence(double utility, bool feasible);
   void MaybeEnact(double at_ms);
   void ArmAsyncTimers();
+  void EmitRecoveryEvent(const char* type, net::EndpointId endpoint,
+                         bool is_resource, double index, bool cold);
 
   const Workload* workload_;
   const LatencyModel* model_;
@@ -178,6 +198,7 @@ class Coordinator {
   obs::Counter* samples_counter_ = nullptr;
   obs::Counter* enactments_counter_ = nullptr;
   obs::Timer* sync_round_timer_ = nullptr;
+  RecoveryHooks recovery_hooks_;
   obs::IterationTrace trace_;
 
   void EmitTrace(double at_ms, double utility,

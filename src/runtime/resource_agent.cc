@@ -26,6 +26,7 @@ ResourceAgent::ResourceAgent(const Workload& workload,
     tasks.insert(workload.subtask(sid).task);
   }
   client_tasks_.assign(tasks.begin(), tasks.end());
+  task_incarnation_.assign(workload.task_count(), 0);
 }
 
 void ResourceAgent::Bind(net::InProcessBus* bus, net::EndpointId self,
@@ -35,16 +36,112 @@ void ResourceAgent::Bind(net::InProcessBus* bus, net::EndpointId self,
   controller_endpoints_ = std::move(controller_endpoints);
 }
 
+bool ResourceAgent::AcceptIncarnation(TaskId task,
+                                      std::uint32_t incarnation) {
+  std::uint32_t& seen = task_incarnation_[task.value()];
+  if (incarnation < seen) {
+    if (hooks_.stale_rejected != nullptr) hooks_.stale_rejected->Increment();
+    return false;
+  }
+  seen = incarnation;
+  return true;
+}
+
 void ResourceAgent::OnMessage(const net::Message& message) {
-  const auto* update = std::get_if<net::LatencyUpdate>(&message.payload);
-  if (update == nullptr) return;  // not for us; ignore
-  const auto& hosted = workload_->resource(resource_).subtasks;
-  for (std::size_t i = 0; i < update->subtasks.size(); ++i) {
-    const SubtaskId sid = update->subtasks[i];
-    const auto it = std::find(hosted.begin(), hosted.end(), sid);
-    if (it == hosted.end()) continue;  // misrouted entry; skip defensively
-    latencies_[static_cast<std::size_t>(it - hosted.begin())] =
-        update->latencies_ms[i];
+  if (crashed_) return;
+  if (const auto* update =
+          std::get_if<net::LatencyUpdate>(&message.payload)) {
+    if (!AcceptIncarnation(update->task, message.incarnation)) return;
+    const auto& hosted = workload_->resource(resource_).subtasks;
+    for (std::size_t i = 0; i < update->subtasks.size(); ++i) {
+      const SubtaskId sid = update->subtasks[i];
+      const auto it = std::find(hosted.begin(), hosted.end(), sid);
+      if (it == hosted.end()) continue;  // misrouted entry; skip defensively
+      latencies_[static_cast<std::size_t>(it - hosted.begin())] =
+          update->latencies_ms[i];
+    }
+    return;
+  }
+  if (const auto* repair =
+          std::get_if<net::RepairResponse>(&message.payload)) {
+    if (repair->resource != resource_) return;  // misrouted; ignore
+    if (!AcceptIncarnation(repair->task, message.incarnation)) return;
+    // Absolute state from a client controller: always absorb the latencies
+    // (they are the controller's current truth), and while awaiting repair
+    // adopt the price from the freshest epoch offered.
+    const auto& hosted = workload_->resource(resource_).subtasks;
+    for (std::size_t i = 0; i < repair->subtasks.size(); ++i) {
+      const auto it =
+          std::find(hosted.begin(), hosted.end(), repair->subtasks[i]);
+      if (it == hosted.end()) continue;
+      latencies_[static_cast<std::size_t>(it - hosted.begin())] =
+          repair->latencies_ms[i];
+    }
+    if (awaiting_repair_ &&
+        (!repair_adopted_ || repair->epoch >= best_repair_epoch_)) {
+      best_repair_epoch_ = repair->epoch;
+      mu_ = repair->mu;
+      epoch_ = repair->epoch;
+      gamma_multiplier_ = 1.0;  // congestion history is gone; restart mild
+      repair_adopted_ = true;
+      if (hooks_.repair_rounds != nullptr) hooks_.repair_rounds->Increment();
+    }
+    return;
+  }
+}
+
+void ResourceAgent::Crash() { crashed_ = true; }
+
+void ResourceAgent::ColdRestart() {
+  assert(bus_ != nullptr);
+  crashed_ = false;
+  std::fill(latencies_.begin(), latencies_.end(), 1e9);
+  mu_ = 0.0;
+  gamma_multiplier_ = 1.0;
+  epoch_ = 0;
+  awaiting_repair_ = true;
+  repair_adopted_ = false;
+  repair_grace_left_ = config_.repair_grace_ticks;
+  best_repair_epoch_ = 0;
+  // Incarnation watermarks are part of the lost state; the monotone max in
+  // AcceptIncarnation re-learns them from the first post-restart messages.
+  std::fill(task_incarnation_.begin(), task_incarnation_.end(), 0);
+  SendRepairRequest();
+}
+
+void ResourceAgent::RestoreFromSnapshot(const ResourceAgentSnapshot& snapshot) {
+  assert(snapshot.resource == resource_);
+  crashed_ = false;
+  awaiting_repair_ = false;
+  repair_adopted_ = false;
+  mu_ = snapshot.mu;
+  gamma_multiplier_ = snapshot.gamma_multiplier;
+  epoch_ = snapshot.epoch;
+  if (snapshot.latencies_ms.size() == latencies_.size()) {
+    latencies_ = snapshot.latencies_ms;
+  }
+  std::fill(task_incarnation_.begin(), task_incarnation_.end(), 0);
+}
+
+ResourceAgentSnapshot ResourceAgent::Snapshot() const {
+  ResourceAgentSnapshot snapshot;
+  snapshot.resource = resource_;
+  snapshot.mu = mu_;
+  snapshot.gamma_multiplier = gamma_multiplier_;
+  snapshot.epoch = epoch_;
+  snapshot.latencies_ms = latencies_;
+  return snapshot;
+}
+
+void ResourceAgent::SendRepairRequest() {
+  net::RepairRequest request;
+  request.resource = resource_;
+  for (TaskId task : client_tasks_) {
+    net::Message message;
+    message.sender = self_;
+    message.receiver = controller_endpoints_[task.value()];
+    message.payload = request;
+    bus_->Send(std::move(message));
   }
 }
 
@@ -65,6 +162,20 @@ bool ResourceAgent::Congested() const {
 
 void ResourceAgent::ComputePriceAndBroadcast() {
   assert(bus_ != nullptr);
+  if (crashed_) return;
+  if (awaiting_repair_) {
+    // Hold the broadcast while the repair exchange is in flight: publishing
+    // the reset mu=0 would drag every client through a cold transient.  The
+    // request is re-sent each held tick (the first may have been dropped);
+    // once a response was absorbed — or the grace budget is exhausted (e.g.
+    // all controllers are down too) — broadcasting resumes.
+    if (!repair_adopted_ && repair_grace_left_ > 0) {
+      --repair_grace_left_;
+      SendRepairRequest();
+      return;
+    }
+    awaiting_repair_ = false;
+  }
   const ResourceInfo& info = workload_->resource(resource_);
   const double share_sum = ShareSum();
   const bool congested = share_sum > info.capacity;

@@ -17,6 +17,7 @@
 #include "model/latency_model.h"
 #include "model/workload.h"
 #include "net/bus.h"
+#include "runtime/recovery.h"
 
 namespace lla::runtime {
 
@@ -24,6 +25,10 @@ struct AgentStepConfig {
   double gamma0 = 3.0;
   bool adaptive = true;
   double adaptive_max_multiplier = 8.0;
+  /// Cold restart: price broadcasts hold for this many timer ticks (or until
+  /// the first RepairResponse is absorbed, whichever first) so a reset mu=0
+  /// never reaches the controllers while repair is in flight.
+  int repair_grace_ticks = 3;
 };
 
 class ResourceAgent {
@@ -52,7 +57,28 @@ class ResourceAgent {
   ResourceId resource() const { return resource_; }
   std::uint32_t epoch() const { return epoch_; }
 
+  /// Crash-restart recovery (DESIGN.md §7.7).  The Coordinator drives these
+  /// together with the bus-side CrashEndpoint/RestartEndpoint so the
+  /// process-local flag and the network fault stay in sync.
+  void set_recovery_hooks(const RecoveryHooks& hooks) { hooks_ = hooks; }
+  /// Halts the agent: message handling and broadcasts no-op until a restart
+  /// (the bus drops its traffic anyway; this stops the wasted local work).
+  void Crash();
+  /// Rejoins with total state loss: dual state resets and the repair
+  /// exchange starts — a RepairRequest to every client controller, price
+  /// broadcasts held for repair_grace_ticks or until a response is absorbed.
+  void ColdRestart();
+  /// Rejoins from a snapshot (bounded staleness, no repair exchange).
+  void RestoreFromSnapshot(const ResourceAgentSnapshot& snapshot);
+  ResourceAgentSnapshot Snapshot() const;
+  bool crashed() const { return crashed_; }
+  bool awaiting_repair() const { return awaiting_repair_; }
+
  private:
+  void SendRepairRequest();
+  /// Incarnation-gated acceptance of a peer controller's message; counts and
+  /// rejects traffic older than the controller's latest known restart.
+  bool AcceptIncarnation(TaskId task, std::uint32_t incarnation);
   const Workload* workload_;
   const LatencyModel* model_;
   ResourceId resource_;
@@ -69,6 +95,16 @@ class ResourceAgent {
   double mu_ = 0.0;
   double gamma_multiplier_ = 1.0;
   std::uint32_t epoch_ = 0;
+
+  /// Recovery state.
+  RecoveryHooks hooks_;
+  bool crashed_ = false;
+  bool awaiting_repair_ = false;
+  bool repair_adopted_ = false;
+  int repair_grace_left_ = 0;
+  std::uint32_t best_repair_epoch_ = 0;
+  /// Highest sender incarnation seen per client task (stale rejection).
+  std::vector<std::uint32_t> task_incarnation_;
 };
 
 }  // namespace lla::runtime

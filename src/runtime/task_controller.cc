@@ -28,6 +28,8 @@ TaskController::TaskController(const Workload& workload,
     used.insert(workload.subtask(sid).resource);
   }
   used_resources_.assign(used.begin(), used.end());
+  resource_epoch_.assign(workload.resource_count(), 0);
+  resource_incarnation_.assign(workload.resource_count(), 0);
 }
 
 void TaskController::Bind(net::InProcessBus* bus, net::EndpointId self,
@@ -37,16 +39,117 @@ void TaskController::Bind(net::InProcessBus* bus, net::EndpointId self,
   resource_endpoints_ = std::move(resource_endpoints);
 }
 
+bool TaskController::AcceptIncarnation(ResourceId resource,
+                                       std::uint32_t incarnation) {
+  std::uint32_t& seen = resource_incarnation_[resource.value()];
+  if (incarnation < seen) {
+    if (hooks_.stale_rejected != nullptr) hooks_.stale_rejected->Increment();
+    return false;
+  }
+  seen = incarnation;
+  return true;
+}
+
 void TaskController::OnMessage(const net::Message& message) {
-  const auto* update =
-      std::get_if<net::ResourcePriceUpdate>(&message.payload);
-  if (update == nullptr) return;
-  prices_.mu[update->resource.value()] = update->mu;
-  resource_congested_[update->resource.value()] = update->congested;
+  if (crashed_) return;
+  if (const auto* update =
+          std::get_if<net::ResourcePriceUpdate>(&message.payload)) {
+    if (!AcceptIncarnation(update->resource, message.incarnation)) return;
+    prices_.mu[update->resource.value()] = update->mu;
+    resource_congested_[update->resource.value()] = update->congested;
+    resource_epoch_[update->resource.value()] = update->epoch;
+    return;
+  }
+  if (const auto* request =
+          std::get_if<net::RepairRequest>(&message.payload)) {
+    // A restarted resource asks for our absolute view.  The request carries
+    // the agent's post-restart incarnation: adopting it as the watermark
+    // makes every price the agent sent before its crash (still in flight,
+    // or arriving out of order) rejectable as stale from this moment on.
+    if (!AcceptIncarnation(request->resource, message.incarnation)) return;
+    const TaskInfo& info = workload_->task(task_);
+    net::RepairResponse repair;
+    repair.resource = request->resource;
+    repair.task = task_;
+    repair.mu = prices_.mu[request->resource.value()];
+    repair.epoch = resource_epoch_[request->resource.value()];
+    repair.congested = resource_congested_[request->resource.value()];
+    for (std::size_t i = 0; i < info.subtasks.size(); ++i) {
+      const SubtaskId sid = info.subtasks[i];
+      if (workload_->subtask(sid).resource != request->resource) continue;
+      repair.subtasks.push_back(sid);
+      repair.latencies_ms.push_back(local_latencies_[i]);
+    }
+    net::Message reply;
+    reply.sender = self_;
+    reply.receiver = message.sender;
+    reply.payload = std::move(repair);
+    bus_->Send(std::move(reply));
+    return;
+  }
+}
+
+void TaskController::Crash() { crashed_ = true; }
+
+void TaskController::ColdRestart() {
+  crashed_ = false;
+  prices_ = PriceVector::Zero(*workload_);
+  std::fill(local_latencies_.begin(), local_latencies_.end(), 0.0);
+  std::fill(local_lambdas_.begin(), local_lambdas_.end(), 0.0);
+  std::fill(path_gamma_multiplier_.begin(), path_gamma_multiplier_.end(),
+            1.0);
+  std::fill(resource_congested_.begin(), resource_congested_.end(), false);
+  std::fill(resource_epoch_.begin(), resource_epoch_.end(), 0);
+  std::fill(resource_incarnation_.begin(), resource_incarnation_.end(), 0);
+}
+
+void TaskController::RestoreFromSnapshot(
+    const TaskControllerSnapshot& snapshot) {
+  assert(snapshot.task == task_);
+  crashed_ = false;
+  if (snapshot.local_latencies.size() == local_latencies_.size()) {
+    local_latencies_ = snapshot.local_latencies;
+  }
+  if (snapshot.local_lambdas.size() == local_lambdas_.size()) {
+    local_lambdas_ = snapshot.local_lambdas;
+    const TaskInfo& info = workload_->task(task_);
+    for (std::size_t p = 0; p < info.paths.size(); ++p) {
+      prices_.lambda[info.paths[p].value()] = local_lambdas_[p];
+    }
+  }
+  if (snapshot.path_gamma_multiplier.size() == path_gamma_multiplier_.size()) {
+    path_gamma_multiplier_ = snapshot.path_gamma_multiplier;
+  }
+  if (snapshot.mu.size() == prices_.mu.size()) prices_.mu = snapshot.mu;
+  if (snapshot.resource_congested.size() == resource_congested_.size()) {
+    for (std::size_t r = 0; r < resource_congested_.size(); ++r) {
+      resource_congested_[r] = snapshot.resource_congested[r] != 0;
+    }
+  }
+  if (snapshot.resource_epoch.size() == resource_epoch_.size()) {
+    resource_epoch_ = snapshot.resource_epoch;
+  }
+  std::fill(resource_incarnation_.begin(), resource_incarnation_.end(), 0);
+}
+
+TaskControllerSnapshot TaskController::Snapshot() const {
+  TaskControllerSnapshot snapshot;
+  snapshot.task = task_;
+  snapshot.local_latencies = local_latencies_;
+  snapshot.local_lambdas = local_lambdas_;
+  snapshot.path_gamma_multiplier = path_gamma_multiplier_;
+  snapshot.mu = prices_.mu;
+  snapshot.resource_congested.resize(resource_congested_.size());
+  for (std::size_t r = 0; r < resource_congested_.size(); ++r) {
+    snapshot.resource_congested[r] = resource_congested_[r] ? 1 : 0;
+  }
+  snapshot.resource_epoch = resource_epoch_;
+  return snapshot;
 }
 
 void TaskController::AllocateAndSend() {
   assert(bus_ != nullptr);
+  if (crashed_) return;
   const TaskInfo& info = workload_->task(task_);
 
   // 3. Latency allocation at the stored prices (Eq. 7).

@@ -53,8 +53,26 @@ class TaskController {
     return path_gamma_multiplier_;
   }
   double mu_seen(ResourceId r) const { return prices_.mu[r.value()]; }
+  /// Resource epoch at which mu_seen(r) was cached (repair provenance).
+  std::uint32_t mu_epoch_seen(ResourceId r) const {
+    return resource_epoch_[r.value()];
+  }
+
+  /// Crash-restart recovery (DESIGN.md §7.7); driven by the Coordinator in
+  /// lockstep with the bus-side CrashEndpoint/RestartEndpoint.
+  void set_recovery_hooks(const RecoveryHooks& hooks) { hooks_ = hooks; }
+  void Crash();
+  /// Rejoins with total state loss; the next resource broadcasts repopulate
+  /// the price cache within one period (controllers need no repair exchange
+  /// — resources re-send their state unprompted every tick).
+  void ColdRestart();
+  void RestoreFromSnapshot(const TaskControllerSnapshot& snapshot);
+  TaskControllerSnapshot Snapshot() const;
+  bool crashed() const { return crashed_; }
 
  private:
+  /// Incarnation-gated acceptance of a resource agent's message.
+  bool AcceptIncarnation(ResourceId resource, std::uint32_t incarnation);
   const Workload* workload_;
   const LatencyModel* model_;
   TaskId task_;
@@ -76,6 +94,14 @@ class TaskController {
   std::vector<bool> resource_congested_;
   /// Adaptive multiplier per local path.
   std::vector<double> path_gamma_multiplier_;
+
+  /// Recovery state: the epoch each cached mu was computed at (served back
+  /// in RepairResponses), the highest incarnation seen per resource agent,
+  /// and the crash flag.
+  RecoveryHooks hooks_;
+  bool crashed_ = false;
+  std::vector<std::uint32_t> resource_epoch_;
+  std::vector<std::uint32_t> resource_incarnation_;
 };
 
 }  // namespace lla::runtime

@@ -28,13 +28,25 @@ TEST(RunningStatsTest, MatchesDirectComputation) {
   mean /= xs.size();
   double var = 0.0;
   for (double x : xs) var += (x - mean) * (x - mean);
-  var /= xs.size();
+  var /= xs.size() - 1;  // sample variance, matching RunningStats
 
   EXPECT_EQ(stats.count(), xs.size());
   EXPECT_NEAR(stats.mean(), mean, 1e-12);
   EXPECT_NEAR(stats.variance(), var, 1e-12);
   EXPECT_DOUBLE_EQ(stats.min(), -8.0);
   EXPECT_DOUBLE_EQ(stats.max(), 7.25);
+}
+
+TEST(RunningStatsTest, UsesSampleVarianceNotPopulation) {
+  // Two points where the estimators differ by a factor of two: the sample
+  // variance of {0, 2} is 2 (divide by n-1 = 1); the population variance
+  // would be 1.  Guards against a regression back to the biased estimator.
+  RunningStats stats;
+  stats.Add(0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);  // undefined below 2 samples
+  stats.Add(2.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), std::sqrt(2.0));
 }
 
 TEST(RunningStatsTest, ResetClears) {

@@ -1,5 +1,9 @@
 #include "model/serialization.h"
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "model/utility.h"
@@ -164,6 +168,163 @@ TEST(SerializationTest, FileRoundTrip) {
   EXPECT_EQ(reloaded.value().subtask_count(),
             original.value().subtask_count());
   EXPECT_FALSE(LoadWorkloadFromFile("/nonexistent/nope.lla").ok());
+}
+
+// --- StateSnapshot (DESIGN.md §7.7): bit-exact round trip and strict
+// rejection of malformed input.
+
+StateSnapshot MakeSnapshot() {
+  StateSnapshot snapshot;
+  snapshot.resource_count = 2;
+  snapshot.path_count = 3;
+  snapshot.subtask_count = 4;
+  snapshot.task_count = 2;
+  snapshot.iteration = 17;
+  snapshot.converged = true;
+  snapshot.total_subtask_solves = 68;
+  // Values chosen to stress bit-exactness: negative zero, denormals-ish
+  // tiny magnitudes, and non-terminating binary fractions.
+  snapshot.mu = {-0.0, 179.033203125};
+  snapshot.lambda = {0.1, 1e-300, 3.5};
+  snapshot.resource_step_multiplier = {1.0, 8.0};
+  snapshot.path_step_multiplier = {2.0, 1.0, 4.0};
+  snapshot.step_iteration = 17;
+  snapshot.recent_utilities = {100.25, 100.5, 100.625};
+  snapshot.price_state_primed = true;
+  snapshot.mu_settled = {1, 0};
+  snapshot.lambda_settled = {0, 1, 0};
+  snapshot.mu_zero_epochs = {3, 0};
+  snapshot.lambda_zero_epochs = {0, 0, 9};
+  snapshot.mu_stable_epochs = {1, 2};
+  snapshot.lambda_stable_epochs = {4, 5, 6};
+  snapshot.shadow_mu = {-0.0, 179.033203125};
+  snapshot.shadow_lambda = {0.1, 1e-300, 3.5};
+  snapshot.prev_share_sums = {0.25, 0.75};
+  snapshot.prev_path_latencies = {1.5, 2.5, 3.5};
+  return snapshot;
+}
+
+void ExpectSnapshotsEqual(const StateSnapshot& a, const StateSnapshot& b) {
+  EXPECT_EQ(a.resource_count, b.resource_count);
+  EXPECT_EQ(a.path_count, b.path_count);
+  EXPECT_EQ(a.subtask_count, b.subtask_count);
+  EXPECT_EQ(a.task_count, b.task_count);
+  EXPECT_EQ(a.iteration, b.iteration);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.total_subtask_solves, b.total_subtask_solves);
+  EXPECT_EQ(a.step_iteration, b.step_iteration);
+  EXPECT_EQ(a.price_state_primed, b.price_state_primed);
+  // memcmp on the raw doubles: the format must preserve exact bit patterns,
+  // including the sign of -0.0.
+  auto expect_bits = [](const std::vector<double>& x,
+                        const std::vector<double>& y) {
+    ASSERT_EQ(x.size(), y.size());
+    EXPECT_EQ(std::memcmp(x.data(), y.data(), x.size() * sizeof(double)), 0);
+  };
+  expect_bits(a.mu, b.mu);
+  expect_bits(a.lambda, b.lambda);
+  expect_bits(a.resource_step_multiplier, b.resource_step_multiplier);
+  expect_bits(a.path_step_multiplier, b.path_step_multiplier);
+  expect_bits(a.recent_utilities, b.recent_utilities);
+  expect_bits(a.shadow_mu, b.shadow_mu);
+  expect_bits(a.shadow_lambda, b.shadow_lambda);
+  expect_bits(a.prev_share_sums, b.prev_share_sums);
+  expect_bits(a.prev_path_latencies, b.prev_path_latencies);
+  EXPECT_EQ(a.mu_settled, b.mu_settled);
+  EXPECT_EQ(a.lambda_settled, b.lambda_settled);
+  EXPECT_EQ(a.mu_zero_epochs, b.mu_zero_epochs);
+  EXPECT_EQ(a.lambda_zero_epochs, b.lambda_zero_epochs);
+  EXPECT_EQ(a.mu_stable_epochs, b.mu_stable_epochs);
+  EXPECT_EQ(a.lambda_stable_epochs, b.lambda_stable_epochs);
+}
+
+TEST(SnapshotSerializationTest, RoundTripsThroughString) {
+  const StateSnapshot original = MakeSnapshot();
+  auto saved = SaveSnapshotToString(original);
+  ASSERT_TRUE(saved.ok());
+  const std::string& text = saved.value();
+  EXPECT_NE(text.find("snapshot v1"), std::string::npos);
+  auto loaded = LoadSnapshotFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ExpectSnapshotsEqual(original, loaded.value());
+}
+
+TEST(SnapshotSerializationTest, RoundTripsThroughFile) {
+  const StateSnapshot original = MakeSnapshot();
+  const std::string path = ::testing::TempDir() + "/snapshot_rt.snap";
+  ASSERT_TRUE(SaveSnapshotToFile(original, path).ok());
+  auto loaded = LoadSnapshotFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ExpectSnapshotsEqual(original, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotSerializationTest, UnprimedSnapshotOmitsActiveSetVectors) {
+  StateSnapshot snapshot = MakeSnapshot();
+  snapshot.price_state_primed = false;
+  snapshot.mu_settled.clear();
+  snapshot.lambda_settled.clear();
+  snapshot.mu_zero_epochs.clear();
+  snapshot.lambda_zero_epochs.clear();
+  snapshot.mu_stable_epochs.clear();
+  snapshot.lambda_stable_epochs.clear();
+  snapshot.shadow_mu.clear();
+  snapshot.shadow_lambda.clear();
+  snapshot.prev_share_sums.clear();
+  snapshot.prev_path_latencies.clear();
+  auto saved = SaveSnapshotToString(snapshot);
+  ASSERT_TRUE(saved.ok());
+  auto loaded = LoadSnapshotFromString(saved.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_FALSE(loaded.value().price_state_primed);
+  EXPECT_TRUE(loaded.value().shadow_mu.empty());
+}
+
+TEST(SnapshotSerializationTest, RejectsMalformedInput) {
+  auto saved = SaveSnapshotToString(MakeSnapshot());
+  ASSERT_TRUE(saved.ok());
+  const std::string good = saved.value();
+
+  // Each mutation must fail with an error, not crash or mis-parse.
+  EXPECT_FALSE(LoadSnapshotFromString("").ok());
+  EXPECT_FALSE(LoadSnapshotFromString("snapshot v2\nend\n").ok());
+  EXPECT_FALSE(LoadSnapshotFromString("shape 1 1 1 1\nend\n").ok());
+
+  // Truncation: drop the trailing "end".
+  const std::string truncated = good.substr(0, good.rfind("end"));
+  EXPECT_FALSE(LoadSnapshotFromString(truncated).ok());
+
+  // Content after "end" is a hard error.
+  EXPECT_FALSE(LoadSnapshotFromString(good + "fvec mu 0\n").ok());
+
+  // Count/value mismatch inside a vector line.
+  std::string short_vec = good;
+  const std::size_t pos = short_vec.find("fvec mu 2 ");
+  ASSERT_NE(pos, std::string::npos);
+  short_vec.replace(pos, 10, "fvec mu 3 ");
+  EXPECT_FALSE(LoadSnapshotFromString(short_vec).ok());
+
+  // Unknown vector names are rejected (future-format safety).
+  std::string unknown = good;
+  const std::size_t mu_pos = unknown.find("fvec mu ");
+  ASSERT_NE(mu_pos, std::string::npos);
+  unknown.replace(mu_pos, 8, "fvec xx ");
+  EXPECT_FALSE(LoadSnapshotFromString(unknown).ok());
+
+  // Non-hex garbage where a double's bit pattern belongs.
+  std::string bad_hex = good;
+  const std::size_t hex_pos = bad_hex.find("fvec lambda 3 ");
+  ASSERT_NE(hex_pos, std::string::npos);
+  bad_hex.replace(hex_pos + 14, 4, "zzzz");
+  EXPECT_FALSE(LoadSnapshotFromString(bad_hex).ok());
+}
+
+TEST(SnapshotSerializationTest, RejectsPriceVectorShapeMismatch) {
+  StateSnapshot snapshot = MakeSnapshot();
+  snapshot.mu.push_back(1.0);  // now disagrees with resource_count
+  auto saved = SaveSnapshotToString(snapshot);
+  ASSERT_TRUE(saved.ok());
+  EXPECT_FALSE(LoadSnapshotFromString(saved.value()).ok());
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace lla::net {
 namespace {
 
@@ -122,6 +124,91 @@ TEST(BusTest, EndpointNames) {
   InProcessBus bus;
   const EndpointId a = bus.Register("alpha", nullptr);
   EXPECT_EQ(bus.endpoint_name(a), "alpha");
+}
+
+TEST(BusTest, DropIncrementsGlobalAndBothEndpointCounters) {
+  // Regression: CountDrop used to nest the per-endpoint increments inside
+  // the global counter's null check; the three counters are independent and
+  // must each tick on a drop (sender, receiver, and global).
+  obs::MetricRegistry metrics;
+  BusConfig config;
+  config.metrics = &metrics;
+  InProcessBus bus(config);
+  const EndpointId a = bus.Register("a", nullptr);
+  const EndpointId b = bus.Register("b", nullptr);
+  bus.BlackoutEndpoint(b, 100.0);
+  bus.Send(Ping(a, b));
+  EXPECT_EQ(metrics.GetCounter("bus.dropped")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("bus.endpoint.a.dropped")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("bus.endpoint.b.dropped")->value(), 1u);
+  // The send itself was still accounted before the drop decision.
+  EXPECT_EQ(metrics.GetCounter("bus.sent")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("bus.endpoint.a.sent")->value(), 1u);
+  EXPECT_EQ(bus.stats().dropped, 1u);
+}
+
+TEST(BusTest, StampsSenderIncarnationOnSend) {
+  InProcessBus bus;
+  std::vector<std::uint32_t> seen;
+  EndpointId a = 0;
+  const EndpointId b = bus.Register(
+      "b", [&](const Message& m) { seen.push_back(m.incarnation); });
+  a = bus.Register("a", nullptr);
+  EXPECT_EQ(bus.incarnation(a), 0u);
+  bus.Send(Ping(a, b));
+  bus.RunAll();
+  bus.CrashEndpoint(a);
+  bus.RestartEndpoint(a);
+  bus.RestartEndpoint(a);  // a second restart keeps counting up
+  EXPECT_EQ(bus.incarnation(a), 2u);
+  bus.Send(Ping(a, b));
+  bus.RunAll();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 0u);
+  EXPECT_EQ(seen[1], 2u);
+}
+
+TEST(BusTest, CrashedEndpointDropsTrafficUntilRestart) {
+  BusConfig config;
+  config.base_delay_ms = 1.0;
+  InProcessBus bus(config);
+  int received = 0;
+  const EndpointId a = bus.Register("a", [&](const Message&) { ++received; });
+  const EndpointId b = bus.Register("b", nullptr);
+
+  bus.CrashEndpoint(a);
+  EXPECT_TRUE(bus.IsBlackedOut(a));
+  bus.Send(Ping(b, a));  // toward the crashed endpoint
+  bus.Send(Ping(a, b));  // from the crashed endpoint
+  bus.RunAll();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.stats().dropped, 2u);
+
+  // Unlike BlackoutEndpoint, the crash is open-ended: it survives any
+  // amount of virtual time until an explicit restart.
+  bus.RunUntil(1e12);
+  EXPECT_TRUE(bus.IsBlackedOut(a));
+
+  bus.RestartEndpoint(a);
+  EXPECT_FALSE(bus.IsBlackedOut(a));
+  bus.Send(Ping(b, a));
+  bus.RunAll();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(BusTest, InFlightMessageDropsWhenReceiverCrashesBeforeDelivery) {
+  BusConfig config;
+  config.base_delay_ms = 10.0;
+  InProcessBus bus(config);
+  int received = 0;
+  const EndpointId a = bus.Register("a", [&](const Message&) { ++received; });
+  const EndpointId b = bus.Register("b", nullptr);
+  bus.Send(Ping(b, a));  // delivery would be at t=10
+  bus.RunUntil(5.0);
+  bus.CrashEndpoint(a);
+  bus.RunAll();  // delivery attempt happens while a is down
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.stats().dropped, 1u);
 }
 
 }  // namespace

@@ -26,7 +26,35 @@ Message MakePriceMessage() {
   Message message;
   message.sender = 1;
   message.receiver = 2;
+  message.incarnation = 3;
   message.payload = update;
+  return message;
+}
+
+Message MakeRepairRequestMessage() {
+  RepairRequest request;
+  request.resource = ResourceId(6u);
+  Message message;
+  message.sender = 9;
+  message.receiver = 4;
+  message.incarnation = 2;
+  message.payload = request;
+  return message;
+}
+
+Message MakeRepairResponseMessage() {
+  RepairResponse repair;
+  repair.resource = ResourceId(6u);
+  repair.task = TaskId(1u);
+  repair.mu = 37.5;
+  repair.epoch = 250;
+  repair.congested = true;
+  repair.subtasks = {SubtaskId(3u), SubtaskId(8u)};
+  repair.latencies_ms = {4.25, 0.5};
+  Message message;
+  message.sender = 4;
+  message.receiver = 9;
+  message.payload = std::move(repair);
   return message;
 }
 
@@ -56,8 +84,38 @@ TEST(MessageTest, EmptyLatencyUpdateRoundTrips) {
   EXPECT_EQ(*decoded, message);
 }
 
+TEST(MessageTest, RepairRequestRoundTrips) {
+  const Message original = MakeRepairRequestMessage();
+  const auto decoded = Deserialize(Serialize(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+  EXPECT_EQ(decoded->incarnation, 2u);
+}
+
+TEST(MessageTest, RepairResponseRoundTrips) {
+  const Message original = MakeRepairResponseMessage();
+  const auto decoded = Deserialize(Serialize(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+  const auto& repair = std::get<RepairResponse>(decoded->payload);
+  EXPECT_EQ(repair.epoch, 250u);
+  EXPECT_TRUE(repair.congested);
+  ASSERT_EQ(repair.subtasks.size(), 2u);
+  EXPECT_DOUBLE_EQ(repair.latencies_ms[1], 0.5);
+}
+
+TEST(MessageTest, IncarnationSurvivesRoundTrip) {
+  Message message = MakePriceMessage();
+  message.incarnation = 0xdeadbeef;
+  const auto decoded = Deserialize(Serialize(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->incarnation, 0xdeadbeefu);
+}
+
 TEST(MessageTest, WireSizeMatchesSerializedLength) {
-  for (const Message& message : {MakeLatencyMessage(), MakePriceMessage()}) {
+  for (const Message& message :
+       {MakeLatencyMessage(), MakePriceMessage(), MakeRepairRequestMessage(),
+        MakeRepairResponseMessage()}) {
     EXPECT_EQ(WireSize(message), Serialize(message).size());
   }
 }
@@ -79,7 +137,7 @@ TEST(MessageTest, RejectsTrailingGarbage) {
 
 TEST(MessageTest, RejectsUnknownTag) {
   auto bytes = Serialize(MakePriceMessage());
-  bytes[8] = 0x7f;  // tag byte follows the two endpoint ids
+  bytes[12] = 0x7f;  // tag byte follows sender, receiver and incarnation
   EXPECT_FALSE(Deserialize(bytes).has_value());
 }
 

@@ -1,0 +1,190 @@
+// Crash-restart recovery property (DESIGN.md §7.7): LlaEngine::Checkpoint
+// followed by Restore into a FRESH engine resumes the dual trajectory
+// bit-identically — every subsequent iteration's latencies and prices
+// memcmp-equal (tolerance 0) to an uninterrupted reference run, at every
+// thread count, in dense and active-set mode, and with the snapshot pushed
+// through the durable text serialization (string and file round trips).
+//
+// This is the guarantee that makes checkpointed restart a pure fast-path:
+// a restore is indistinguishable from never having crashed.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "model/serialization.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla {
+namespace {
+
+LlaConfig MakeConfig(int num_threads, bool active) {
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.record_history = false;
+  config.num_threads = num_threads;
+  // Force the requested width even on single-core hosts so the parallel
+  // solve path participates in the bit-identity claim.
+  config.parallel.max_concurrency = num_threads;
+  config.parallel.min_items_per_thread = 1;
+  config.active_set.enabled = active;
+  return config;
+}
+
+struct Trajectory {
+  std::vector<Assignment> latencies;
+  std::vector<PriceVector> prices;
+};
+
+Trajectory StepAndRecord(LlaEngine* engine, int steps) {
+  Trajectory trajectory;
+  for (int i = 0; i < steps; ++i) {
+    engine->Step();
+    trajectory.latencies.push_back(engine->latencies());
+    trajectory.prices.push_back(engine->prices());
+  }
+  return trajectory;
+}
+
+void ExpectBitIdentical(const Trajectory& expected, const Trajectory& actual,
+                        const char* label) {
+  ASSERT_EQ(expected.latencies.size(), actual.latencies.size()) << label;
+  for (std::size_t step = 0; step < expected.latencies.size(); ++step) {
+    const Assignment& a = expected.latencies[step];
+    const Assignment& b = actual.latencies[step];
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << label << " latencies diverge at post-restore step " << step;
+    const PriceVector& pa = expected.prices[step];
+    const PriceVector& pb = actual.prices[step];
+    ASSERT_EQ(std::memcmp(pa.mu.data(), pb.mu.data(),
+                          pa.mu.size() * sizeof(double)),
+              0)
+        << label << " mu diverges at post-restore step " << step;
+    ASSERT_EQ(std::memcmp(pa.lambda.data(), pb.lambda.data(),
+                          pa.lambda.size() * sizeof(double)),
+              0)
+        << label << " lambda diverges at post-restore step " << step;
+  }
+}
+
+enum class RoundTrip { kInMemory, kString, kFile };
+
+// Runs `pre` iterations, checkpoints, runs `post` more on the original
+// engine, then restores the snapshot (optionally via the serialized form)
+// into a brand-new engine and verifies the continuation is bit-identical.
+void CheckResume(const Workload& workload, const LlaConfig& config, int pre,
+                 int post, RoundTrip round_trip, const char* label) {
+  LatencyModel model(workload);
+  LlaEngine reference(workload, model, config);
+  for (int i = 0; i < pre; ++i) reference.Step();
+
+  StateSnapshot snapshot = reference.Checkpoint();
+  EXPECT_EQ(snapshot.iteration, pre);
+  const Trajectory expected = StepAndRecord(&reference, post);
+
+  if (round_trip == RoundTrip::kString) {
+    auto text = SaveSnapshotToString(snapshot);
+    ASSERT_TRUE(text.ok()) << label;
+    auto loaded = LoadSnapshotFromString(text.value());
+    ASSERT_TRUE(loaded.ok()) << label << ": " << loaded.error();
+    snapshot = loaded.value();
+  } else if (round_trip == RoundTrip::kFile) {
+    const std::string path = ::testing::TempDir() + "/recovery_prop.snap";
+    ASSERT_TRUE(SaveSnapshotToFile(snapshot, path).ok()) << label;
+    auto loaded = LoadSnapshotFromFile(path);
+    ASSERT_TRUE(loaded.ok()) << label << ": " << loaded.error();
+    snapshot = loaded.value();
+    std::remove(path.c_str());
+  }
+
+  LlaEngine restored(workload, model, config);
+  const Status status = restored.Restore(snapshot);
+  ASSERT_TRUE(status.ok()) << label << ": " << status.error();
+  EXPECT_EQ(restored.iteration(), pre);
+  const Trajectory actual = StepAndRecord(&restored, post);
+  ExpectBitIdentical(expected, actual, label);
+}
+
+void CheckAllModes(const Workload& workload, int pre, int post) {
+  for (const bool active : {false, true}) {
+    for (const int num_threads : {1, 8}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s threads=%d",
+                    active ? "active" : "dense", num_threads);
+      CheckResume(workload, MakeConfig(num_threads, active), pre, post,
+                  RoundTrip::kInMemory, label);
+    }
+  }
+}
+
+TEST(RecoveryPropertyTest, ResumesBitIdenticallyOnPaperWorkload) {
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  CheckAllModes(workload.value(), /*pre=*/60, /*post=*/80);
+}
+
+TEST(RecoveryPropertyTest, ResumesBitIdenticallyOnRandomWorkloads) {
+  for (const unsigned seed : {11u, 42u}) {
+    RandomWorkloadConfig config;
+    config.seed = seed;
+    config.num_resources = 6;
+    config.num_tasks = 16;
+    config.min_subtasks = 2;
+    config.max_subtasks = 5;
+    config.target_utilization = 0.7;
+    auto workload = MakeRandomWorkload(config);
+    ASSERT_TRUE(workload.ok()) << workload.error();
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    CheckAllModes(workload.value(), /*pre=*/40, /*post=*/60);
+  }
+}
+
+// The durable text format must preserve the guarantee exactly: every double
+// round-trips through its hex bit pattern, so a snapshot pushed through
+// serialization resumes the same bitwise trajectory as the in-memory one.
+TEST(RecoveryPropertyTest, SerializedSnapshotResumesBitIdentically) {
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  CheckResume(w, MakeConfig(1, /*active=*/false), 60, 60, RoundTrip::kString,
+              "dense via string");
+  CheckResume(w, MakeConfig(8, /*active=*/true), 60, 60, RoundTrip::kString,
+              "active via string");
+  CheckResume(w, MakeConfig(1, /*active=*/true), 60, 60, RoundTrip::kFile,
+              "active via file");
+}
+
+// A checkpoint taken at iteration 0 (before any step) must also restore: it
+// captures the cold-start state, so the restored engine replays the whole
+// run bit-identically.
+TEST(RecoveryPropertyTest, CheckpointAtIterationZeroRestores) {
+  auto workload = MakeScaledSimWorkload(1, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  CheckResume(workload.value(), MakeConfig(1, /*active=*/false), 0, 40,
+              RoundTrip::kInMemory, "iteration zero");
+}
+
+// Restore must reject snapshots from a different workload shape instead of
+// indexing out of bounds.
+TEST(RecoveryPropertyTest, RestoreRejectsShapeMismatch) {
+  auto small = MakeScaledSimWorkload(1, /*scale_critical_times=*/true);
+  auto large = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  LatencyModel small_model(small.value());
+  LatencyModel large_model(large.value());
+  LlaEngine donor(small.value(), small_model, MakeConfig(1, false));
+  for (int i = 0; i < 10; ++i) donor.Step();
+  const StateSnapshot snapshot = donor.Checkpoint();
+
+  LlaEngine other(large.value(), large_model, MakeConfig(1, false));
+  EXPECT_FALSE(other.Restore(snapshot).ok());
+}
+
+}  // namespace
+}  // namespace lla

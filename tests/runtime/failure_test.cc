@@ -1,16 +1,39 @@
 // Failure-injection tests: the price protocol must recover from endpoint
 // blackouts (crashed or partitioned nodes) because every message carries
 // absolute state — the first exchange after healing repairs everything.
+// Crash-restart (DESIGN.md §7.7) is stronger: the node loses its state, so
+// recovery additionally needs the incarnation protocol (peers discard its
+// pre-crash prices as stale) and either the repair exchange (cold restart)
+// or a snapshot (checkpoint restart).
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "net/bus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/coordinator.h"
 #include "workloads/paper.h"
 
 namespace lla::runtime {
 namespace {
+
+/// Collects recovery.* trace events (ignores per-iteration records).
+class EventCollector final : public obs::TraceSink {
+ public:
+  void OnIteration(const obs::IterationTrace&) override {}
+  void OnEvent(const obs::TraceEvent& event) override {
+    types.push_back(event.type);
+  }
+  std::vector<std::string> types;
+};
+
+std::uint64_t CounterValue(obs::MetricRegistry* metrics, const char* name) {
+  return metrics->GetCounter(name)->value();
+}
 
 TEST(BusBlackoutTest, DropsMessagesDuringWindow) {
   net::InProcessBus bus;
@@ -66,6 +89,43 @@ TEST(BusBlackoutTest, TimersKeepFiringDuringBlackout) {
   bus.ScheduleTimer(a, 10.0, 1);
   bus.RunUntil(20.0);
   EXPECT_EQ(fired, 1);  // the node is partitioned, not stopped
+}
+
+// Pins the blackout boundary semantics the crash-restart machinery relies
+// on: a window set via BlackoutEndpoint(e, T) is half-open [now, T) — a
+// message delivered at exactly t == T is DELIVERED (Dispatch advances the
+// clock before the receiver check, and IsBlackedOut uses strict <), while
+// one delivered strictly inside the window drops.
+TEST(BusBlackoutTest, WindowIsHalfOpenAtExpiry) {
+  net::BusConfig config;
+  config.base_delay_ms = 5.0;
+  net::InProcessBus bus(config);
+  int received = 0;
+  const net::EndpointId a =
+      bus.Register("a", [&](const net::Message&) { ++received; });
+  const net::EndpointId b = bus.Register("b", nullptr);
+  net::Message message;
+  message.sender = b;  // healthy sender: the drop decision is receiver-side
+  message.receiver = a;
+  message.payload = net::ResourcePriceUpdate{ResourceId(0u), 1.0, 0, false};
+
+  // Send first: a message sent while the receiver is already dark is
+  // dropped at Send time and never tests the delivery-side boundary.
+  bus.Send(message);             // sent at t=0, delivery at exactly t=5.0
+  bus.BlackoutEndpoint(a, 5.0);  // window [0, 5) covers up to the delivery
+  bus.RunAll();
+  EXPECT_EQ(received, 1);  // boundary delivery goes through
+  EXPECT_EQ(bus.stats().dropped, 0u);
+
+  const double until = bus.now_ms() + 5.0 + 0.25;
+  bus.Send(message);  // delivery lands 0.25 ms inside the window
+  bus.BlackoutEndpoint(a, until);
+  bus.RunAll();
+  EXPECT_EQ(received, 1);  // still 1: the in-window delivery dropped
+  EXPECT_EQ(bus.stats().dropped, 1u);
+  EXPECT_TRUE(bus.IsBlackedOut(a));  // clock is at 10.0, inside the window
+  bus.RunUntil(until);
+  EXPECT_FALSE(bus.IsBlackedOut(a));  // now == until => no longer out
 }
 
 TEST(FailureRecoveryTest, ResourcePartitionHealsAndReconverges) {
@@ -141,6 +201,135 @@ TEST(FailureRecoveryTest, RepeatedPartitionsDoNotWedgeTheProtocol) {
   const Assignment assignment = coordinator.CurrentAssignment();
   EXPECT_NEAR(model.share(SubtaskId(0u)).Share(assignment[0]), 0.2857,
               0.02);
+}
+
+// --- Crash-restart recovery (DESIGN.md §7.7).
+
+CoordinatorConfig RecoveryConfig(obs::MetricRegistry* metrics,
+                                 obs::TraceSink* sink = nullptr) {
+  CoordinatorConfig config;
+  config.step.gamma0 = 3.0;
+  // A grace window that covers the repair round trip under the jitter
+  // below (the default 3 ticks assumes a near-zero-delay bus).
+  config.step.repair_grace_ticks = 12;
+  config.bus.base_delay_ms = 1.0;
+  // Jitter much larger than the outage below: some prices the agent sent
+  // before its crash are still in flight when it restarts, so they arrive
+  // AFTER the repair exchange fast-forwarded the controllers' incarnation
+  // watermarks — the stale-rejection path must fire, observably.
+  config.bus.jitter_ms = 60.0;
+  config.bus.seed = 13;
+  config.metrics = metrics;
+  config.trace_sink = sink;
+  return config;
+}
+
+// Cold restart of every resource agent, one at a time: total state loss,
+// repair exchange, stale pre-crash prices rejected, and re-convergence to
+// the no-failure utility within 1e-6 (relative).
+TEST(CrashRestartTest, ColdRestartOfEachResourceAgentReconverges) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  // The no-failure reference: same config, no fault injected.
+  obs::MetricRegistry ref_metrics;
+  Coordinator reference(w, model, RecoveryConfig(&ref_metrics));
+  reference.RunAsync(250000.0);
+  ASSERT_TRUE(reference.Converged());
+  const double no_failure = reference.CurrentUtility();
+
+  for (std::size_t r = 0; r < w.resource_count(); ++r) {
+    SCOPED_TRACE(::testing::Message() << "resource " << r);
+    obs::MetricRegistry metrics;
+    EventCollector events;
+    Coordinator coordinator(w, model, RecoveryConfig(&metrics, &events));
+    coordinator.RunAsync(250000.0);
+    ASSERT_TRUE(coordinator.Converged());
+
+    coordinator.CrashEndpoint(ResourceId(r));
+    EXPECT_TRUE(coordinator.agent(ResourceId(r)).crashed());
+    coordinator.RunAsync(2.0);  // much shorter than the in-flight tail
+    coordinator.RestartEndpoint(ResourceId(r));  // cold: state lost
+    EXPECT_FALSE(coordinator.agent(ResourceId(r)).crashed());
+    coordinator.RunAsync(250000.0);
+
+    EXPECT_TRUE(coordinator.Converged());
+    EXPECT_TRUE(coordinator.CurrentFeasibility().feasible);
+    EXPECT_NEAR(coordinator.CurrentUtility(), no_failure,
+                1e-6 * std::fabs(no_failure));
+
+    // The incarnation protocol observably rejected pre-crash prices, the
+    // repair exchange ran, and the restart was counted and traced.
+    EXPECT_EQ(CounterValue(&metrics, "recovery.restarts"), 1u);
+    EXPECT_GE(CounterValue(&metrics, "recovery.stale_rejected"), 1u);
+    EXPECT_GE(CounterValue(&metrics, "recovery.repair_rounds"), 1u);
+    EXPECT_EQ(std::count(events.types.begin(), events.types.end(),
+                         "recovery.crash"),
+              1);
+    EXPECT_EQ(std::count(events.types.begin(), events.types.end(),
+                         "recovery.restart"),
+              1);
+  }
+}
+
+// Checkpoint restart: the agent resumes from a snapshot taken before the
+// crash — bounded staleness, no repair exchange needed.
+TEST(CrashRestartTest, CheckpointRestartSkipsRepairAndReconverges) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  obs::MetricRegistry metrics;
+  Coordinator coordinator(w, model, RecoveryConfig(&metrics));
+  coordinator.RunAsync(250000.0);
+  ASSERT_TRUE(coordinator.Converged());
+  const double before = coordinator.CurrentUtility();
+
+  const ResourceId victim(0u);
+  const ResourceAgentSnapshot snapshot =
+      coordinator.CheckpointResource(victim);
+  EXPECT_EQ(snapshot.resource, victim);
+
+  coordinator.CrashEndpoint(victim);
+  coordinator.RunAsync(25.0);
+  coordinator.RestartEndpoint(victim, snapshot);
+  coordinator.RunAsync(250000.0);
+
+  EXPECT_TRUE(coordinator.Converged());
+  EXPECT_TRUE(coordinator.CurrentFeasibility().feasible);
+  EXPECT_NEAR(coordinator.CurrentUtility(), before,
+              1e-6 * std::fabs(before));
+  EXPECT_EQ(CounterValue(&metrics, "recovery.restarts"), 1u);
+  // Restoring from the snapshot needs no peer repair.
+  EXPECT_EQ(CounterValue(&metrics, "recovery.repair_rounds"), 0u);
+}
+
+// Controller crash-restart: controllers rebuild their price cache from the
+// resources' unprompted periodic broadcasts, so a cold controller restart
+// needs no explicit repair exchange either.
+TEST(CrashRestartTest, ColdControllerRestartReconverges) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  obs::MetricRegistry metrics;
+  Coordinator coordinator(w, model, RecoveryConfig(&metrics));
+  coordinator.RunAsync(250000.0);
+  ASSERT_TRUE(coordinator.Converged());
+  const double before = coordinator.CurrentUtility();
+
+  coordinator.CrashEndpoint(TaskId(1u));
+  coordinator.RunAsync(25.0);
+  coordinator.RestartEndpoint(TaskId(1u));
+  coordinator.RunAsync(250000.0);
+
+  EXPECT_TRUE(coordinator.Converged());
+  EXPECT_TRUE(coordinator.CurrentFeasibility().feasible);
+  EXPECT_NEAR(coordinator.CurrentUtility(), before,
+              1e-6 * std::fabs(before));
+  EXPECT_EQ(CounterValue(&metrics, "recovery.restarts"), 1u);
 }
 
 }  // namespace

@@ -77,6 +77,15 @@ TEST(CliTest, InvalidThreadsValueReturnsTwo) {
             2);
 }
 
+TEST(CliTest, DuplicateThreadsFlagReturnsTwo) {
+  // A repeated --threads is ambiguous; the CLI rejects it rather than
+  // silently letting the last occurrence win.
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --threads=2 --threads=4"), 2);
+  EXPECT_EQ(RunCli(solve + " --threads 2 --threads=2"), 2);  // same value too
+  EXPECT_EQ(RunCli(solve + " --threads=2 --threads 4"), 2);  // mixed forms
+}
+
 TEST(CliTest, EpsilonQuiescenceFlagAcceptedOnSolve) {
   const std::string solve = std::string("solve ") + kPaperWorkload;
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=1e-3"), 0);
@@ -87,6 +96,7 @@ TEST(CliTest, EpsilonQuiescenceFlagAcceptedOnSolve) {
 TEST(CliTest, InvalidEpsilonQuiescenceValueReturnsTwo) {
   const std::string solve = std::string("solve ") + kPaperWorkload;
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=-0.1"), 2);  // negative
+  EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=-1"), 2);    // negative
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=1"), 2);     // >= 1
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=1.5"), 2);   // >= 1
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=abc"), 2);   // not a number
@@ -94,6 +104,36 @@ TEST(CliTest, InvalidEpsilonQuiescenceValueReturnsTwo) {
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence="), 2);      // empty value
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence"), 2);       // missing
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=nan"), 2);   // not finite
+}
+
+TEST(CliTest, CheckpointThenRestoreRoundTrips) {
+  const std::string snap = ::testing::TempDir() + "/cli_state.snap";
+  std::remove(snap.c_str());
+  ASSERT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload + " " + snap +
+                   " --iters 50"),
+            0);
+  EXPECT_NE(ReadFile(snap).find("snapshot v1"), std::string::npos);
+  // Resuming the dual iteration from the mid-run snapshot converges.
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload +
+                   " --restore=" + snap),
+            0);
+  std::remove(snap.c_str());
+}
+
+TEST(CliTest, CheckpointAndRestoreErrors) {
+  EXPECT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload), 2);
+  EXPECT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload +
+                   " --iters 5"),
+            2);  // flag where the snapshot path belongs
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --restore="), 2);  // empty path
+  EXPECT_EQ(RunCli(solve + " --restore=/nonexistent/state.snap"), 3);
+
+  // A corrupt snapshot is a load error (3), not a crash.
+  const std::string bad = ::testing::TempDir() + "/cli_bad.snap";
+  std::ofstream(bad) << "snapshot v1\nshape 1 1\n";  // malformed shape line
+  EXPECT_EQ(RunCli(solve + " --restore=" + bad), 3);
+  std::remove(bad.c_str());
 }
 
 TEST(CliTest, LoadErrorsReturnThree) {

@@ -2,6 +2,11 @@
 //
 //   lla solve <workload-file> [--variant sum|path-weighted] [--iters N]
 //       Optimize and print the latency assignment, shares and prices.
+//       --restore=path resumes the dual iteration from a state snapshot
+//       previously written by `lla checkpoint` (bit-identical resume).
+//   lla checkpoint <workload-file> <snapshot-file> [--iters N]
+//       Run N iterations, then save the engine's dual state (prices, step
+//       multipliers, active-set shadow state) as a durable snapshot.
 //   lla check <workload-file> [--iters N]
 //       Schedulability verdict (LLA run + Phase-I cross-check).
 //   lla simulate <workload-file> <seconds> [--sfs]
@@ -51,7 +56,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  lla solve <file> [--variant sum|path-weighted] [--iters N] "
-               "[--threads=N] [--epsilon-quiescence=X]\n"
+               "[--threads=N] [--epsilon-quiescence=X] [--restore=snapshot]\n"
+               "  lla checkpoint <file> <snapshot> [--variant "
+               "sum|path-weighted] [--iters N] [--threads=N] "
+               "[--epsilon-quiescence=X]\n"
                "  lla check <file> [--iters N]\n"
                "  lla simulate <file> <seconds> [--sfs]\n"
                "  lla describe <file>\n"
@@ -163,7 +171,8 @@ int Describe(const Workload& w) {
 }
 
 int Solve(const Workload& w, UtilityVariant variant, int iters,
-          int threads, double epsilon_quiescence) {
+          int threads, double epsilon_quiescence,
+          const std::string& restore_path) {
   LatencyModel model(w);
   LlaConfig config;
   config.solver.variant = variant;
@@ -171,6 +180,23 @@ int Solve(const Workload& w, UtilityVariant variant, int iters,
   config.num_threads = threads;
   config.active_set.epsilon_quiescence = epsilon_quiescence;
   LlaEngine engine(w, model, config);
+  if (!restore_path.empty()) {
+    auto snapshot = LoadSnapshotFromFile(restore_path);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "error loading snapshot %s: %s\n",
+                   restore_path.c_str(), snapshot.error().c_str());
+      return kExitLoadError;
+    }
+    const Status restored = engine.Restore(snapshot.value());
+    if (!restored.ok()) {
+      std::fprintf(stderr, "error restoring snapshot %s: %s\n",
+                   restore_path.c_str(), restored.error().c_str());
+      return kExitLoadError;
+    }
+    std::printf("restored dual state from %s (resuming at iteration %lld)\n",
+                restore_path.c_str(),
+                static_cast<long long>(snapshot.value().iteration));
+  }
   const RunResult run = engine.Run(iters);
   std::printf("%s after %d iterations; utility %.3f (%s variant); "
               "feasible: %s\n",
@@ -205,6 +231,31 @@ int Solve(const Workload& w, UtilityVariant variant, int iters,
   }
   return run.converged && run.final_feasibility.feasible ? kExitSuccess
                                                          : kExitNotConverged;
+}
+
+int Checkpoint(const Workload& w, UtilityVariant variant, int iters,
+               int threads, double epsilon_quiescence,
+               const std::string& snapshot_path) {
+  LatencyModel model(w);
+  LlaConfig config;
+  config.solver.variant = variant;
+  config.gamma0 = 3.0;
+  config.num_threads = threads;
+  config.active_set.epsilon_quiescence = epsilon_quiescence;
+  LlaEngine engine(w, model, config);
+  const RunResult run = engine.Run(iters);
+  const Status saved = SaveSnapshotToFile(engine.Checkpoint(), snapshot_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error saving snapshot %s: %s\n",
+                 snapshot_path.c_str(), saved.error().c_str());
+    return kExitRuntimeError;
+  }
+  std::printf("wrote %s at iteration %d (%s, utility %.6f); resume with "
+              "`lla solve ... --restore=%s`\n",
+              snapshot_path.c_str(), run.iterations,
+              run.converged ? "converged" : "not converged",
+              run.final_utility, snapshot_path.c_str());
+  return kExitSuccess;
 }
 
 int Trace(const Workload& w, UtilityVariant variant, int iters,
@@ -341,7 +392,8 @@ int main(int argc, char** argv) {
   // Reject unknown commands before touching the filesystem, so a bad command
   // name is a usage error (2), not a load error (3).
   if (command != "describe" && command != "solve" && command != "check" &&
-      command != "simulate" && command != "trace") {
+      command != "simulate" && command != "trace" &&
+      command != "checkpoint") {
     return Usage();
   }
 
@@ -351,12 +403,24 @@ int main(int argc, char** argv) {
 
   if (command == "describe") return Describe(w);
 
-  if (command == "solve") {
+  if (command == "solve" || command == "checkpoint") {
+    // `checkpoint` takes the snapshot path as its second positional
+    // argument; flags start after it.
+    const bool is_checkpoint = command == "checkpoint";
+    std::string snapshot_path;
+    int first_flag = 3;
+    if (is_checkpoint) {
+      if (argc < 4 || std::strncmp(argv[3], "--", 2) == 0) return Usage();
+      snapshot_path = argv[3];
+      first_flag = 4;
+    }
     UtilityVariant variant = UtilityVariant::kPathWeighted;
-    int iters = 12000;
+    int iters = is_checkpoint ? 1000 : 12000;
     int threads = 1;
     double epsilon_quiescence = 0.0;
-    for (int i = 3; i < argc; ++i) {
+    std::string restore_path;
+    bool threads_seen = false;
+    for (int i = first_flag; i < argc; ++i) {
       bool is_threads = false;
       bool is_epsilon = false;
       if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
@@ -365,9 +429,17 @@ int main(int argc, char** argv) {
                       : UtilityVariant::kPathWeighted;
       } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
         iters = std::atoi(argv[++i]);
+      } else if (!is_checkpoint &&
+                 std::strncmp(argv[i], "--restore=", 10) == 0) {
+        restore_path = argv[i] + 10;
+        if (restore_path.empty()) return Usage();
       } else if (!MatchThreadsFlag(argc, argv, &i, &threads, &is_threads)) {
         return Usage();
       } else if (is_threads) {
+        // A repeated --threads is ambiguous (which value wins?); reject it
+        // instead of silently taking the last one.
+        if (threads_seen) return Usage();
+        threads_seen = true;
       } else if (!MatchEpsilonFlag(argc, argv, &i, &epsilon_quiescence,
                                    &is_epsilon)) {
         return Usage();
@@ -376,7 +448,12 @@ int main(int argc, char** argv) {
       }
     }
     if (iters < 1) return Usage();
-    return Solve(w, variant, iters, threads, epsilon_quiescence);
+    if (is_checkpoint) {
+      return Checkpoint(w, variant, iters, threads, epsilon_quiescence,
+                        snapshot_path);
+    }
+    return Solve(w, variant, iters, threads, epsilon_quiescence,
+                 restore_path);
   }
 
   if (command == "trace") {
