@@ -9,7 +9,24 @@
 //     estimate moving (error correction), a task leaving the system, and a
 //     resource capacity change — where WarmStart carries the previous
 //     optimum's prices and the active set prunes the re-convergence to the
-//     subtasks a changed price bit can actually reach.
+//     subtasks a changed price bit can actually reach, and
+//   * the accelerated price dynamics axis (DESIGN.md §7.8): plain vs.
+//     heavy-ball vs. Nesterov momentum on the same workloads, cold and
+//     across a warm WCET restart.  Two numbers per run: iterations to the
+//     run's OWN convergence, and iterations to reach the PLAIN baseline's
+//     final utility (quality-matched).  The distinction matters: momentum
+//     keeps the utility moving past the plateau detector's epsilon, so an
+//     accelerated run often stops later but at a measurably BETTER feasible
+//     utility than plain — e.g. the paper warm restart surpasses plain's
+//     final utility within a handful of iterations and then spends ~200
+//     more improving on it.  Raw iterations-to-converge would book that
+//     extra progress as a regression, so the divergence / regression gates
+//     compare quality-matched iterations: a run DIVERGES if it never
+//     reaches plain's quality or needs > 2x the plain iterations to get
+//     there (exits 1 so CI fails); > 1.2x is recorded honestly as a
+//     regression.  The headline acceleration gate stays on the stricter raw
+//     count: at least one accelerated policy must fully converge cold in
+//     >= 1.5x fewer iterations than plain on the paper workload.
 //
 // This is the paper's online story (Sec. 1 "adapts to both workload and
 // resource variations") made quantitative: the acceptance bar is that the
@@ -279,12 +296,204 @@ void RunWorkloadCases(const std::string& name, const Workload& workload,
           .Add("scenarios", std::move(scenarios)));
 }
 
+// --- Accelerated dynamics axis -------------------------------------------
+
+double g_momentum = 0.9;  ///< --momentum=X overrides for exploration
+
+LlaConfig DynamicsConfigFor(DynamicsKind kind) {
+  LlaConfig config = ActiveConfig();
+  config.dynamics.kind = kind;  // adaptive restart on
+  config.dynamics.momentum = g_momentum;
+  return config;
+}
+
+/// A convergence run that also kept the per-iteration utilities, so the
+/// quality-matched comparison can locate when a run first reached the plain
+/// baseline's final utility.
+struct RecordedRun {
+  ConvergenceRun run;
+  std::vector<double> utilities;  ///< utilities[i] = utility after step i+1
+  std::vector<bool> feasible;     ///< tolerance-based, as the detector uses
+};
+
+RecordedRun RunRecordingUtilities(LlaEngine& engine, std::size_t prime_solves) {
+  RecordedRun out;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t solves = 0;
+  int steps = 0;
+  while (!engine.Converged() && steps < kMaxIterations) {
+    const IterationStats stats = engine.Step();
+    out.utilities.push_back(stats.total_utility);
+    out.feasible.push_back(stats.feasible);
+    solves += static_cast<std::uint64_t>(stats.subtasks_solved);
+    ++steps;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  out.run.converged = engine.Converged();
+  out.run.iterations = steps;
+  out.run.subtask_solves = prime_solves + solves;
+  out.run.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  out.run.final_utility =
+      out.utilities.empty() ? 0.0 : out.utilities.back();
+  return out;
+}
+
+/// First 1-based iteration that is (near-)feasible with utility at least
+/// `target`, or -1 if the run never reaches that.  Feasibility matters:
+/// early cold iterates overshoot the converged utility while violating
+/// capacity, which is progress toward nothing.
+int IterationsToQuality(const RecordedRun& recorded, double target) {
+  for (std::size_t i = 0; i < recorded.utilities.size(); ++i) {
+    if (recorded.feasible[i] && recorded.utilities[i] >= target) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  return -1;
+}
+
+/// Per accelerated run, how it compares against the plain counterpart of
+/// the same scenario.  `diverged` is the CI gate; `regressed` is the honest
+/// 1.2x marker.  Both judge `to_quality` — the iterations the run needed to
+/// reach the plain baseline's final utility — not the run's own (later,
+/// better-utility) convergence point.
+struct DynamicsOutcome {
+  std::string workload;
+  std::string scenario;
+  DynamicsKind kind = DynamicsKind::kPlain;
+  int iterations = 0;
+  int to_quality = -1;
+  int plain_iterations = 0;
+  bool converged = false;
+  bool diverged = false;
+  bool regressed = false;
+};
+
+bench::JsonValue DynamicsRunJson(const RecordedRun& recorded,
+                                 const ConvergenceRun& plain,
+                                 DynamicsOutcome* outcome) {
+  const ConvergenceRun& run = recorded.run;
+  outcome->iterations = run.iterations;
+  outcome->plain_iterations = plain.iterations;
+  outcome->converged = run.converged;
+  // Quality tolerance: 10x the convergence detector's rel_tol (1e-5) — the
+  // resolution below which two plateaus are indistinguishable to the
+  // plateau test itself.
+  const double tol = std::abs(plain.final_utility) * 1e-4;
+  outcome->to_quality =
+      IterationsToQuality(recorded, plain.final_utility - tol);
+  const double ratio =
+      outcome->to_quality > 0 && plain.iterations > 0
+          ? static_cast<double>(outcome->to_quality) /
+                static_cast<double>(plain.iterations)
+          : 0.0;
+  outcome->diverged = !run.converged || outcome->to_quality < 0 || ratio > 2.0;
+  outcome->regressed = !outcome->diverged && ratio > 1.2;
+  return RunJson(run)
+      .Add("iterations_to_plain_quality",
+           bench::JsonValue::Number(outcome->to_quality))
+      .Add("quality_iterations_vs_plain", bench::JsonValue::Number(ratio))
+      .Add("utility_vs_plain",
+           bench::JsonValue::Number(run.final_utility - plain.final_utility))
+      .Add("regressed", bench::JsonValue::Bool(outcome->regressed))
+      .Add("diverged", bench::JsonValue::Bool(outcome->diverged));
+}
+
+void RunDynamicsCases(const std::string& name, const Workload& workload,
+                      bench::JsonValue* results,
+                      std::vector<DynamicsOutcome>* outcomes) {
+  const std::size_t prime = workload.subtask_count();
+  std::printf("\n%s dynamics axis (iterations to converge, active-set):\n",
+              name.c_str());
+
+  // Plain baselines first: the accelerated runs are judged against them.
+  LatencyModel model(workload);
+  ConvergenceRun plain_cold;
+  ConvergenceRun plain_warm;
+  PriceVector plain_optimum;
+  {
+    LlaEngine cold(workload, model, DynamicsConfigFor(DynamicsKind::kPlain));
+    plain_cold = RunToConvergence(cold, prime);
+    plain_optimum = cold.prices();
+    const SubtaskId victim = workload.tasks().front().subtasks.front();
+    model.SetAdditiveError(victim, 0.01);
+    LlaEngine warm(workload, model, DynamicsConfigFor(DynamicsKind::kPlain));
+    warm.WarmStart(plain_optimum);
+    plain_warm = RunToConvergence(warm, prime);
+    model.SetAdditiveError(victim, 0.0);
+  }
+
+  bench::JsonValue axis = bench::JsonValue::Array();
+  axis.Push(bench::JsonValue::Object()
+                .Add("dynamics", bench::JsonValue::String("plain"))
+                .Add("cold", RunJson(plain_cold))
+                .Add("wcet_warm", RunJson(plain_warm)));
+  PrintRun("plain cold", plain_cold);
+  PrintRun("plain wcet warm", plain_warm);
+
+  for (const DynamicsKind kind :
+       {DynamicsKind::kHeavyBall, DynamicsKind::kNesterov}) {
+    const LlaConfig config = DynamicsConfigFor(kind);
+
+    LlaEngine cold(workload, model, config);
+    const RecordedRun cold_run = RunRecordingUtilities(cold, prime);
+    // Warm restarts resume from the PLAIN reference optimum so every policy
+    // re-converges from the same operating point; the comparison isolates
+    // the dynamics, not the slightly different plateau each policy's own
+    // cold run stopped at.
+    const SubtaskId victim = workload.tasks().front().subtasks.front();
+    model.SetAdditiveError(victim, 0.01);
+    LlaEngine warm(workload, model, config);
+    warm.WarmStart(plain_optimum);
+    const RecordedRun warm_run = RunRecordingUtilities(warm, prime);
+    model.SetAdditiveError(victim, 0.0);
+
+    DynamicsOutcome cold_outcome{name, "cold", kind};
+    DynamicsOutcome warm_outcome{name, "wcet_warm", kind};
+    axis.Push(
+        bench::JsonValue::Object()
+            .Add("dynamics", bench::JsonValue::String(ToString(kind)))
+            .Add("cold", DynamicsRunJson(cold_run, plain_cold, &cold_outcome))
+            .Add("wcet_warm",
+                 DynamicsRunJson(warm_run, plain_warm, &warm_outcome)));
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s cold", ToString(kind));
+    PrintRun(label, cold_run.run);
+    std::snprintf(label, sizeof(label), "%s wcet warm", ToString(kind));
+    PrintRun(label, warm_run.run);
+    const double speedup =
+        cold_run.run.iterations > 0
+            ? static_cast<double>(plain_cold.iterations) /
+                  static_cast<double>(cold_run.run.iterations)
+            : 0.0;
+    std::printf("  %s converges cold in %.2fx fewer iterations than plain\n",
+                ToString(kind), speedup);
+    std::printf("  %s reaches plain's final utility: cold %d iters "
+                "(plain %d), warm %d iters (plain %d); final utility "
+                "%+.4f / %+.4f vs plain\n",
+                ToString(kind), cold_outcome.to_quality, plain_cold.iterations,
+                warm_outcome.to_quality, plain_warm.iterations,
+                cold_run.run.final_utility - plain_cold.final_utility,
+                warm_run.run.final_utility - plain_warm.final_utility);
+    outcomes->push_back(cold_outcome);
+    outcomes->push_back(warm_outcome);
+  }
+
+  results->Push(bench::JsonValue::Object()
+                    .Add("workload", bench::JsonValue::String(name))
+                    .Add("policies", std::move(axis)));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--momentum=", 11) == 0) {
+      g_momentum = std::atof(argv[i] + 11);
+    }
   }
 
   bench::PrintHeader(
@@ -308,6 +517,11 @@ int main(int argc, char** argv) {
   std::vector<ScenarioOutcome> outcomes;
   RunWorkloadCases("paper_3task", paper.value(), &results, &outcomes);
 
+  bench::JsonValue dynamics_results = bench::JsonValue::Array();
+  std::vector<DynamicsOutcome> dynamics_outcomes;
+  RunDynamicsCases("paper_3task", paper.value(), &dynamics_results,
+                   &dynamics_outcomes);
+
   if (!quick) {
     RandomWorkloadConfig random_config;
     random_config.seed = 42;
@@ -319,6 +533,8 @@ int main(int argc, char** argv) {
     }
     RunWorkloadCases("random_default", random_workload.value(), &results,
                      &outcomes);
+    RunDynamicsCases("random_default", random_workload.value(),
+                     &dynamics_results, &dynamics_outcomes);
   }
 
   bool meets_5x = true;
@@ -328,13 +544,55 @@ int main(int argc, char** argv) {
   std::printf("\nacceptance gate (wcet warm restart >= 5x fewer solves): %s\n",
               meets_5x ? "PASS" : "FAIL");
 
+  // Dynamics gates.  meets_accel_1_5x: some accelerated policy fully
+  // converges cold on the paper workload in >= 1.5x fewer iterations than
+  // plain (raw count — the strict version of the claim).
+  // dynamics_diverged (fails the bench, and thus CI): any accelerated run
+  // that did not converge, never reached the plain baseline's final
+  // utility, or needed > 2x the plain iterations to reach it.
+  bool meets_accel_1_5x = false;
+  bool dynamics_diverged = false;
+  bool dynamics_regressed = false;
+  for (const DynamicsOutcome& outcome : dynamics_outcomes) {
+    if (outcome.workload == "paper_3task" && outcome.scenario == "cold" &&
+        outcome.converged && outcome.iterations > 0 &&
+        static_cast<double>(outcome.plain_iterations) >=
+            1.5 * static_cast<double>(outcome.iterations)) {
+      meets_accel_1_5x = true;
+    }
+    if (outcome.diverged) {
+      dynamics_diverged = true;
+      std::printf("DIVERGED: %s %s %s (%d iters to plain quality vs "
+                  "plain %d)\n",
+                  ToString(outcome.kind), outcome.workload.c_str(),
+                  outcome.scenario.c_str(), outcome.to_quality,
+                  outcome.plain_iterations);
+    } else if (outcome.regressed) {
+      dynamics_regressed = true;
+      std::printf("regression (> 1.2x plain): %s %s %s (%d iters to plain "
+                  "quality vs plain %d)\n",
+                  ToString(outcome.kind), outcome.workload.c_str(),
+                  outcome.scenario.c_str(), outcome.to_quality,
+                  outcome.plain_iterations);
+    }
+  }
+  std::printf("dynamics gate (>= 1.5x fewer cold iterations): %s\n",
+              meets_accel_1_5x ? "PASS" : "FAIL");
+  std::printf("dynamics gate (plain quality reached within 2x plain "
+              "iterations): %s\n",
+              dynamics_diverged ? "FAIL" : "PASS");
+
   bench::JsonValue root = bench::JsonValue::Object();
   root.Add("bench", bench::JsonValue::String("convergence"));
   root.Add("unit", bench::JsonValue::String("subtask_solves_to_converge"));
   root.Add("quick", bench::JsonValue::Bool(quick));
   root.Add("meets_5x", bench::JsonValue::Bool(meets_5x));
+  root.Add("meets_accel_1_5x", bench::JsonValue::Bool(meets_accel_1_5x));
+  root.Add("dynamics_diverged", bench::JsonValue::Bool(dynamics_diverged));
+  root.Add("dynamics_regressed", bench::JsonValue::Bool(dynamics_regressed));
   bench::StampMeta(&root);
   root.Add("results", std::move(results));
+  root.Add("dynamics", std::move(dynamics_results));
   const std::string json_path = "BENCH_convergence.json";
   if (bench::WriteJson(json_path, root)) {
     std::printf("wrote %s\n", json_path.c_str());
@@ -342,5 +600,5 @@ int main(int argc, char** argv) {
     std::printf("failed to write %s\n", json_path.c_str());
     return 1;
   }
-  return 0;
+  return dynamics_diverged ? 1 : 0;
 }

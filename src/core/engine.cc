@@ -27,7 +27,12 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
       config_(config),
       solver_(workload, model, config.solver),
       updater_(workload, model),
-      step_policy_(MakeStepPolicy(config)) {
+      step_policy_(MakeStepPolicy(config)),
+      // Plain dynamics short-circuit to the original inline arithmetic (a
+      // null policy), so default configurations pay nothing for the layer.
+      dynamics_(config.dynamics.kind == DynamicsKind::kPlain
+                    ? nullptr
+                    : MakeDynamicsPolicy(config.dynamics)) {
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads,
                                          config_.parallel);
@@ -35,6 +40,7 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
   assert(config_.active_set.epsilon_quiescence >= 0.0 &&
          config_.active_set.epsilon_quiescence < 1.0);
   assert(config_.active_set.quiescence_epochs >= 1);
+  assert(config_.dynamics.momentum >= 0.0 && config_.dynamics.momentum < 1.0);
   if (config_.metrics != nullptr) {
     steps_counter_ = config_.metrics->GetCounter("engine.steps");
     solve_timer_ = config_.metrics->GetTimer("engine.solve");
@@ -55,6 +61,10 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
           config_.metrics->GetCounter("engine.active.lambda_skipped");
       active_frozen_ = config_.metrics->GetCounter("engine.active.frozen");
     }
+    if (dynamics_ != nullptr) {
+      momentum_restarts_counter_ =
+          config_.metrics->GetCounter("engine.momentum.restarts");
+    }
   }
   workspace_.Resize(workload);
   Reset();
@@ -65,6 +75,7 @@ void LlaEngine::Reset() {
                                  config_.initial_lambda);
   latencies_.assign(workload_->subtask_count(), 0.0);
   step_policy_->Reset(*workload_);
+  if (dynamics_ != nullptr) dynamics_->Reset(*workload_, prices_);
   iteration_ = 0;
   converged_ = false;
   total_subtask_solves_ = 0;
@@ -113,6 +124,7 @@ void LlaEngine::WarmStart(const PriceVector& prices) {
   for (double& mu : prices_.mu) mu = std::max(0.0, mu);
   for (double& lambda : prices_.lambda) lambda = std::max(0.0, lambda);
   step_policy_->Reset(*workload_);
+  if (dynamics_ != nullptr) dynamics_->Reset(*workload_, prices_);
   ClearConvergenceWindow();
   total_subtask_solves_ = 0;
   // Same prime as Reset: warm-started engines (coordinator what-ifs,
@@ -139,6 +151,20 @@ StateSnapshot LlaEngine::Checkpoint() const {
   snap.step_iteration = policy_state.iteration;
   snap.recent_utilities.assign(recent_utilities_.begin(),
                                recent_utilities_.end());
+  if (dynamics_ != nullptr) {
+    // Snapshot v2 payload: the momentum state.  Plain engines leave these
+    // empty, so their snapshots stay byte-compatible with what v1 loaders
+    // reconstructed.
+    DynamicsPolicyState dynamics_state;
+    dynamics_->SaveState(&dynamics_state);
+    snap.mu_velocity = std::move(dynamics_state.mu_velocity);
+    snap.lambda_velocity = std::move(dynamics_state.lambda_velocity);
+    snap.mu_base = std::move(dynamics_state.mu_base);
+    snap.lambda_base = std::move(dynamics_state.lambda_base);
+    snap.mu_phase = std::move(dynamics_state.mu_phase);
+    snap.lambda_phase = std::move(dynamics_state.lambda_phase);
+    snap.momentum_restarts = dynamics_state.restarts;
+  }
   snap.price_state_primed = price_state_.primed;
   if (price_state_.primed) {
     snap.mu_settled = price_state_.mu_settled;
@@ -166,6 +192,23 @@ Status LlaEngine::Restore(const StateSnapshot& snapshot) {
   if (snapshot.mu.size() != workload_->resource_count() ||
       snapshot.lambda.size() != workload_->path_count()) {
     return Status::Error("Restore: snapshot price vectors are misshapen");
+  }
+  {
+    // Dynamics state is optional (absent in v1 snapshots and in snapshots
+    // taken by plain engines), but when present it must match the shape.
+    const std::size_t R = workload_->resource_count();
+    const std::size_t P = workload_->path_count();
+    const auto misshapen = [](const std::vector<double>& v, std::size_t n) {
+      return !v.empty() && v.size() != n;
+    };
+    if (misshapen(snapshot.mu_velocity, R) ||
+        misshapen(snapshot.lambda_velocity, P) ||
+        misshapen(snapshot.mu_base, R) ||
+        misshapen(snapshot.lambda_base, P) ||
+        misshapen(snapshot.mu_phase, R) ||
+        misshapen(snapshot.lambda_phase, P)) {
+      return Status::Error("Restore: snapshot dynamics state is misshapen");
+    }
   }
   if (snapshot.price_state_primed) {
     // UpdateActive indexes every primed vector unchecked; refuse a corrupt
@@ -196,6 +239,23 @@ Status LlaEngine::Restore(const StateSnapshot& snapshot) {
   policy_state.path_multiplier = snapshot.path_step_multiplier;
   policy_state.iteration = snapshot.step_iteration;
   step_policy_->LoadState(policy_state);
+  if (dynamics_ != nullptr) {
+    // Reset sizes (and, for Nesterov, seeds the base iterate from the
+    // restored prices); LoadState then adopts any matching-size saved
+    // vectors.  A v1 or plain-engine snapshot carries none, so a momentum
+    // engine restores with fresh (zero) velocity — the correct reading of a
+    // checkpoint that never had momentum state.
+    dynamics_->Reset(*workload_, prices_);
+    DynamicsPolicyState dynamics_state;
+    dynamics_state.mu_velocity = snapshot.mu_velocity;
+    dynamics_state.lambda_velocity = snapshot.lambda_velocity;
+    dynamics_state.mu_base = snapshot.mu_base;
+    dynamics_state.lambda_base = snapshot.lambda_base;
+    dynamics_state.mu_phase = snapshot.mu_phase;
+    dynamics_state.lambda_phase = snapshot.lambda_phase;
+    dynamics_state.restarts = snapshot.momentum_restarts;
+    dynamics_->LoadState(dynamics_state);
+  }
   iteration_ = static_cast<int>(snapshot.iteration);
   converged_ = snapshot.converged;
   total_subtask_solves_ = snapshot.total_subtask_solves;
@@ -267,14 +327,30 @@ IterationStats LlaEngine::Step() {
   {
     obs::ScopedTimer timing(price_timer_);
     step_policy_->Update(*workload_, workspace_.resource_congested, &steps_);
+    const std::uint64_t restarts_before =
+        dynamics_ != nullptr ? dynamics_->total_restarts() : 0;
     if (config_.active_set.enabled) {
       last_price_work_ = updater_.UpdateActive(
           workspace_.resource_share_sums, workspace_.path_latencies, steps_,
           config_.active_set.epsilon_quiescence,
-          config_.active_set.quiescence_epochs, &prices_, &price_state_);
+          config_.active_set.quiescence_epochs, &prices_, &price_state_,
+          dynamics_.get());
+      last_step_updates_ = last_price_work_.mu_updated +
+                           last_price_work_.mu_frozen +
+                           last_price_work_.lambda_updated +
+                           last_price_work_.lambda_frozen;
     } else {
       updater_.Update(workspace_.resource_share_sums,
-                      workspace_.path_latencies, steps_, &prices_);
+                      workspace_.path_latencies, steps_, &prices_,
+                      dynamics_.get());
+      last_step_updates_ = workload_->resource_count() +
+                           workload_->path_count();
+    }
+    last_step_restarts_ =
+        dynamics_ != nullptr ? dynamics_->total_restarts() - restarts_before
+                             : 0;
+    if (momentum_restarts_counter_ != nullptr) {
+      momentum_restarts_counter_->Increment(last_step_restarts_);
     }
   }
 
@@ -334,6 +410,23 @@ void LlaEngine::EmitTrace(const IterationStats& stats) {
     trace_.subtasks_solved = -1;
     trace_.active_mu = -1;
     trace_.active_lambda = -1;
+  }
+  if (dynamics_ != nullptr) {
+    // Per-step restart count and the effective momentum actually applied:
+    // a restarted component contributed beta * 0, so the mean coefficient
+    // across computed updates is beta * (1 - restarts / updates).  A
+    // diverging run shows up in JSONL as effective_beta pinned well below
+    // the configured beta (restarts firing every step).
+    trace_.momentum_restarts = static_cast<int>(last_step_restarts_);
+    const double beta = dynamics_->beta();
+    trace_.effective_beta =
+        last_step_updates_ > 0
+            ? beta * (1.0 - static_cast<double>(last_step_restarts_) /
+                                static_cast<double>(last_step_updates_))
+            : beta;
+  } else {
+    trace_.momentum_restarts = -1;
+    trace_.effective_beta = -1.0;
   }
   config_.trace_sink->OnIteration(trace_);
 }

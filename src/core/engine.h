@@ -37,6 +37,7 @@
 #include "core/latency_solver.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "core/price_dynamics.h"
 #include "core/price_update.h"
 #include "core/prices.h"
 #include "core/step_size.h"
@@ -98,6 +99,12 @@ struct LlaConfig {
   double gamma0 = 1.0;                        ///< base step size
   double adaptive_max_multiplier = 8.0;        ///< cap for the doubling
   double diminishing_tau = 50.0;
+  /// Accelerated price dynamics (heavy-ball / Nesterov momentum with
+  /// adaptive restart; see price_dynamics.h).  Orthogonal to step_policy:
+  /// the step-size policy still chooses gamma per component per iteration,
+  /// the dynamics decide how the gradient step is applied.  The default
+  /// (plain) runs the original Eq. 8/9 arithmetic unchanged.
+  DynamicsConfig dynamics;
   double initial_mu = 0.0;
   double initial_lambda = 0.0;
   ConvergenceConfig convergence;
@@ -200,6 +207,11 @@ class LlaEngine {
 
   bool Converged() const { return converged_; }
   int iteration() const { return iteration_; }
+  /// Cumulative adaptive-restart count of the momentum dynamics since the
+  /// last Reset/WarmStart/Restore (0 under plain dynamics).
+  std::uint64_t momentum_restarts() const {
+    return dynamics_ != nullptr ? dynamics_->total_restarts() : 0;
+  }
   /// Cumulative subtask solves performed by Step() since the last
   /// Reset/WarmStart (the dense mode counts every subtask every step).
   std::uint64_t total_subtask_solves() const { return total_subtask_solves_; }
@@ -227,6 +239,11 @@ class LlaEngine {
   LatencySolver solver_;
   PriceUpdater updater_;
   std::unique_ptr<StepSizePolicy> step_policy_;
+  /// Null for DynamicsKind::kPlain: the default configuration executes the
+  /// pre-existing inline arithmetic with zero dispatch overhead, and the
+  /// null check doubles as the "momentum is active" flag for traces,
+  /// metrics, and snapshot state.
+  std::unique_ptr<PriceDynamicsPolicy> dynamics_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads <= 1
   StepSizes steps_;
   PriceVector prices_;
@@ -239,6 +256,10 @@ class LlaEngine {
   std::uint64_t total_subtask_solves_ = 0;
   /// Sparsity of the last Step's price update (trace/metric source).
   ActivePriceWork last_price_work_;
+  /// Momentum diagnostics of the last Step (trace/metric source): adaptive
+  /// restarts fired and components whose update was actually computed.
+  std::uint64_t last_step_restarts_ = 0;
+  std::uint64_t last_step_updates_ = 0;
   std::deque<double> recent_utilities_;
   std::vector<IterationStats> history_;
 
@@ -255,6 +276,7 @@ class LlaEngine {
   obs::Counter* active_mu_skipped_ = nullptr;
   obs::Counter* active_lambda_skipped_ = nullptr;
   obs::Counter* active_frozen_ = nullptr;
+  obs::Counter* momentum_restarts_counter_ = nullptr;
   obs::IterationTrace trace_;
 };
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/price_dynamics.h"
+
 namespace lla {
 namespace {
 
@@ -13,6 +15,18 @@ inline bool SameBits(double a, double b) {
   std::memcpy(&ba, &a, sizeof(ba));
   std::memcpy(&bb, &b, sizeof(bb));
   return ba == bb;
+}
+
+// One projected dual step for component `i`: the policy's accelerated
+// variant when `dynamics` is set, the inline Eq. 8/9 arithmetic otherwise.
+inline DynamicsStep ProjectedStep(PriceDynamicsPolicy* dynamics,
+                                  DualSpace space, std::size_t i, double value,
+                                  double gamma, double slack) {
+  if (dynamics != nullptr) {
+    return dynamics->Step(space, i, value, gamma, slack);
+  }
+  const double proposed = std::max(0.0, value - gamma * slack);
+  return {proposed, proposed == 0.0};
 }
 
 }  // namespace
@@ -56,7 +70,8 @@ void PriceUpdater::Update(const Assignment& latencies, const StepSizes& steps,
 
 void PriceUpdater::Update(const std::vector<double>& resource_share_sums,
                           const std::vector<double>& path_latencies,
-                          const StepSizes& steps, PriceVector* prices) const {
+                          const StepSizes& steps, PriceVector* prices,
+                          PriceDynamicsPolicy* dynamics) const {
   assert(resource_share_sums.size() == workload_->resource_count());
   assert(path_latencies.size() == workload_->path_count());
   assert(steps.resource.size() == workload_->resource_count());
@@ -64,13 +79,16 @@ void PriceUpdater::Update(const std::vector<double>& resource_share_sums,
   for (const ResourceInfo& resource : workload_->resources()) {
     const std::size_t r = resource.id.value();
     const double slack = resource.capacity - resource_share_sums[r];
-    prices->mu[r] = std::max(0.0, prices->mu[r] - steps.resource[r] * slack);
+    prices->mu[r] = ProjectedStep(dynamics, DualSpace::kResource, r,
+                                  prices->mu[r], steps.resource[r], slack)
+                        .value;
   }
   for (const PathInfo& path : workload_->paths()) {
     const std::size_t p = path.id.value();
     const double slack = 1.0 - path_latencies[p] / path.critical_time_ms;
-    prices->lambda[p] =
-        std::max(0.0, prices->lambda[p] - steps.path[p] * slack);
+    prices->lambda[p] = ProjectedStep(dynamics, DualSpace::kPath, p,
+                                      prices->lambda[p], steps.path[p], slack)
+                            .value;
   }
 }
 
@@ -78,7 +96,7 @@ ActivePriceWork PriceUpdater::UpdateActive(
     const std::vector<double>& resource_share_sums,
     const std::vector<double>& path_latencies, const StepSizes& steps,
     double epsilon_quiescence, int quiescence_epochs, PriceVector* prices,
-    ActivePriceState* state) const {
+    ActivePriceState* state, PriceDynamicsPolicy* dynamics) const {
   const std::size_t resource_count = workload_->resource_count();
   const std::size_t path_count = workload_->path_count();
   assert(resource_share_sums.size() == resource_count);
@@ -129,11 +147,15 @@ ActivePriceWork PriceUpdater::UpdateActive(
       // Freezing only ever suppresses writes, so a slow persistent drift
       // accumulates in the shadow and forces a re-publish once it exceeds
       // the epsilon threshold — the publish error stays <= epsilon
-      // (relative) no matter how long the freeze lasts.
-      const double proposed =
-          std::max(0.0, state->shadow_mu[r] - steps.resource[r] * slack);
+      // (relative) no matter how long the freeze lasts.  Under accelerated
+      // dynamics the shadow is the dynamical variable: velocity follows the
+      // shadow trajectory, never the frozen published value.
+      const DynamicsStep ds =
+          ProjectedStep(dynamics, DualSpace::kResource, r, state->shadow_mu[r],
+                        steps.resource[r], slack);
+      const double proposed = ds.value;
       state->shadow_mu[r] = proposed;
-      settled = proposed == 0.0;
+      settled = ds.settled;
       const bool stable =
           std::fabs(proposed - old_mu) <=
           epsilon_quiescence * std::max(1.0, std::fabs(old_mu));
@@ -151,10 +173,10 @@ ActivePriceWork PriceUpdater::UpdateActive(
         ++work.mu_frozen;
       }
     } else {
-      const double proposed =
-          std::max(0.0, old_mu - steps.resource[r] * slack);
-      settled = proposed == 0.0;
-      prices->mu[r] = proposed;
+      const DynamicsStep ds = ProjectedStep(dynamics, DualSpace::kResource, r,
+                                            old_mu, steps.resource[r], slack);
+      settled = ds.settled;
+      prices->mu[r] = ds.value;
       ++work.mu_updated;
     }
     state->mu_zero_epochs[r] = (settled && prices->mu[r] == 0.0)
@@ -181,10 +203,12 @@ ActivePriceWork PriceUpdater::UpdateActive(
     bool settled;
     bool write = true;
     if (epsilon_quiescence > 0.0) {
-      const double proposed =
-          std::max(0.0, state->shadow_lambda[p] - steps.path[p] * slack);
+      const DynamicsStep ds =
+          ProjectedStep(dynamics, DualSpace::kPath, p,
+                        state->shadow_lambda[p], steps.path[p], slack);
+      const double proposed = ds.value;
       state->shadow_lambda[p] = proposed;
-      settled = proposed == 0.0;
+      settled = ds.settled;
       const bool stable =
           std::fabs(proposed - old_lambda) <=
           epsilon_quiescence * std::max(1.0, std::fabs(old_lambda));
@@ -203,10 +227,10 @@ ActivePriceWork PriceUpdater::UpdateActive(
         ++work.lambda_frozen;
       }
     } else {
-      const double proposed =
-          std::max(0.0, old_lambda - steps.path[p] * slack);
-      settled = proposed == 0.0;
-      prices->lambda[p] = proposed;
+      const DynamicsStep ds = ProjectedStep(dynamics, DualSpace::kPath, p,
+                                            old_lambda, steps.path[p], slack);
+      settled = ds.settled;
+      prices->lambda[p] = ds.value;
       ++work.lambda_updated;
     }
     state->lambda_zero_epochs[p] = (settled && prices->lambda[p] == 0.0)

@@ -24,6 +24,8 @@
 
 namespace lla {
 
+class PriceDynamicsPolicy;
+
 /// Dirty/quiescence state of the incremental price update (UpdateActive).
 ///
 /// A constraint is RETIRED when its multiplier has sat clamped at exactly 0
@@ -90,9 +92,15 @@ class PriceUpdater {
 
   /// Both updates from precomputed per-resource share sums and per-path
   /// latencies (as filled by FillStepWorkspace) — no workload re-walk.
+  ///
+  /// `dynamics` selects the accelerated variant of the projected step
+  /// (heavy-ball / Nesterov, see price_dynamics.h); nullptr runs the
+  /// original inline Eq. 8/9 arithmetic, which PlainDynamics matches
+  /// bit-for-bit.
   void Update(const std::vector<double>& resource_share_sums,
               const std::vector<double>& path_latencies,
-              const StepSizes& steps, PriceVector* prices) const;
+              const StepSizes& steps, PriceVector* prices,
+              PriceDynamicsPolicy* dynamics = nullptr) const;
 
   /// The array-form Update with retirement and (opt-in) epsilon freezing.
   ///
@@ -107,12 +115,19 @@ class PriceUpdater {
   /// prices therefore track the shadow dual trajectory with per-component
   /// relative error <= epsilon — a documented suboptimality trade
   /// (DESIGN.md §7.6), not an exact mode.
+  /// With a non-null `dynamics`, the per-component arithmetic (including the
+  /// epsilon-mode shadow integration) is delegated to the policy's Step();
+  /// retirement then keys off the policy's `settled` bit, which certifies
+  /// the component's whole dynamics state (value AND velocity) is at the
+  /// absorbing zero — that is what keeps sparse and dense momentum
+  /// trajectories bit-identical in exact mode.
   ActivePriceWork UpdateActive(const std::vector<double>& resource_share_sums,
                                const std::vector<double>& path_latencies,
                                const StepSizes& steps,
                                double epsilon_quiescence,
                                int quiescence_epochs, PriceVector* prices,
-                               ActivePriceState* state) const;
+                               ActivePriceState* state,
+                               PriceDynamicsPolicy* dynamics = nullptr) const;
 
   /// True for every resource whose share sum exceeds its capacity at the
   /// given latencies (the congestion signal the adaptive policy consumes).

@@ -299,15 +299,22 @@ Status SaveWorkloadToFile(const Workload& workload, const std::string& path) {
 // double travels as the zero-padded hex of its IEEE-754 bit pattern so the
 // round-trip is bit-exact (the Restore() memcmp guarantee depends on it).
 //
-//   snapshot v1
+//   snapshot v2
 //   shape <resources> <paths> <subtasks> <tasks>
 //   counters <iteration> <converged 0|1> <total_subtask_solves>
 //   step_iteration <n>
 //   price_state_primed <0|1>
+//   momentum_restarts <n>                      (v2)
 //   fvec <name> <count> <hex64>...
 //   u8vec <name> <count> <int>...
 //   u32vec <name> <count> <int>...
 //   end
+//
+// v2 adds the accelerated-dynamics sections: the momentum_restarts counter
+// and the mu_velocity / lambda_velocity / mu_base / lambda_base /
+// mu_phase / lambda_phase fvecs.  The
+// loader accepts both headers — a v1 file simply has none of those, which
+// LlaEngine::Restore treats as fresh (zero) momentum.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -366,7 +373,7 @@ void WriteIntVec(std::ostream& out, const char* tag, const char* name,
 
 Status SaveSnapshot(const StateSnapshot& snapshot, std::ostream& out) {
   out << "# LLA state snapshot (see model/serialization.h for the format)\n";
-  out << "snapshot v1\n";
+  out << "snapshot v2\n";
   out << "shape " << snapshot.resource_count << ' ' << snapshot.path_count
       << ' ' << snapshot.subtask_count << ' ' << snapshot.task_count << '\n';
   out << "counters " << snapshot.iteration << ' '
@@ -375,12 +382,19 @@ Status SaveSnapshot(const StateSnapshot& snapshot, std::ostream& out) {
   out << "step_iteration " << snapshot.step_iteration << '\n';
   out << "price_state_primed " << (snapshot.price_state_primed ? 1 : 0)
       << '\n';
+  out << "momentum_restarts " << snapshot.momentum_restarts << '\n';
   WriteDoubleVec(out, "mu", snapshot.mu);
   WriteDoubleVec(out, "lambda", snapshot.lambda);
   WriteDoubleVec(out, "resource_step_multiplier",
                  snapshot.resource_step_multiplier);
   WriteDoubleVec(out, "path_step_multiplier", snapshot.path_step_multiplier);
   WriteDoubleVec(out, "recent_utilities", snapshot.recent_utilities);
+  WriteDoubleVec(out, "mu_velocity", snapshot.mu_velocity);
+  WriteDoubleVec(out, "lambda_velocity", snapshot.lambda_velocity);
+  WriteDoubleVec(out, "mu_base", snapshot.mu_base);
+  WriteDoubleVec(out, "lambda_base", snapshot.lambda_base);
+  WriteDoubleVec(out, "mu_phase", snapshot.mu_phase);
+  WriteDoubleVec(out, "lambda_phase", snapshot.lambda_phase);
   WriteDoubleVec(out, "shadow_mu", snapshot.shadow_mu);
   WriteDoubleVec(out, "shadow_lambda", snapshot.shadow_lambda);
   WriteDoubleVec(out, "prev_share_sums", snapshot.prev_share_sums);
@@ -410,6 +424,12 @@ Expected<StateSnapshot> LoadSnapshot(std::istream& in) {
       {"resource_step_multiplier", &snap.resource_step_multiplier},
       {"path_step_multiplier", &snap.path_step_multiplier},
       {"recent_utilities", &snap.recent_utilities},
+      {"mu_velocity", &snap.mu_velocity},
+      {"lambda_velocity", &snap.lambda_velocity},
+      {"mu_base", &snap.mu_base},
+      {"lambda_base", &snap.lambda_base},
+      {"mu_phase", &snap.mu_phase},
+      {"lambda_phase", &snap.lambda_phase},
       {"shadow_mu", &snap.shadow_mu},
       {"shadow_lambda", &snap.shadow_lambda},
       {"prev_share_sums", &snap.prev_share_sums},
@@ -438,15 +458,15 @@ Expected<StateSnapshot> LoadSnapshot(std::istream& in) {
     const std::string& keyword = tokens[0];
 
     if (keyword == "snapshot") {
-      if (tokens.size() != 2 || tokens[1] != "v1") {
-        return E::Error(LineError(line_number, "expected: snapshot v1"));
+      if (tokens.size() != 2 || (tokens[1] != "v1" && tokens[1] != "v2")) {
+        return E::Error(LineError(line_number, "expected: snapshot v1|v2"));
       }
       saw_header = true;
       continue;
     }
     if (!saw_header) {
-      return E::Error(
-          LineError(line_number, "file does not start with 'snapshot v1'"));
+      return E::Error(LineError(
+          line_number, "file does not start with 'snapshot v1' or 'v2'"));
     }
 
     if (keyword == "shape") {
@@ -480,6 +500,11 @@ Expected<StateSnapshot> LoadSnapshot(std::istream& in) {
         return E::Error(LineError(line_number, "bad price_state_primed"));
       }
       snap.price_state_primed = primed == 1;
+    } else if (keyword == "momentum_restarts") {
+      if (tokens.size() != 2 ||
+          !ParseU64(tokens[1], 10, &snap.momentum_restarts)) {
+        return E::Error(LineError(line_number, "bad momentum_restarts"));
+      }
     } else if (keyword == "fvec" || keyword == "u8vec" ||
                keyword == "u32vec") {
       if (tokens.size() < 3) {

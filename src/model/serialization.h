@@ -75,6 +75,21 @@ struct StateSnapshot {
   /// Trailing utility window of the convergence detector.
   std::vector<double> recent_utilities;
 
+  /// Snapshot v2: accelerated price-dynamics state (core/price_dynamics.h).
+  /// Velocity vectors per dual space plus, for Nesterov, the un-extrapolated
+  /// base iterates, the per-component momentum-ramp phases (steps since
+  /// restart, small integers stored as doubles), and the cumulative
+  /// adaptive-restart counter.  All empty / zero for plain-dynamics engines
+  /// and in v1 files — which restore as fresh (zero) momentum, the faithful
+  /// reading of a checkpoint that never carried momentum state.
+  std::vector<double> mu_velocity;
+  std::vector<double> lambda_velocity;
+  std::vector<double> mu_base;
+  std::vector<double> lambda_base;
+  std::vector<double> mu_phase;
+  std::vector<double> lambda_phase;
+  std::uint64_t momentum_restarts = 0;
+
   /// Active-set price state (ActivePriceState): retirement / quiescence
   /// counters, epsilon-freeze shadow prices, and the bitwise change-detection
   /// baselines.  All empty when `price_state_primed` is false (dense mode,

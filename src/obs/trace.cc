@@ -84,6 +84,11 @@ void JsonlTraceSink::OnIteration(const IterationTrace& trace) {
     std::fprintf(file_, ",\"active_mu\":%d,\"active_lambda\":%d",
                  trace.active_mu, trace.active_lambda);
   }
+  // Momentum diagnostics, present only under accelerated dynamics.
+  if (trace.momentum_restarts >= 0) {
+    std::fprintf(file_, ",\"momentum_restarts\":%d,\"effective_beta\":%.17g",
+                 trace.momentum_restarts, trace.effective_beta);
+  }
   std::fputs("}\n", file_);
 }
 

@@ -190,6 +190,14 @@ StateSnapshot MakeSnapshot() {
   snapshot.path_step_multiplier = {2.0, 1.0, 4.0};
   snapshot.step_iteration = 17;
   snapshot.recent_utilities = {100.25, 100.5, 100.625};
+  // v2 momentum state, same bit-stress values (negative velocity, -0.0).
+  snapshot.mu_velocity = {-0.125, 0.0};
+  snapshot.lambda_velocity = {-0.0, 1e-300, 0.5};
+  snapshot.mu_base = {0.0, 179.0};
+  snapshot.lambda_base = {0.1, 0.0, 3.25};
+  snapshot.mu_phase = {12.0, 0.0};
+  snapshot.lambda_phase = {0.0, 7.0, 1.0};
+  snapshot.momentum_restarts = 23;
   snapshot.price_state_primed = true;
   snapshot.mu_settled = {1, 0};
   snapshot.lambda_settled = {0, 1, 0};
@@ -226,6 +234,13 @@ void ExpectSnapshotsEqual(const StateSnapshot& a, const StateSnapshot& b) {
   expect_bits(a.resource_step_multiplier, b.resource_step_multiplier);
   expect_bits(a.path_step_multiplier, b.path_step_multiplier);
   expect_bits(a.recent_utilities, b.recent_utilities);
+  expect_bits(a.mu_velocity, b.mu_velocity);
+  expect_bits(a.lambda_velocity, b.lambda_velocity);
+  expect_bits(a.mu_base, b.mu_base);
+  expect_bits(a.lambda_base, b.lambda_base);
+  expect_bits(a.mu_phase, b.mu_phase);
+  expect_bits(a.lambda_phase, b.lambda_phase);
+  EXPECT_EQ(a.momentum_restarts, b.momentum_restarts);
   expect_bits(a.shadow_mu, b.shadow_mu);
   expect_bits(a.shadow_lambda, b.shadow_lambda);
   expect_bits(a.prev_share_sums, b.prev_share_sums);
@@ -243,10 +258,46 @@ TEST(SnapshotSerializationTest, RoundTripsThroughString) {
   auto saved = SaveSnapshotToString(original);
   ASSERT_TRUE(saved.ok());
   const std::string& text = saved.value();
-  EXPECT_NE(text.find("snapshot v1"), std::string::npos);
+  EXPECT_NE(text.find("snapshot v2"), std::string::npos);
   auto loaded = LoadSnapshotFromString(text);
   ASSERT_TRUE(loaded.ok()) << loaded.error();
   ExpectSnapshotsEqual(original, loaded.value());
+}
+
+// A v1 file (pre-momentum format: v1 header, no momentum_restarts line, no
+// velocity fvecs) must still load, with the dynamics state reading as empty
+// — the compatibility contract that keeps old durable checkpoints usable.
+TEST(SnapshotSerializationTest, ReadsV1Files) {
+  StateSnapshot original = MakeSnapshot();
+  original.mu_velocity.clear();
+  original.lambda_velocity.clear();
+  original.mu_base.clear();
+  original.lambda_base.clear();
+  original.mu_phase.clear();
+  original.lambda_phase.clear();
+  original.momentum_restarts = 0;
+  auto saved = SaveSnapshotToString(original);
+  ASSERT_TRUE(saved.ok());
+  // Rewrite the v2 text as its v1 equivalent: swap the header and drop the
+  // v2-only lines (they encode empty state, so nothing is lost).
+  std::string text = saved.value();
+  const std::size_t header = text.find("snapshot v2");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 11, "snapshot v1");
+  for (const char* line :
+       {"momentum_restarts 0\n", "fvec mu_velocity 0\n",
+        "fvec lambda_velocity 0\n", "fvec mu_base 0\n",
+        "fvec lambda_base 0\n", "fvec mu_phase 0\n",
+        "fvec lambda_phase 0\n"}) {
+    const std::size_t pos = text.find(line);
+    ASSERT_NE(pos, std::string::npos) << line;
+    text.erase(pos, std::strlen(line));
+  }
+  auto loaded = LoadSnapshotFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ExpectSnapshotsEqual(original, loaded.value());
+  EXPECT_TRUE(loaded.value().mu_velocity.empty());
+  EXPECT_EQ(loaded.value().momentum_restarts, 0u);
 }
 
 TEST(SnapshotSerializationTest, RoundTripsThroughFile) {
@@ -287,7 +338,7 @@ TEST(SnapshotSerializationTest, RejectsMalformedInput) {
 
   // Each mutation must fail with an error, not crash or mis-parse.
   EXPECT_FALSE(LoadSnapshotFromString("").ok());
-  EXPECT_FALSE(LoadSnapshotFromString("snapshot v2\nend\n").ok());
+  EXPECT_FALSE(LoadSnapshotFromString("snapshot v3\nend\n").ok());
   EXPECT_FALSE(LoadSnapshotFromString("shape 1 1 1 1\nend\n").ok());
 
   // Truncation: drop the trailing "end".

@@ -169,6 +169,89 @@ TEST(RecoveryPropertyTest, CheckpointAtIterationZeroRestores) {
               RoundTrip::kInMemory, "iteration zero");
 }
 
+// Accelerated dynamics (DESIGN.md §7.8) add velocity and Nesterov base
+// vectors to the dual state; a checkpoint must capture them so the restored
+// momentum continues mid-flight, not from rest.  Tolerance 0 including the
+// durable text form (snapshot v2).
+TEST(RecoveryPropertyTest, DynamicsStateResumesBitIdentically) {
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  for (const DynamicsKind kind :
+       {DynamicsKind::kHeavyBall, DynamicsKind::kNesterov}) {
+    for (const bool active : {false, true}) {
+      LlaConfig config = MakeConfig(active ? 8 : 1, active);
+      config.dynamics.kind = kind;
+      config.dynamics.momentum = 0.9;
+      char label[80];
+      std::snprintf(label, sizeof(label), "%s %s", ToString(kind),
+                    active ? "active" : "dense");
+      CheckResume(w, config, 60, 80, RoundTrip::kInMemory, label);
+      CheckResume(w, config, 60, 60, RoundTrip::kString, label);
+    }
+  }
+}
+
+// The diminishing schedule gamma_t = gamma0 / (1 + t / tau) is pure
+// iteration-counter state; a restore that failed to carry the counter would
+// resume with too-large steps and diverge from the reference immediately.
+TEST(RecoveryPropertyTest, DiminishingScheduleResumesBitIdentically) {
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  LlaConfig config = MakeConfig(1, /*active=*/true);
+  config.step_policy = StepPolicyKind::kDiminishing;
+  config.gamma0 = 3.0;
+  config.diminishing_tau = 50.0;
+  CheckResume(workload.value(), config, 60, 80, RoundTrip::kInMemory,
+              "diminishing");
+  CheckResume(workload.value(), config, 60, 60, RoundTrip::kString,
+              "diminishing via string");
+}
+
+// Backward compatibility: a v1 snapshot (no momentum_restarts line, no
+// velocity/base fvecs) must still restore and, for a plain-dynamics engine,
+// resume bit-identically — the dynamics fields it lacks are exactly the
+// ones a plain engine never reads.
+TEST(RecoveryPropertyTest, V1SnapshotStillRestores) {
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  const LlaConfig config = MakeConfig(1, /*active=*/true);
+  LlaEngine reference(w, model, config);
+  for (int i = 0; i < 60; ++i) reference.Step();
+
+  auto text = SaveSnapshotToString(reference.Checkpoint());
+  ASSERT_TRUE(text.ok());
+  // Rewrite the v2 text into what the v1 writer produced: old header, no
+  // momentum line, no (empty) dynamics vectors.
+  std::string v1 = text.value();
+  const auto strip = [&v1](const std::string& line) {
+    const std::size_t pos = v1.find(line);
+    ASSERT_NE(pos, std::string::npos) << line;
+    v1.erase(pos, line.size());
+  };
+  const std::size_t header = v1.find("snapshot v2\n");
+  ASSERT_NE(header, std::string::npos);
+  v1.replace(header, std::strlen("snapshot v2"), "snapshot v1");
+  strip("momentum_restarts 0\n");
+  strip("fvec mu_velocity 0\n");
+  strip("fvec lambda_velocity 0\n");
+  strip("fvec mu_base 0\n");
+  strip("fvec lambda_base 0\n");
+  strip("fvec mu_phase 0\n");
+  strip("fvec lambda_phase 0\n");
+
+  auto loaded = LoadSnapshotFromString(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+
+  const Trajectory expected = StepAndRecord(&reference, 60);
+  LlaEngine restored(w, model, config);
+  ASSERT_TRUE(restored.Restore(loaded.value()).ok());
+  const Trajectory actual = StepAndRecord(&restored, 60);
+  ExpectBitIdentical(expected, actual, "v1 snapshot");
+}
+
 // Restore must reject snapshots from a different workload shape instead of
 // indexing out of bounds.
 TEST(RecoveryPropertyTest, RestoreRejectsShapeMismatch) {

@@ -106,13 +106,39 @@ TEST(CliTest, InvalidEpsilonQuiescenceValueReturnsTwo) {
   EXPECT_EQ(RunCli(solve + " --epsilon-quiescence=nan"), 2);   // not finite
 }
 
+TEST(CliTest, DynamicsFlagAcceptedOnSolve) {
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --dynamics=plain"), 0);
+  EXPECT_EQ(RunCli(solve + " --dynamics=heavy-ball"), 0);
+  EXPECT_EQ(RunCli(solve + " --dynamics=nesterov"), 0);
+  EXPECT_EQ(RunCli(solve + " --dynamics heavy-ball"), 0);  // space form
+  EXPECT_EQ(RunCli(solve + " --dynamics=heavy-ball --momentum=0.8"), 0);
+  EXPECT_EQ(RunCli(solve + " --dynamics=nesterov --momentum 0.5"), 0);
+  EXPECT_EQ(RunCli(solve + " --momentum=0"), 0);  // beta 0 == plain
+}
+
+TEST(CliTest, InvalidDynamicsOrMomentumValueReturnsTwo) {
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --dynamics=adam"), 2);      // unknown policy
+  EXPECT_EQ(RunCli(solve + " --dynamics="), 2);          // empty value
+  EXPECT_EQ(RunCli(solve + " --dynamics"), 2);           // missing value
+  EXPECT_EQ(RunCli(solve + " --momentum=1"), 2);         // beta must be < 1
+  EXPECT_EQ(RunCli(solve + " --momentum=1.5"), 2);       // out of range
+  EXPECT_EQ(RunCli(solve + " --momentum=-0.1"), 2);      // negative
+  EXPECT_EQ(RunCli(solve + " --momentum=abc"), 2);       // not a number
+  EXPECT_EQ(RunCli(solve + " --momentum=0.9x"), 2);      // garbage suffix
+  EXPECT_EQ(RunCli(solve + " --momentum="), 2);          // empty value
+  EXPECT_EQ(RunCli(solve + " --momentum"), 2);           // missing value
+  EXPECT_EQ(RunCli(solve + " --momentum=nan"), 2);       // not finite
+}
+
 TEST(CliTest, CheckpointThenRestoreRoundTrips) {
   const std::string snap = ::testing::TempDir() + "/cli_state.snap";
   std::remove(snap.c_str());
   ASSERT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload + " " + snap +
                    " --iters 50"),
             0);
-  EXPECT_NE(ReadFile(snap).find("snapshot v1"), std::string::npos);
+  EXPECT_NE(ReadFile(snap).find("snapshot v2"), std::string::npos);
   // Resuming the dual iteration from the mid-run snapshot converges.
   EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload +
                    " --restore=" + snap),
@@ -177,6 +203,26 @@ TEST(CliTest, TraceEmitsJsonlAndConverges) {
   }
   EXPECT_GT(records, 3);
   EXPECT_NE(last.find("run_end"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, TraceWithDynamicsEmitsMomentumDiagnostics) {
+  const std::string out = ::testing::TempDir() + "/cli_trace_momentum.jsonl";
+  std::remove(out.c_str());
+  ASSERT_EQ(RunCli(std::string("trace ") + kPaperWorkload +
+                   " --dynamics=heavy-ball --momentum=0.9 --out " + out),
+            0);
+  const std::string jsonl = ReadFile(out);
+  // Divergence must be diagnosable from the JSONL alone: every iteration
+  // record carries the per-step restart count and the effective beta.
+  EXPECT_NE(jsonl.find("\"momentum_restarts\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"effective_beta\":"), std::string::npos);
+  std::remove(out.c_str());
+
+  // Plain dynamics omit the momentum fields entirely.
+  ASSERT_EQ(RunCli(std::string("trace ") + kPaperWorkload + " --out " + out),
+            0);
+  EXPECT_EQ(ReadFile(out).find("momentum_restarts"), std::string::npos);
   std::remove(out.c_str());
 }
 

@@ -56,10 +56,14 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  lla solve <file> [--variant sum|path-weighted] [--iters N] "
-               "[--threads=N] [--epsilon-quiescence=X] [--restore=snapshot]\n"
+               "[--threads=N] [--epsilon-quiescence=X]\n"
+               "            [--dynamics=plain|heavy-ball|nesterov] "
+               "[--momentum=B] [--restore=snapshot]\n"
                "  lla checkpoint <file> <snapshot> [--variant "
                "sum|path-weighted] [--iters N] [--threads=N] "
                "[--epsilon-quiescence=X]\n"
+               "            [--dynamics=plain|heavy-ball|nesterov] "
+               "[--momentum=B]\n"
                "  lla check <file> [--iters N]\n"
                "  lla simulate <file> <seconds> [--sfs]\n"
                "  lla describe <file>\n"
@@ -67,6 +71,8 @@ int Usage() {
                "[--resources N]\n"
                "  lla trace <file> [--variant sum|path-weighted] [--iters N] "
                "[--out path] [--threads=N]\n"
+               "            [--dynamics=plain|heavy-ball|nesterov] "
+               "[--momentum=B]\n"
                "exit codes: 0 ok, 1 runtime error, 2 usage, 3 load error, "
                "4 not converged/infeasible\n");
   return kExitUsage;
@@ -140,6 +146,75 @@ bool MatchEpsilonFlag(int argc, char** argv, int* i, double* epsilon,
   return true;  // not an --epsilon-quiescence flag at all
 }
 
+// Strict parse for --dynamics: exactly one of the policy names.  Anything
+// else is a usage error.
+bool ParseDynamicsKind(const char* text, DynamicsKind* out) {
+  if (std::strcmp(text, "plain") == 0) {
+    *out = DynamicsKind::kPlain;
+    return true;
+  }
+  if (std::strcmp(text, "heavy-ball") == 0) {
+    *out = DynamicsKind::kHeavyBall;
+    return true;
+  }
+  if (std::strcmp(text, "nesterov") == 0) {
+    *out = DynamicsKind::kNesterov;
+    return true;
+  }
+  return false;
+}
+
+// Accepts "--dynamics X" and "--dynamics=X"; advances *i past a consumed
+// separate value.  Returns false (usage error) on a malformed or missing
+// value.
+bool MatchDynamicsFlag(int argc, char** argv, int* i, DynamicsKind* kind,
+                       bool* matched) {
+  *matched = false;
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, "--dynamics=", 11) == 0) {
+    *matched = true;
+    return ParseDynamicsKind(arg + 11, kind);
+  }
+  if (std::strcmp(arg, "--dynamics") == 0) {
+    *matched = true;
+    if (*i + 1 >= argc) return false;
+    return ParseDynamicsKind(argv[++*i], kind);
+  }
+  return true;  // not a --dynamics flag at all
+}
+
+// Strict parse for --momentum: a finite decimal in [0, 1), the range
+// DynamicsConfig accepts (beta = 1 would make the velocity recursion
+// marginally stable).
+bool ParseMomentum(const char* text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  if (!(value >= 0.0) || value >= 1.0) return false;
+  *out = value;
+  return true;
+}
+
+// Accepts "--momentum X" and "--momentum=X"; advances *i past a consumed
+// separate value.  Returns false (usage error) on a malformed or missing
+// value.
+bool MatchMomentumFlag(int argc, char** argv, int* i, double* momentum,
+                       bool* matched) {
+  *matched = false;
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, "--momentum=", 11) == 0) {
+    *matched = true;
+    return ParseMomentum(arg + 11, momentum);
+  }
+  if (std::strcmp(arg, "--momentum") == 0) {
+    *matched = true;
+    if (*i + 1 >= argc) return false;
+    return ParseMomentum(argv[++*i], momentum);
+  }
+  return true;  // not a --momentum flag at all
+}
+
 Expected<Workload> Load(const char* path) {
   auto workload = LoadWorkloadFromFile(path);
   if (!workload.ok()) {
@@ -172,13 +247,14 @@ int Describe(const Workload& w) {
 
 int Solve(const Workload& w, UtilityVariant variant, int iters,
           int threads, double epsilon_quiescence,
-          const std::string& restore_path) {
+          const DynamicsConfig& dynamics, const std::string& restore_path) {
   LatencyModel model(w);
   LlaConfig config;
   config.solver.variant = variant;
   config.gamma0 = 3.0;
   config.num_threads = threads;
   config.active_set.epsilon_quiescence = epsilon_quiescence;
+  config.dynamics = dynamics;
   LlaEngine engine(w, model, config);
   if (!restore_path.empty()) {
     auto snapshot = LoadSnapshotFromFile(restore_path);
@@ -235,6 +311,7 @@ int Solve(const Workload& w, UtilityVariant variant, int iters,
 
 int Checkpoint(const Workload& w, UtilityVariant variant, int iters,
                int threads, double epsilon_quiescence,
+               const DynamicsConfig& dynamics,
                const std::string& snapshot_path) {
   LatencyModel model(w);
   LlaConfig config;
@@ -242,6 +319,7 @@ int Checkpoint(const Workload& w, UtilityVariant variant, int iters,
   config.gamma0 = 3.0;
   config.num_threads = threads;
   config.active_set.epsilon_quiescence = epsilon_quiescence;
+  config.dynamics = dynamics;
   LlaEngine engine(w, model, config);
   const RunResult run = engine.Run(iters);
   const Status saved = SaveSnapshotToFile(engine.Checkpoint(), snapshot_path);
@@ -259,7 +337,8 @@ int Checkpoint(const Workload& w, UtilityVariant variant, int iters,
 }
 
 int Trace(const Workload& w, UtilityVariant variant, int iters,
-          const std::string& out_path, int threads) {
+          const std::string& out_path, int threads,
+          const DynamicsConfig& dynamics) {
   obs::JsonlTraceSink sink(out_path);
   if (!sink.ok()) {
     std::fprintf(stderr, "error opening trace output %s\n", out_path.c_str());
@@ -271,6 +350,7 @@ int Trace(const Workload& w, UtilityVariant variant, int iters,
   config.solver.variant = variant;
   config.gamma0 = 3.0;
   config.num_threads = threads;
+  config.dynamics = dynamics;
   config.trace_sink = &sink;
   config.metrics = &metrics;
 
@@ -418,11 +498,14 @@ int main(int argc, char** argv) {
     int iters = is_checkpoint ? 1000 : 12000;
     int threads = 1;
     double epsilon_quiescence = 0.0;
+    DynamicsConfig dynamics;
     std::string restore_path;
     bool threads_seen = false;
     for (int i = first_flag; i < argc; ++i) {
       bool is_threads = false;
       bool is_epsilon = false;
+      bool is_dynamics = false;
+      bool is_momentum = false;
       if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
         variant = std::strcmp(argv[++i], "sum") == 0
                       ? UtilityVariant::kSum
@@ -443,16 +526,24 @@ int main(int argc, char** argv) {
       } else if (!MatchEpsilonFlag(argc, argv, &i, &epsilon_quiescence,
                                    &is_epsilon)) {
         return Usage();
-      } else if (!is_epsilon) {
+      } else if (is_epsilon) {
+      } else if (!MatchDynamicsFlag(argc, argv, &i, &dynamics.kind,
+                                    &is_dynamics)) {
+        return Usage();
+      } else if (is_dynamics) {
+      } else if (!MatchMomentumFlag(argc, argv, &i, &dynamics.momentum,
+                                    &is_momentum)) {
+        return Usage();
+      } else if (!is_momentum) {
         return Usage();
       }
     }
     if (iters < 1) return Usage();
     if (is_checkpoint) {
       return Checkpoint(w, variant, iters, threads, epsilon_quiescence,
-                        snapshot_path);
+                        dynamics, snapshot_path);
     }
-    return Solve(w, variant, iters, threads, epsilon_quiescence,
+    return Solve(w, variant, iters, threads, epsilon_quiescence, dynamics,
                  restore_path);
   }
 
@@ -460,9 +551,12 @@ int main(int argc, char** argv) {
     UtilityVariant variant = UtilityVariant::kPathWeighted;
     int iters = 12000;
     int threads = 1;
+    DynamicsConfig dynamics;
     std::string out_path = "-";
     for (int i = 3; i < argc; ++i) {
       bool is_threads = false;
+      bool is_dynamics = false;
+      bool is_momentum = false;
       if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
         variant = std::strcmp(argv[++i], "sum") == 0
                       ? UtilityVariant::kSum
@@ -473,12 +567,20 @@ int main(int argc, char** argv) {
         out_path = argv[++i];
       } else if (!MatchThreadsFlag(argc, argv, &i, &threads, &is_threads)) {
         return Usage();
-      } else if (!is_threads) {
+      } else if (is_threads) {
+      } else if (!MatchDynamicsFlag(argc, argv, &i, &dynamics.kind,
+                                    &is_dynamics)) {
+        return Usage();
+      } else if (is_dynamics) {
+      } else if (!MatchMomentumFlag(argc, argv, &i, &dynamics.momentum,
+                                    &is_momentum)) {
+        return Usage();
+      } else if (!is_momentum) {
         return Usage();
       }
     }
     if (iters < 1) return Usage();
-    return Trace(w, variant, iters, out_path, threads);
+    return Trace(w, variant, iters, out_path, threads, dynamics);
   }
 
   if (command == "check") {
