@@ -1,0 +1,292 @@
+// High-churn arrival/departure storm bench (DESIGN.md §7.9): a scripted
+// stream of task joins (ProbeAll admission-gated, bursts probed as one
+// EngineBatch-backed batch), task leaves and WCET corrections applied
+// against ONE live engine via the ChurnDriver.
+//
+// Two phases:
+//   1. Throughput — ApplyAll over the whole script, timed end-to-end
+//      (admission probes included): sustained mutations/sec, mean subtask
+//      solves per mutation, and the p50/p90/p99 of per-mutation
+//      re-convergence iterations.
+//   2. Warm-vs-cold gate — the same script replayed mutation by mutation on
+//      a fresh driver; after every applied LEAVE a cold dense engine solves
+//      the post-leave system from scratch and the ratio cold/warm subtask
+//      solves must stay >= 1.0.  This pins the selective re-prime fix: the
+//      old mapped warm start was 8x WORSE than cold on exactly this path
+//      (BENCH_convergence.json at 9f3ad3d recorded solve_ratio 0.12), and
+//      the gate fails the bench (exit 1) if the regression ever returns.
+//
+// Writes BENCH_churn.json for the perf trajectory.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/engine.h"
+#include "runtime/churn.h"
+#include "workloads/random.h"
+#include "workloads/transform.h"
+
+using namespace lla;
+using runtime::ChurnConfig;
+using runtime::ChurnDriver;
+using runtime::ChurnKind;
+using runtime::ChurnMutation;
+using runtime::ChurnRecord;
+using runtime::ChurnScriptConfig;
+
+namespace {
+
+constexpr int kMaxIterations = 12000;
+
+// The proven converging configuration bench_convergence uses (adaptive
+// steps, default multiplier cap) — churn is about re-convergence work.
+LlaConfig ConvergingConfig() {
+  LlaConfig config;
+  config.step_policy = StepPolicyKind::kAdaptive;
+  config.gamma0 = 3.0;
+  config.record_history = false;
+  return config;
+}
+
+ChurnConfig DriverConfig() {
+  ChurnConfig config;
+  config.lla = ConvergingConfig();
+  config.lla.active_set.enabled = true;
+  config.max_iterations = kMaxIterations;
+  config.min_tasks = 2;
+  config.admission.lla = config.lla;
+  config.admission.max_iterations = kMaxIterations;
+  config.admission.probe_threads = 4;
+  return config;
+}
+
+bench::JsonValue QuantilesJson(const SampleQuantile& q) {
+  return bench::JsonValue::Object()
+      .Add("p50", bench::JsonValue::Number(q.Value(0.50)))
+      .Add("p90", bench::JsonValue::Number(q.Value(0.90)))
+      .Add("p99", bench::JsonValue::Number(q.Value(0.99)))
+      .Add("max", bench::JsonValue::Number(q.Value(1.0)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    }
+  }
+
+  bench::PrintHeader(
+      "bench_churn — arrival/departure storms against a live engine",
+      "high-churn serving layer: structural warm starts + ProbeAll admission",
+      "sustained mutations/sec with every leave's warm restart no worse than "
+      "a cold solve (ratio >= 1.0)");
+
+  // Base system: a schedulable random workload with admission headroom and
+  // a SPARSE task->resource graph (24 resources, <= 4 subtasks per task) so
+  // the dirty closure of a departing task stays local — the case where the
+  // selective re-prime keeps untouched tasks' prices bit-identical and the
+  // warm restart beats cold instead of merely matching it.
+  RandomWorkloadConfig base_config;
+  base_config.seed = seed;
+  base_config.num_resources = 24;
+  base_config.num_tasks = 12;
+  base_config.min_subtasks = 2;
+  base_config.max_subtasks = 4;
+  base_config.target_utilization = 0.6;
+  auto base = MakeRandomWorkload(base_config);
+  if (!base.ok()) {
+    std::printf("workload error: %s\n", base.error().c_str());
+    return 1;
+  }
+  const WorkloadSpecs specs = ExtractSpecs(base.value());
+
+  ChurnScriptConfig script_config;
+  script_config.seed = seed;
+  script_config.mutations = quick ? 40 : 200;
+  script_config.num_resources =
+      static_cast<int>(specs.resources.size());
+  auto script = runtime::MakeChurnScript(script_config);
+  if (!script.ok()) {
+    std::printf("script error: %s\n", script.error().c_str());
+    return 1;
+  }
+
+  // --- Phase 1: throughput (bursts of joins probed as one batch).
+  auto throughput_driver =
+      ChurnDriver::Create(specs.resources, specs.tasks, DriverConfig());
+  if (!throughput_driver.ok()) {
+    std::printf("driver error: %s\n", throughput_driver.error().c_str());
+    return 1;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<ChurnRecord> records =
+      throughput_driver.value().ApplyAll(script.value());
+  const auto stop = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  std::size_t applied = 0, joins = 0, joins_admitted = 0, leaves = 0,
+              perturbs = 0, structural_unconverged = 0, cold_fallbacks = 0;
+  std::uint64_t total_solves = 0;
+  SampleQuantile reconv_iters, reconv_structural, reconv_perturb;
+  for (const ChurnRecord& record : records) {
+    if (record.kind == ChurnKind::kJoin) {
+      ++joins;
+      if (record.applied) ++joins_admitted;
+    } else if (record.kind == ChurnKind::kLeave) {
+      ++leaves;
+    } else {
+      ++perturbs;
+    }
+    if (!record.applied) continue;
+    ++applied;
+    if (record.note == "cold restart after warm stall") ++cold_fallbacks;
+    total_solves += record.subtask_solves;
+    reconv_iters.Add(static_cast<double>(record.iterations));
+    if (record.kind == ChurnKind::kWcetPerturb) {
+      reconv_perturb.Add(static_cast<double>(record.iterations));
+    } else {
+      reconv_structural.Add(static_cast<double>(record.iterations));
+      if (!record.converged) ++structural_unconverged;
+    }
+  }
+  const double mutations_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(records.size()) / (wall_ms / 1e3)
+                    : 0.0;
+  const double solves_per_mutation =
+      applied > 0 ? static_cast<double>(total_solves) /
+                        static_cast<double>(applied)
+                  : 0.0;
+
+  std::printf("\nscript: %zu mutations (%zu joins, %zu leaves, %zu wcet) "
+              "against %zu initial tasks\n",
+              records.size(), joins, leaves, perturbs, specs.tasks.size());
+  std::printf("  wall %.1f ms  ->  %.1f sustained mutations/sec "
+              "(admission probes included)\n",
+              wall_ms, mutations_per_sec);
+  std::printf("  %zu applied (%zu joins admitted of %zu), "
+              "%.1f subtask solves per applied mutation\n",
+              applied, joins_admitted, joins, solves_per_mutation);
+  std::printf("  re-convergence iterations: p50 %.0f  p90 %.0f  p99 %.0f  "
+              "max %.0f\n",
+              reconv_iters.Value(0.5), reconv_iters.Value(0.9),
+              reconv_iters.Value(0.99), reconv_iters.Value(1.0));
+  std::printf("    structural (join/leave): p50 %.0f  p99 %.0f   "
+              "wcet corrections: p50 %.0f  p99 %.0f\n",
+              reconv_structural.Value(0.5), reconv_structural.Value(0.99),
+              reconv_perturb.Value(0.5), reconv_perturb.Value(0.99));
+  std::printf("  final system: %zu tasks, %zu subtasks\n",
+              throughput_driver.value().workload().task_count(),
+              throughput_driver.value().workload().subtask_count());
+  if (cold_fallbacks > 0) {
+    std::printf("  %zu warm continuations stalled and fell back to a cold "
+                "restart (charged to the record)\n",
+                cold_fallbacks);
+  }
+  if (structural_unconverged > 0) {
+    std::printf("  WARN: %zu structural mutations did not re-converge "
+                "within %d iterations\n",
+                structural_unconverged, kMaxIterations);
+  }
+
+  // --- Phase 2: warm-vs-cold gate on every applied leave.
+  auto gate_driver =
+      ChurnDriver::Create(specs.resources, specs.tasks, DriverConfig());
+  if (!gate_driver.ok()) {
+    std::printf("driver error: %s\n", gate_driver.error().c_str());
+    return 1;
+  }
+  ChurnDriver& driver = gate_driver.value();
+  std::printf("\nwarm-vs-cold gate (cold dense solves / warm solves per "
+              "applied leave):\n");
+  bench::JsonValue gate_rows = bench::JsonValue::Array();
+  double min_ratio = -1.0;
+  std::size_t gated_leaves = 0;
+  for (std::size_t m = 0; m < script.value().size(); ++m) {
+    const ChurnRecord record = driver.Apply(script.value()[m]);
+    if (record.kind != ChurnKind::kLeave || !record.applied) continue;
+    LlaConfig dense = DriverConfig().lla;
+    dense.active_set.enabled = false;
+    LlaEngine cold(driver.workload(), driver.model(), dense);
+    const RunResult cold_run = cold.Run(kMaxIterations);
+    // Both sides charge the same structural prime (one dense solve of the
+    // post-leave workload) — the accounting bench_convergence uses.
+    const std::uint64_t cold_solves =
+        cold_run.subtask_solves + driver.workload().subtask_count();
+    const double ratio = record.subtask_solves > 0
+                             ? static_cast<double>(cold_solves) /
+                                   static_cast<double>(record.subtask_solves)
+                             : 0.0;
+    if (min_ratio < 0.0 || ratio < min_ratio) min_ratio = ratio;
+    ++gated_leaves;
+    std::printf("  mutation %3zu: cold %8llu  warm %8llu  ratio %.2f\n", m,
+                static_cast<unsigned long long>(cold_solves),
+                static_cast<unsigned long long>(record.subtask_solves),
+                ratio);
+    gate_rows.Push(
+        bench::JsonValue::Object()
+            .Add("mutation", bench::JsonValue::Number(static_cast<double>(m)))
+            .Add("cold_solves",
+                 bench::JsonValue::Number(static_cast<double>(cold_solves)))
+            .Add("warm_solves", bench::JsonValue::Number(static_cast<double>(
+                                    record.subtask_solves)))
+            .Add("ratio", bench::JsonValue::Number(ratio)));
+  }
+  const bool meets_structural_warm = min_ratio < 0.0 || min_ratio >= 1.0;
+  std::printf("gate over %zu leaves: min ratio %.2f  (>= 1.0): %s\n",
+              gated_leaves, min_ratio,
+              meets_structural_warm ? "PASS" : "FAIL");
+
+  bench::JsonValue root = bench::JsonValue::Object();
+  root.Add("bench", bench::JsonValue::String("churn"));
+  root.Add("unit", bench::JsonValue::String("mutations_per_sec"));
+  root.Add("quick", bench::JsonValue::Bool(quick));
+  root.Add("seed", bench::JsonValue::Number(static_cast<double>(seed)));
+  root.Add("mutations",
+           bench::JsonValue::Number(static_cast<double>(records.size())));
+  root.Add("applied", bench::JsonValue::Number(static_cast<double>(applied)));
+  root.Add("joins_attempted",
+           bench::JsonValue::Number(static_cast<double>(joins)));
+  root.Add("joins_admitted",
+           bench::JsonValue::Number(static_cast<double>(joins_admitted)));
+  root.Add("leaves", bench::JsonValue::Number(static_cast<double>(leaves)));
+  root.Add("wcet_perturbs",
+           bench::JsonValue::Number(static_cast<double>(perturbs)));
+  root.Add("wall_ms", bench::JsonValue::Number(wall_ms));
+  root.Add("mutations_per_sec", bench::JsonValue::Number(mutations_per_sec));
+  root.Add("solves_per_mutation",
+           bench::JsonValue::Number(solves_per_mutation));
+  root.Add("reconvergence_iterations", QuantilesJson(reconv_iters));
+  root.Add("reconvergence_iterations_structural",
+           QuantilesJson(reconv_structural));
+  root.Add("reconvergence_iterations_wcet", QuantilesJson(reconv_perturb));
+  root.Add("structural_unconverged",
+           bench::JsonValue::Number(
+               static_cast<double>(structural_unconverged)));
+  root.Add("cold_restart_fallbacks",
+           bench::JsonValue::Number(static_cast<double>(cold_fallbacks)));
+  root.Add("min_leave_warm_vs_cold_ratio",
+           bench::JsonValue::Number(min_ratio));
+  root.Add("meets_structural_warm",
+           bench::JsonValue::Bool(meets_structural_warm));
+  bench::StampMeta(&root);
+  root.Add("leave_gate", std::move(gate_rows));
+  const std::string json_path = "BENCH_churn.json";
+  if (bench::WriteJson(json_path, root)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return (meets_structural_warm && structural_unconverged == 0) ? 0 : 1;
+}

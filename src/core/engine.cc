@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lla {
 
@@ -65,6 +67,10 @@ LlaEngine::LlaEngine(const Workload& workload, const LatencyModel& model,
       momentum_restarts_counter_ =
           config_.metrics->GetCounter("engine.momentum.restarts");
     }
+    reprime_tasks_counter_ =
+        config_.metrics->GetCounter("engine.reprime.tasks");
+    reprime_resources_counter_ =
+        config_.metrics->GetCounter("engine.reprime.resources");
   }
   workspace_.Resize(workload);
   Reset();
@@ -118,8 +124,22 @@ void LlaEngine::InvalidateModelCache() {
 }
 
 void LlaEngine::WarmStart(const PriceVector& prices) {
-  assert(prices.mu.size() == workload_->resource_count());
-  assert(prices.lambda.size() == workload_->path_count());
+  if (prices.mu.size() != workload_->resource_count() ||
+      prices.lambda.size() != workload_->path_count()) {
+    // A misshapen warm start would silently assign every multiplier to the
+    // wrong resource/path (the vectors are plain index spaces).  That is
+    // always a caller bug — after a structural transform the caller must
+    // remap (WarmStartStructural does it internally) — so fail loudly in
+    // every build mode rather than corrupting the dual state.
+    std::fprintf(stderr,
+                 "LlaEngine::WarmStart: price vector shape (%zu mu, %zu "
+                 "lambda) does not match the workload (%zu resources, %zu "
+                 "paths); use WarmStartStructural after a structural "
+                 "transform\n",
+                 prices.mu.size(), prices.lambda.size(),
+                 workload_->resource_count(), workload_->path_count());
+    std::abort();
+  }
   prices_ = prices;
   for (double& mu : prices_.mu) mu = std::max(0.0, mu);
   for (double& lambda : prices_.lambda) lambda = std::max(0.0, lambda);
@@ -131,6 +151,133 @@ void LlaEngine::WarmStart(const PriceVector& prices) {
   // admission probes) inherit the active set through the warm prices — the
   // first Step() diffs against this baseline instead of starting dense.
   PrimeOrSolve();
+}
+
+Status LlaEngine::WarmStartStructural(const Workload& old_workload,
+                                      const PriceVector& old_prices,
+                                      const StructuralChange& change) {
+  const Workload& now = *workload_;
+  if (old_prices.mu.size() != old_workload.resource_count() ||
+      old_prices.lambda.size() != old_workload.path_count()) {
+    return Status::Error(
+        "WarmStartStructural: price vector shape does not match the old "
+        "workload");
+  }
+  if (old_workload.resource_count() != now.resource_count()) {
+    return Status::Error(
+        "WarmStartStructural: resource sets differ (structural changes keep "
+        "the resource set fixed)");
+  }
+
+  PriceVector mapped;
+  // Resources the changed task touches, the seed of the dirty closure.
+  std::vector<std::uint8_t> dirty_resource(now.resource_count(), 0);
+  if (change.kind == StructuralChange::Kind::kTaskLeave) {
+    if (!change.task.valid() ||
+        change.task.value() >= old_workload.task_count()) {
+      return Status::Error(
+          "WarmStartStructural: departed task id is not in the old workload");
+    }
+    if (old_workload.task_count() != now.task_count() + 1) {
+      return Status::Error(
+          "WarmStartStructural: workloads do not differ by exactly the "
+          "departed task");
+    }
+    mapped = MapPricesWithoutTask(old_workload, old_prices, change.task);
+    if (mapped.lambda.size() != now.path_count()) {
+      return Status::Error(
+          "WarmStartStructural: surviving path count does not match this "
+          "workload");
+    }
+    for (SubtaskId sid : old_workload.task(change.task).subtasks) {
+      dirty_resource[old_workload.subtask(sid).resource.value()] = 1;
+    }
+  } else {
+    if (!change.task.valid() || change.task.value() >= now.task_count()) {
+      return Status::Error(
+          "WarmStartStructural: joined task id is not in this workload");
+    }
+    if (now.task_count() != old_workload.task_count() + 1) {
+      return Status::Error(
+          "WarmStartStructural: workloads do not differ by exactly the "
+          "joined task");
+    }
+    if (old_prices.lambda.size() + now.task(change.task).paths.size() !=
+        now.path_count()) {
+      return Status::Error(
+          "WarmStartStructural: old path count does not match this workload "
+          "minus the joined task");
+    }
+    mapped = MapPricesWithTask(now, old_prices, change.task,
+                               config_.initial_lambda);
+    for (SubtaskId sid : now.task(change.task).subtasks) {
+      dirty_resource[now.subtask(sid).resource.value()] = 1;
+    }
+  }
+
+  // Transitive closure of the seed over the task<->resource sharing graph
+  // of the NEW workload: a task touching a dirty resource re-solves, which
+  // moves the share sums of every OTHER resource it uses, so those become
+  // dirty too.  The surviving operating point shifts exactly on this
+  // closure; everything outside it is provably unaffected by the event.
+  std::vector<std::uint8_t> dirty_task(now.task_count(), 0);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const TaskInfo& task : now.tasks()) {
+      if (dirty_task[task.id.value()]) continue;
+      bool touches = false;
+      for (SubtaskId sid : task.subtasks) {
+        if (dirty_resource[now.subtask(sid).resource.value()]) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) continue;
+      dirty_task[task.id.value()] = 1;
+      for (SubtaskId sid : task.subtasks) {
+        std::uint8_t& d = dirty_resource[now.subtask(sid).resource.value()];
+        if (d == 0) {
+          d = 1;
+          grew = true;
+        }
+      }
+    }
+  }
+
+  // Selective re-prime.  After a LEAVE the mapped mu on closure resources
+  // is upper-biased (the departed demand no longer pushes against B_r), and
+  // Eq. 8 decays an inflated mu only at gamma * slack <= gamma * B_r per
+  // step while the complementary-slackness convergence test blocks until it
+  // reaches ~0 — the measured 8x-worse-than-cold regression.  Re-seeding
+  // the closure's mu at initial_mu lets congestion-driven rises (fast:
+  // adaptive step doubling) rediscover the right level, exactly as a cold
+  // start would, while non-closure prices stay bit-identical so their tasks
+  // never re-solve.  A JOIN is the fast direction: added demand RAISES mu,
+  // so the mapped values are kept as the lower bound they are.  lambda is
+  // kept in both directions (near-zero at any interior optimum; a stale
+  // positive lambda rides the same fast-rise dynamics).
+  std::size_t reprime_resources = 0;
+  std::size_t reprime_tasks = 0;
+  for (std::size_t t = 0; t < dirty_task.size(); ++t) {
+    reprime_tasks += dirty_task[t];
+  }
+  for (std::size_t r = 0; r < dirty_resource.size(); ++r) {
+    if (dirty_resource[r] == 0) continue;
+    ++reprime_resources;
+    if (change.kind == StructuralChange::Kind::kTaskLeave) {
+      mapped.mu[r] = config_.initial_mu;
+    }
+  }
+  last_reprime_tasks_ = reprime_tasks;
+  last_reprime_resources_ = reprime_resources;
+  if (reprime_tasks_counter_ != nullptr) {
+    reprime_tasks_counter_->Increment(reprime_tasks);
+    reprime_resources_counter_->Increment(reprime_resources);
+  }
+
+  WarmStart(mapped);
+  return Status{};
 }
 
 StateSnapshot LlaEngine::Checkpoint() const {

@@ -46,6 +46,7 @@
 #include "model/latency_model.h"
 #include "model/serialization.h"
 #include "model/workload.h"
+#include "workloads/transform.h"
 
 namespace lla {
 
@@ -184,9 +185,31 @@ class LlaEngine {
   /// Seeds the dual state from a previous run (typically on a transformed
   /// workload with the same structure: after a capacity or critical-time
   /// change the old prices are near the new optimum and re-convergence is
-  /// much faster than a cold start).  Price vector sizes must match this
-  /// workload; negative entries are projected to zero.
+  /// much faster than a cold start).  Price vector sizes MUST match this
+  /// workload — a mismatch aborts (it would silently mis-map every
+  /// multiplier; after a structural transform use WarmStartStructural, which
+  /// remaps).  Negative entries are projected to zero.
   void WarmStart(const PriceVector& prices);
+
+  /// Structural warm start: seeds this engine (built on the NEW workload)
+  /// from the dual state of a run on the OLD workload, where the two differ
+  /// by exactly one task (a leave or a join; resources fixed).  The price
+  /// remapping happens internally (MapPricesWithoutTask / MapPricesWithTask),
+  /// followed by the selective re-prime policy of DESIGN.md §7.9: the dirty
+  /// set is the transitive closure of the changed task's resources over the
+  /// task<->resource sharing graph, and after a LEAVE the closure resources'
+  /// mu is re-seeded at config.initial_mu (the mapped values are upper-
+  /// biased — the departed demand is gone — and Eq. 8 decays an inflated mu
+  /// only at gamma*slack per step, which is why a naive mapped warm start
+  /// re-converges slower than cold).  Everything outside the closure keeps
+  /// its mapped prices bit-identical, so untouched tasks re-quiesce without
+  /// re-solving.  A JOIN keeps all mapped multipliers (congestion-driven
+  /// rises are fast) and seeds the newcomer's lambda at
+  /// config.initial_lambda.  Fails without touching the engine when the
+  /// shapes are inconsistent.
+  Status WarmStartStructural(const Workload& old_workload,
+                             const PriceVector& old_prices,
+                             const StructuralChange& change);
 
   /// Captures the complete dual state — prices, step-size policy state,
   /// convergence window, counters, and the active-set price state — into a
@@ -215,6 +238,10 @@ class LlaEngine {
   /// Cumulative subtask solves performed by Step() since the last
   /// Reset/WarmStart (the dense mode counts every subtask every step).
   std::uint64_t total_subtask_solves() const { return total_subtask_solves_; }
+  /// Dirty-closure size of the last WarmStartStructural (0 before any):
+  /// tasks / resources whose dual state the structural event re-primed.
+  std::size_t last_reprime_tasks() const { return last_reprime_tasks_; }
+  std::size_t last_reprime_resources() const { return last_reprime_resources_; }
   const Assignment& latencies() const { return latencies_; }
   const PriceVector& prices() const { return prices_; }
   const std::vector<IterationStats>& history() const { return history_; }
@@ -254,6 +281,8 @@ class LlaEngine {
   int iteration_ = 0;
   bool converged_ = false;
   std::uint64_t total_subtask_solves_ = 0;
+  std::size_t last_reprime_tasks_ = 0;
+  std::size_t last_reprime_resources_ = 0;
   /// Sparsity of the last Step's price update (trace/metric source).
   ActivePriceWork last_price_work_;
   /// Momentum diagnostics of the last Step (trace/metric source): adaptive
@@ -277,6 +306,8 @@ class LlaEngine {
   obs::Counter* active_lambda_skipped_ = nullptr;
   obs::Counter* active_frozen_ = nullptr;
   obs::Counter* momentum_restarts_counter_ = nullptr;
+  obs::Counter* reprime_tasks_counter_ = nullptr;
+  obs::Counter* reprime_resources_counter_ = nullptr;
   obs::IterationTrace trace_;
 };
 

@@ -1,5 +1,6 @@
 #include "workloads/transform.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "model/utility.h"
@@ -86,6 +87,55 @@ Expected<Workload> WithoutTask(const Workload& workload, TaskId task) {
   specs.tasks.erase(specs.tasks.begin() + task.value());
   return Workload::Create(std::move(specs.resources),
                           std::move(specs.tasks));
+}
+
+Expected<Workload> WithTask(const Workload& workload, TaskSpec task) {
+  WorkloadSpecs specs = ExtractSpecs(workload);
+  specs.tasks.push_back(std::move(task));
+  return Workload::Create(std::move(specs.resources),
+                          std::move(specs.tasks));
+}
+
+PriceVector MapPricesWithoutTask(const Workload& old_workload,
+                                 const PriceVector& prices, TaskId removed) {
+  assert(prices.mu.size() == old_workload.resource_count());
+  assert(prices.lambda.size() == old_workload.path_count());
+  assert(removed.valid() && removed.value() < old_workload.task_count());
+  PriceVector mapped;
+  mapped.mu = prices.mu;
+  mapped.lambda.reserve(old_workload.path_count() -
+                        old_workload.task(removed).paths.size());
+  for (const TaskInfo& task : old_workload.tasks()) {
+    if (task.id == removed) continue;
+    for (PathId path : task.paths) {
+      mapped.lambda.push_back(prices.lambda[path.value()]);
+    }
+  }
+  return mapped;
+}
+
+PriceVector MapPricesWithTask(const Workload& new_workload,
+                              const PriceVector& old_prices, TaskId added,
+                              double initial_lambda) {
+  assert(old_prices.mu.size() == new_workload.resource_count());
+  assert(added.valid() && added.value() < new_workload.task_count());
+  PriceVector mapped;
+  mapped.mu = old_prices.mu;
+  mapped.lambda.reserve(new_workload.path_count());
+  const double seed = std::max(0.0, initial_lambda);
+  std::size_t next_old = 0;
+  for (const TaskInfo& task : new_workload.tasks()) {
+    for (std::size_t k = 0; k < task.paths.size(); ++k) {
+      if (task.id == added) {
+        mapped.lambda.push_back(seed);
+      } else {
+        assert(next_old < old_prices.lambda.size());
+        mapped.lambda.push_back(old_prices.lambda[next_old++]);
+      }
+    }
+  }
+  assert(next_old == old_prices.lambda.size());
+  return mapped;
 }
 
 }  // namespace lla

@@ -234,4 +234,17 @@ TEST(CliTest, TraceNotConvergedReturnsFour) {
   std::remove(out.c_str());
 }
 
+TEST(CliTest, ChurnRunsAMutationStorm) {
+  EXPECT_EQ(RunCli(std::string("churn ") + kPaperWorkload +
+                   " --mutations=12 --seed=5 --threads=2"),
+            0);
+}
+
+TEST(CliTest, ChurnFlagErrorsReturnTwo) {
+  const std::string churn = std::string("churn ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(churn + " --mutations=0"), 2);   // below minimum
+  EXPECT_EQ(RunCli(churn + " --threads=0"), 2);     // invalid thread count
+  EXPECT_EQ(RunCli(churn + " --bogus-flag"), 2);    // unknown flag
+}
+
 }  // namespace

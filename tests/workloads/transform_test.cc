@@ -75,6 +75,95 @@ TEST(TransformTest, WithoutTaskRemovesOne) {
   EXPECT_FALSE(WithoutTask(workload.value(), TaskId()).ok());
 }
 
+TEST(TransformTest, WithTaskAppendsOne) {
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  TaskSpec clone = ExtractSpecs(w).tasks[0];
+  clone.name = "newcomer";
+  auto larger = WithTask(w, clone);
+  ASSERT_TRUE(larger.ok()) << larger.error();
+  EXPECT_EQ(larger.value().task_count(), w.task_count() + 1);
+  // Appended at the end; existing ids are untouched.
+  EXPECT_EQ(larger.value().task(TaskId(w.task_count())).name, "newcomer");
+  EXPECT_EQ(larger.value().task(TaskId(0u)).name, w.task(TaskId(0u)).name);
+  EXPECT_EQ(larger.value().subtask_count(),
+            w.subtask_count() + clone.subtasks.size());
+}
+
+TEST(TransformTest, MapPricesWithoutTaskIsFilteredCopy) {
+  // The invariant the mapping rests on: paths are ordered by task, then dag
+  // order, and BOTH orders survive a removal — so the surviving tasks' old
+  // lambda values, read in old path order, land on the reduced workload's
+  // paths in the same order.
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  PriceVector prices = PriceVector::Zero(w);
+  for (std::size_t r = 0; r < prices.mu.size(); ++r) {
+    prices.mu[r] = 100.0 + static_cast<double>(r);
+  }
+  for (std::size_t p = 0; p < prices.lambda.size(); ++p) {
+    prices.lambda[p] = 1.0 + static_cast<double>(p);
+  }
+
+  const TaskId removed(1u);  // a middle task, the order-sensitive case
+  const PriceVector mapped = MapPricesWithoutTask(w, prices, removed);
+
+  // mu is resource-indexed and the resource set is fixed: identical copy.
+  ASSERT_EQ(mapped.mu.size(), prices.mu.size());
+  for (std::size_t r = 0; r < prices.mu.size(); ++r) {
+    EXPECT_EQ(mapped.mu[r], prices.mu[r]);
+  }
+
+  // lambda is the filtered copy: the removed task's entries drop out, the
+  // rest keep their values and relative order.
+  std::vector<double> expected;
+  for (const TaskInfo& task : w.tasks()) {
+    if (task.id == removed) continue;
+    for (PathId path : task.paths) {
+      expected.push_back(prices.lambda[path.value()]);
+    }
+  }
+  ASSERT_EQ(mapped.lambda, expected);
+
+  // And the size matches the rebuilt reduced workload exactly.
+  auto reduced = WithoutTask(w, removed);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(mapped.lambda.size(), reduced.value().path_count());
+}
+
+TEST(TransformTest, MapPricesWithTaskInvertsRemoval) {
+  // Removing a middle task and mapping back with its id reproduces the
+  // original lambda layout, with the re-added task's entries re-seeded.
+  auto workload = MakeSimWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  PriceVector prices = PriceVector::Zero(w);
+  for (std::size_t p = 0; p < prices.lambda.size(); ++p) {
+    prices.lambda[p] = 1.0 + static_cast<double>(p);
+  }
+
+  const TaskId task(1u);
+  const PriceVector reduced = MapPricesWithoutTask(w, prices, task);
+  const PriceVector restored = MapPricesWithTask(w, reduced, task, 0.5);
+
+  ASSERT_EQ(restored.lambda.size(), w.path_count());
+  for (const TaskInfo& t : w.tasks()) {
+    for (PathId path : t.paths) {
+      const double expected =
+          t.id == task ? 0.5 : prices.lambda[path.value()];
+      EXPECT_EQ(restored.lambda[path.value()], expected)
+          << "path " << path.value();
+    }
+  }
+  // Negative seeds are projected onto the feasible (non-negative) set.
+  const PriceVector projected = MapPricesWithTask(w, reduced, task, -3.0);
+  for (PathId path : w.task(task).paths) {
+    EXPECT_EQ(projected.lambda[path.value()], 0.0);
+  }
+}
+
 TEST(TransformTest, WarmStartReconvergesAfterCapacityChange) {
   // The adaptation story: converge on a workload with slack, degrade one
   // resource by 15%, and re-converge warm vs cold.  Warm starting lands on

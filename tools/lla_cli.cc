@@ -18,6 +18,10 @@
 //   lla trace <workload-file> [--iters N] [--out path]
 //       Optimize while streaming per-iteration JSONL (default: stdout);
 //       engine phase timings and counters go to stderr.
+//   lla churn <workload-file> [--mutations=N] [--seed=S] [--threads=N]
+//       Apply a deterministic join/leave/WCET mutation storm against the
+//       live engine (admission-gated joins, structural warm starts) and
+//       report sustained mutations/sec and re-convergence percentiles.
 //
 // Exit codes: 0 success; 1 runtime error (generation/save failure);
 // 2 usage; 3 workload load/parse error; 4 solve not converged / infeasible
@@ -25,12 +29,16 @@
 //
 // Example files live in examples/data/.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/stats.h"
 #include "core/engine.h"
+#include "runtime/churn.h"
+#include "workloads/transform.h"
 #include "core/schedulability.h"
 #include "model/evaluation.h"
 #include "model/serialization.h"
@@ -73,6 +81,8 @@ int Usage() {
                "[--out path] [--threads=N]\n"
                "            [--dynamics=plain|heavy-ball|nesterov] "
                "[--momentum=B]\n"
+               "  lla churn <file> [--mutations=N] [--seed=S] "
+               "[--threads=N]\n"
                "exit codes: 0 ok, 1 runtime error, 2 usage, 3 load error, "
                "4 not converged/infeasible\n");
   return kExitUsage;
@@ -430,6 +440,86 @@ int Simulate(const Workload& w, double seconds, bool use_sfs) {
   return 0;
 }
 
+int Churn(const Workload& w, std::size_t mutations, std::uint64_t seed,
+          int threads) {
+  const WorkloadSpecs specs = ExtractSpecs(w);
+
+  runtime::ChurnConfig config;
+  config.lla.step_policy = StepPolicyKind::kAdaptive;
+  config.lla.gamma0 = 3.0;
+  config.lla.record_history = false;
+  config.lla.num_threads = threads;
+  config.min_tasks = 1;
+  config.admission.lla = config.lla;
+  config.admission.probe_threads = threads;
+
+  runtime::ChurnScriptConfig script_config;
+  script_config.seed = seed;
+  script_config.mutations = mutations;
+  script_config.num_resources = static_cast<int>(specs.resources.size());
+  auto script = runtime::MakeChurnScript(script_config);
+  if (!script.ok()) {
+    std::fprintf(stderr, "churn script failed: %s\n", script.error().c_str());
+    return kExitRuntimeError;
+  }
+
+  auto driver =
+      runtime::ChurnDriver::Create(specs.resources, specs.tasks, config);
+  if (!driver.ok()) {
+    std::fprintf(stderr, "churn driver failed: %s\n", driver.error().c_str());
+    return kExitRuntimeError;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<runtime::ChurnRecord> records =
+      driver.value().ApplyAll(script.value());
+  const auto stop = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  std::size_t applied = 0, joins = 0, joins_admitted = 0, leaves = 0,
+              perturbs = 0, structural_unconverged = 0;
+  SampleQuantile reconv_iters;
+  for (const runtime::ChurnRecord& record : records) {
+    if (record.kind == runtime::ChurnKind::kJoin) {
+      ++joins;
+      if (record.applied) ++joins_admitted;
+    } else if (record.kind == runtime::ChurnKind::kLeave) {
+      ++leaves;
+    } else {
+      ++perturbs;
+    }
+    if (!record.applied) continue;
+    ++applied;
+    reconv_iters.Add(static_cast<double>(record.iterations));
+    if (record.kind != runtime::ChurnKind::kWcetPerturb &&
+        !record.converged) {
+      ++structural_unconverged;
+    }
+  }
+  std::printf("churn: %zu mutations in %.1f ms (%.1f mutations/s, "
+              "admission probes included)\n",
+              records.size(), wall_ms,
+              wall_ms > 0.0
+                  ? static_cast<double>(records.size()) / (wall_ms / 1e3)
+                  : 0.0);
+  std::printf("  applied %zu: %zu/%zu joins admitted, %zu leaves, %zu wcet "
+              "corrections\n",
+              applied, joins_admitted, joins, leaves, perturbs);
+  std::printf("  re-convergence iterations: p50 %.0f  p90 %.0f  p99 %.0f\n",
+              reconv_iters.Value(0.5), reconv_iters.Value(0.9),
+              reconv_iters.Value(0.99));
+  std::printf("  final system: %zu tasks, %zu subtasks\n",
+              driver.value().workload().task_count(),
+              driver.value().workload().subtask_count());
+  if (structural_unconverged > 0) {
+    std::printf("  %zu structural mutations did NOT re-converge\n",
+                structural_unconverged);
+    return kExitNotConverged;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -473,7 +563,7 @@ int main(int argc, char** argv) {
   // name is a usage error (2), not a load error (3).
   if (command != "describe" && command != "solve" && command != "check" &&
       command != "simulate" && command != "trace" &&
-      command != "checkpoint") {
+      command != "checkpoint" && command != "churn") {
     return Usage();
   }
 
@@ -609,6 +699,27 @@ int main(int argc, char** argv) {
       }
     }
     return Simulate(w, seconds, use_sfs);
+  }
+
+  if (command == "churn") {
+    std::size_t mutations = 50;
+    std::uint64_t seed = 1;
+    int threads = 1;
+    for (int i = 3; i < argc; ++i) {
+      bool is_threads = false;
+      if (std::strncmp(argv[i], "--mutations=", 12) == 0) {
+        const int value = std::atoi(argv[i] + 12);
+        if (value < 1) return Usage();
+        mutations = static_cast<std::size_t>(value);
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      } else if (!MatchThreadsFlag(argc, argv, &i, &threads, &is_threads)) {
+        return Usage();
+      } else if (!is_threads) {
+        return Usage();
+      }
+    }
+    return Churn(w, mutations, seed, threads);
   }
 
   return Usage();
