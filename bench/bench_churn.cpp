@@ -247,10 +247,8 @@ int main(int argc, char** argv) {
               gated_leaves, min_ratio,
               meets_structural_warm ? "PASS" : "FAIL");
 
-  bench::JsonValue root = bench::JsonValue::Object();
-  root.Add("bench", bench::JsonValue::String("churn"));
-  root.Add("unit", bench::JsonValue::String("mutations_per_sec"));
-  root.Add("quick", bench::JsonValue::Bool(quick));
+  bench::JsonValue root =
+      bench::BenchReportRoot("churn", "mutations_per_sec", quick);
   root.Add("seed", bench::JsonValue::Number(static_cast<double>(seed)));
   root.Add("mutations",
            bench::JsonValue::Number(static_cast<double>(records.size())));
@@ -279,14 +277,7 @@ int main(int argc, char** argv) {
            bench::JsonValue::Number(min_ratio));
   root.Add("meets_structural_warm",
            bench::JsonValue::Bool(meets_structural_warm));
-  bench::StampMeta(&root);
   root.Add("leave_gate", std::move(gate_rows));
-  const std::string json_path = "BENCH_churn.json";
-  if (bench::WriteJson(json_path, root)) {
-    std::printf("wrote %s\n", json_path.c_str());
-  } else {
-    std::printf("failed to write %s\n", json_path.c_str());
-    return 1;
-  }
+  if (bench::EmitBenchReport("BENCH_churn.json", root) != 0) return 1;
   return (meets_structural_warm && structural_unconverged == 0) ? 0 : 1;
 }

@@ -587,26 +587,17 @@ int main(int argc, char** argv) {
               "iterations): %s\n",
               dynamics_diverged ? "FAIL" : "PASS");
 
-  bench::JsonValue root = bench::JsonValue::Object();
-  root.Add("bench", bench::JsonValue::String("convergence"));
-  root.Add("unit", bench::JsonValue::String("subtask_solves_to_converge"));
-  root.Add("quick", bench::JsonValue::Bool(quick));
+  bench::JsonValue root = bench::BenchReportRoot(
+      "convergence", "subtask_solves_to_converge", quick);
   root.Add("meets_5x", bench::JsonValue::Bool(meets_5x));
   root.Add("meets_structural_warm",
            bench::JsonValue::Bool(meets_structural_warm));
   root.Add("meets_accel_1_5x", bench::JsonValue::Bool(meets_accel_1_5x));
   root.Add("dynamics_diverged", bench::JsonValue::Bool(dynamics_diverged));
   root.Add("dynamics_regressed", bench::JsonValue::Bool(dynamics_regressed));
-  bench::StampMeta(&root);
   root.Add("results", std::move(results));
   root.Add("dynamics", std::move(dynamics_results));
-  const std::string json_path = "BENCH_convergence.json";
-  if (bench::WriteJson(json_path, root)) {
-    std::printf("wrote %s\n", json_path.c_str());
-  } else {
-    std::printf("failed to write %s\n", json_path.c_str());
-    return 1;
-  }
+  if (bench::EmitBenchReport("BENCH_convergence.json", root) != 0) return 1;
   // A structural warm restart regressing below cold fails the bench (and
   // thus the CI bench job) exactly like a diverging dynamics run.
   return (dynamics_diverged || !meets_structural_warm) ? 1 : 0;

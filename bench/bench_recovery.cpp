@@ -350,12 +350,9 @@ int main(int argc, char** argv) {
   std::printf("\nacceptance gate (checkpointed < cold in every scenario): %s\n",
               pass ? "PASS" : "FAIL");
 
-  bench::JsonValue root = bench::JsonValue::Object();
-  root.Add("bench", bench::JsonValue::String("recovery"));
-  root.Add("unit", bench::JsonValue::String("rounds_to_reconverge"));
-  root.Add("quick", bench::JsonValue::Bool(quick));
+  bench::JsonValue root =
+      bench::BenchReportRoot("recovery", "rounds_to_reconverge", quick);
   root.Add("checkpoint_beats_cold", bench::JsonValue::Bool(pass));
-  bench::StampMeta(&root);
   root.Add("results",
            bench::JsonValue::Object()
                .Add("engine", std::move(engine_results))
@@ -364,12 +361,6 @@ int main(int argc, char** argv) {
                         .Add("workload", bench::JsonValue::String("paper_sim"))
                         .Add("cold", DistributedJson(cold))
                         .Add("checkpointed", DistributedJson(ckpt))));
-  const std::string json_path = "BENCH_recovery.json";
-  if (bench::WriteJson(json_path, root)) {
-    std::printf("wrote %s\n", json_path.c_str());
-  } else {
-    std::printf("failed to write %s\n", json_path.c_str());
-    return 1;
-  }
+  if (bench::EmitBenchReport("BENCH_recovery.json", root) != 0) return 1;
   return pass ? 0 : 1;
 }

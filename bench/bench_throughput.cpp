@@ -162,10 +162,7 @@ struct WorkloadCase {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  const bool quick = bench::HasQuickFlag(argc, argv);
 
   bench::PrintHeader(
       "bench_throughput — full LLA iterations per second",
@@ -305,7 +302,13 @@ int main(int argc, char** argv) {
     double batch_serial_rate = 0.0;
     for (int num_threads : thread_counts) {
       const int batch_size = 4;
-      EngineBatch batch(num_threads);
+      // Same effective-thread clamp as the in-engine pool: a clamped row
+      // must not oversubscribe the host (running 4 batch workers on a
+      // 1-core box measures contention, not the serial engine — the old
+      // rows showed batched "4-thread" throughput BELOW 1-thread).
+      const int effective =
+          std::min(num_threads, static_cast<int>(hardware));
+      EngineBatch batch(effective);
       for (int b = 0; b < batch_size; ++b) batch.Add(w, model, config);
       const int warm = std::max(1, wc.warmup / batch_size);
       const int iters = std::max(1, wc.iters / batch_size);
@@ -335,6 +338,7 @@ int main(int argc, char** argv) {
       bench::JsonValue row =
           bench::JsonValue::Object()
               .Add("num_threads", bench::JsonValue::Number(num_threads))
+              .Add("effective_threads", bench::JsonValue::Number(effective))
               .Add("batch_size", bench::JsonValue::Number(batch_size))
               .Add("clamped", bench::JsonValue::Bool(row_clamped))
               .Add("steps_per_sec", bench::JsonValue::Number(rate));
@@ -361,21 +365,11 @@ int main(int argc, char** argv) {
             .Add("batched", std::move(batches)));
   }
 
-  bench::JsonValue root = bench::JsonValue::Object();
-  root.Add("bench", bench::JsonValue::String("throughput"));
-  root.Add("unit", bench::JsonValue::String("steps_per_sec"));
+  bench::JsonValue root =
+      bench::BenchReportRoot("throughput", "steps_per_sec", quick);
   root.Add("hardware_concurrency",
            bench::JsonValue::Number(static_cast<double>(hardware)));
   root.Add("clamped", bench::JsonValue::Bool(clamped));
-  root.Add("quick", bench::JsonValue::Bool(quick));
-  bench::StampMeta(&root);
   root.Add("results", std::move(results));
-  const std::string json_path = "BENCH_throughput.json";
-  if (bench::WriteJson(json_path, root)) {
-    std::printf("\nwrote %s\n", json_path.c_str());
-  } else {
-    std::printf("\nfailed to write %s\n", json_path.c_str());
-    return 1;
-  }
-  return 0;
+  return bench::EmitBenchReport("BENCH_throughput.json", root);
 }

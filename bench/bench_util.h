@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <string>
 #include <utility>
@@ -218,6 +219,39 @@ inline bool WriteJson(const std::string& path, const JsonValue& value) {
   std::fputc('\n', file);
   std::fclose(file);
   return true;
+}
+
+/// The standard BENCH_*.json root shared by the JSON-emitting benches: bench
+/// name, measurement unit, quick flag, plus the provenance stamp.  Benches
+/// append their gate flags and result sections to the returned object.
+inline JsonValue BenchReportRoot(const std::string& bench,
+                                 const std::string& unit, bool quick) {
+  JsonValue root = JsonValue::Object();
+  root.Add("bench", JsonValue::String(bench));
+  root.Add("unit", JsonValue::String(unit));
+  root.Add("quick", JsonValue::Bool(quick));
+  StampMeta(&root);
+  return root;
+}
+
+/// Writes the finished report and prints the outcome.  Returns the exit-code
+/// contribution (0 ok, 1 write failure) for the bench's main to combine with
+/// its gate status.
+inline int EmitBenchReport(const std::string& path, const JsonValue& root) {
+  if (WriteJson(path, root)) {
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+  }
+  std::printf("failed to write %s\n", path.c_str());
+  return 1;
+}
+
+/// Shared --quick detection for bench mains.
+inline bool HasQuickFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace lla::bench

@@ -1,5 +1,7 @@
 #include "model/serialization.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -412,7 +414,9 @@ Status SaveSnapshot(const StateSnapshot& snapshot, std::ostream& out) {
   return Status{};
 }
 
-Expected<StateSnapshot> LoadSnapshot(std::istream& in) {
+namespace {
+
+Expected<StateSnapshot> LoadSnapshotText(std::istream& in) {
   using E = Expected<StateSnapshot>;
   StateSnapshot snap;
   bool saw_header = false;
@@ -576,17 +580,33 @@ Expected<StateSnapshot> LoadSnapshot(std::istream& in) {
   return snap;
 }
 
+}  // namespace
+
+Expected<StateSnapshot> LoadSnapshot(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSnapshotFromString(buffer.str());
+}
+
 Expected<StateSnapshot> LoadSnapshotFromString(const std::string& text) {
+  if (SnapshotBytesAreBinary(text)) return LoadSnapshotBinaryFromString(text);
   std::istringstream is(text);
-  return LoadSnapshot(is);
+  return LoadSnapshotText(is);
 }
 
 Expected<StateSnapshot> LoadSnapshotFromFile(const std::string& path) {
-  std::ifstream in(path);
+  // Binary mode + whole-file read: the format is sniffed from the magic
+  // bytes, and the text parser is happy with an in-memory string either way.
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Expected<StateSnapshot>::Error("cannot open '" + path + "'");
   }
-  return LoadSnapshot(in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Expected<StateSnapshot>::Error("cannot read '" + path + "'");
+  }
+  return LoadSnapshotFromString(buffer.str());
 }
 
 Expected<std::string> SaveSnapshotToString(const StateSnapshot& snapshot) {
@@ -601,6 +621,417 @@ Status SaveSnapshotToFile(const StateSnapshot& snapshot,
   std::ofstream out(path);
   if (!out) return Status::Error("cannot open '" + path + "' for writing");
   return SaveSnapshot(snapshot, out);
+}
+
+// ---------------------------------------------------------------------------
+// Binary snapshot format "b1" (DESIGN.md §7.10).  Layout (all little-endian):
+//
+//   [ 0..8)   magic "LLASNAPB"
+//   [ 8..12)  u32 version (1)
+//   [12..16)  u32 section_count
+//   [16..80)  scalar header: u64 resource/path/subtask/task counts,
+//             i64 iteration, u64 total_subtask_solves, i64 step_iteration,
+//             u64 momentum_restarts
+//   [80..88)  u8 converged, u8 price_state_primed, 6 pad bytes
+//   [88..88+32n)  section table, 32 bytes per entry:
+//             u32 id, u8 elem_kind, u8 encoding, u16 pad,
+//             u64 count (decoded elements), u64 offset (from payload start),
+//             u64 size (encoded bytes)
+//   [payload] sections back to back, each 8-byte aligned from file start.
+//
+// Values keep their raw IEEE-754 / integer bit patterns in every encoding,
+// so the round-trip is bit-exact like the text format.  The encoding is
+// chosen per section by encoded size: raw (count * width contiguous words —
+// the mmap-friendly default), rle (u64 run_count, then (u64 run_len, word)
+// pairs — collapses settled flags and all-1.0 step multipliers), or sparse
+// (u64 nnz, then (u32 index, word) pairs, indices strictly increasing —
+// collapses mostly-zero retired lambda).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'L', 'L', 'A', 'S', 'N', 'A', 'P', 'B'};
+constexpr std::uint32_t kBinaryVersion = 1;
+constexpr std::size_t kBinaryHeaderSize = 88;
+constexpr std::size_t kSectionEntrySize = 32;
+/// Alloc guard when decoding corrupt tables: generous for the 10^6-subtask
+/// north star, tiny next to what a hostile u64 count could demand.
+constexpr std::uint64_t kMaxSectionElems = 1ull << 28;
+
+constexpr std::uint8_t kElemF64 = 0;
+constexpr std::uint8_t kElemU8 = 1;
+constexpr std::uint8_t kElemU32 = 2;
+
+constexpr std::uint8_t kEncodingRaw = 0;
+constexpr std::uint8_t kEncodingRle = 1;
+constexpr std::uint8_t kEncodingSparse = 2;
+
+std::size_t ElemWidth(std::uint8_t kind) {
+  switch (kind) {
+    case kElemF64: return 8;
+    case kElemU8: return 1;
+    case kElemU32: return 4;
+  }
+  return 0;
+}
+
+template <typename T>
+void PutWord(std::string* out, T value) {
+  static_assert(std::endian::native == std::endian::little,
+                "snapshot b1 writes native little-endian words");
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T GetWord(const char* at) {
+  T value;
+  std::memcpy(&value, at, sizeof(value));
+  return value;
+}
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint8_t elem_kind = 0;
+  std::uint8_t encoding = 0;
+  std::uint64_t count = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+template <typename T>
+bool IsZeroWord(T v) {
+  // Bit-pattern zero, not value zero: -0.0 must round-trip as -0.0, so it
+  // does not qualify for the sparse encoding's implicit zeros.
+  T zero{};
+  return std::memcmp(&v, &zero, sizeof(T)) == 0;
+}
+
+template <typename T>
+void AppendSection(std::uint32_t id, std::uint8_t kind,
+                   const std::vector<T>& values,
+                   std::vector<SectionEntry>* table, std::string* payload) {
+  const std::size_t width = sizeof(T);
+  std::size_t runs = values.empty() ? 0 : 1;
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0 && std::memcmp(&values[i], &values[i - 1], width) != 0) ++runs;
+    if (!IsZeroWord(values[i])) ++nnz;
+  }
+  const std::size_t raw_size = values.size() * width;
+  const std::size_t rle_size = 8 + runs * (8 + width);
+  const bool sparse_ok = values.size() <= 0xffffffffull;
+  const std::size_t sparse_size =
+      sparse_ok ? 8 + nnz * (4 + width) : raw_size + 1;
+
+  SectionEntry entry;
+  entry.id = id;
+  entry.elem_kind = kind;
+  entry.count = values.size();
+  entry.offset = payload->size();
+
+  if (rle_size < raw_size && rle_size <= sparse_size) {
+    entry.encoding = kEncodingRle;
+    PutWord<std::uint64_t>(payload, runs);
+    std::size_t i = 0;
+    while (i < values.size()) {
+      std::size_t j = i + 1;
+      while (j < values.size() &&
+             std::memcmp(&values[j], &values[i], width) == 0) {
+        ++j;
+      }
+      PutWord<std::uint64_t>(payload, j - i);
+      payload->append(reinterpret_cast<const char*>(&values[i]), width);
+      i = j;
+    }
+  } else if (sparse_ok && sparse_size < raw_size) {
+    entry.encoding = kEncodingSparse;
+    PutWord<std::uint64_t>(payload, nnz);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (IsZeroWord(values[i])) continue;
+      PutWord<std::uint32_t>(payload, static_cast<std::uint32_t>(i));
+      payload->append(reinterpret_cast<const char*>(&values[i]), width);
+    }
+  } else {
+    entry.encoding = kEncodingRaw;
+    payload->append(reinterpret_cast<const char*>(values.data()), raw_size);
+  }
+  entry.size = payload->size() - entry.offset;
+  // Keep every section 8-byte aligned from the payload start (and so from
+  // the file start: header and table sizes are multiples of 8).
+  while (payload->size() % 8 != 0) payload->push_back('\0');
+  table->push_back(entry);
+}
+
+template <typename T>
+bool DecodeSection(const char* data, const SectionEntry& entry,
+                   std::vector<T>* out, std::string* error) {
+  const std::size_t width = sizeof(T);
+  const char* at = data + entry.offset;
+  out->resize(entry.count);
+  if (entry.encoding == kEncodingRaw) {
+    if (entry.size != entry.count * width) {
+      *error = "raw section size does not match element count";
+      return false;
+    }
+    std::memcpy(out->data(), at, entry.size);
+    return true;
+  }
+  if (entry.encoding == kEncodingRle) {
+    if (entry.size < 8) {
+      *error = "rle section too small for its run count";
+      return false;
+    }
+    const std::uint64_t runs = GetWord<std::uint64_t>(at);
+    if (entry.size != 8 + runs * (8 + width)) {
+      *error = "rle section size does not match run count";
+      return false;
+    }
+    std::size_t filled = 0;
+    const char* run = at + 8;
+    for (std::uint64_t i = 0; i < runs; ++i) {
+      const std::uint64_t len = GetWord<std::uint64_t>(run);
+      if (len == 0 || len > entry.count - filled) {
+        *error = "rle runs do not sum to the element count";
+        return false;
+      }
+      T value;
+      std::memcpy(&value, run + 8, width);
+      std::fill_n(out->begin() + filled, len, value);
+      filled += len;
+      run += 8 + width;
+    }
+    if (filled != entry.count) {
+      *error = "rle runs do not sum to the element count";
+      return false;
+    }
+    return true;
+  }
+  if (entry.encoding == kEncodingSparse) {
+    if (entry.size < 8) {
+      *error = "sparse section too small for its entry count";
+      return false;
+    }
+    const std::uint64_t nnz = GetWord<std::uint64_t>(at);
+    if (entry.size != 8 + nnz * (4 + width) || nnz > entry.count) {
+      *error = "sparse section size does not match entry count";
+      return false;
+    }
+    std::fill(out->begin(), out->end(), T{});
+    const char* pair = at + 8;
+    std::uint64_t prev_plus_one = 0;
+    for (std::uint64_t i = 0; i < nnz; ++i) {
+      const std::uint32_t index = GetWord<std::uint32_t>(pair);
+      if (index >= entry.count || index + 1 <= prev_plus_one) {
+        *error = "sparse section indices not strictly increasing in range";
+        return false;
+      }
+      std::memcpy(&(*out)[index], pair + 4, width);
+      prev_plus_one = static_cast<std::uint64_t>(index) + 1;
+      pair += 4 + width;
+    }
+    return true;
+  }
+  *error = "unknown section encoding";
+  return false;
+}
+
+/// The fixed section catalogue; ids are part of the format.
+struct SnapshotSections {
+  template <typename Fn>
+  static void ForEach(StateSnapshot* snap, Fn&& fn) {
+    fn(1u, kElemF64, &snap->mu);
+    fn(2u, kElemF64, &snap->lambda);
+    fn(3u, kElemF64, &snap->resource_step_multiplier);
+    fn(4u, kElemF64, &snap->path_step_multiplier);
+    fn(5u, kElemF64, &snap->recent_utilities);
+    fn(6u, kElemF64, &snap->mu_velocity);
+    fn(7u, kElemF64, &snap->lambda_velocity);
+    fn(8u, kElemF64, &snap->mu_base);
+    fn(9u, kElemF64, &snap->lambda_base);
+    fn(10u, kElemF64, &snap->mu_phase);
+    fn(11u, kElemF64, &snap->lambda_phase);
+    fn(12u, kElemF64, &snap->shadow_mu);
+    fn(13u, kElemF64, &snap->shadow_lambda);
+    fn(14u, kElemF64, &snap->prev_share_sums);
+    fn(15u, kElemF64, &snap->prev_path_latencies);
+    fn(16u, kElemU8, &snap->mu_settled);
+    fn(17u, kElemU8, &snap->lambda_settled);
+    fn(18u, kElemU32, &snap->mu_zero_epochs);
+    fn(19u, kElemU32, &snap->lambda_zero_epochs);
+    fn(20u, kElemU32, &snap->mu_stable_epochs);
+    fn(21u, kElemU32, &snap->lambda_stable_epochs);
+  }
+};
+
+std::string BinaryError(const std::string& message) {
+  return "snapshot b1: " + message;
+}
+
+}  // namespace
+
+bool SnapshotBytesAreBinary(const std::string& bytes) {
+  return bytes.size() >= sizeof(kBinaryMagic) &&
+         std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+}
+
+Status SaveSnapshotBinary(const StateSnapshot& snapshot, std::string* out) {
+  std::vector<SectionEntry> table;
+  std::string payload;
+  // ForEach takes a mutable snapshot so the loader can share the catalogue;
+  // the save path only reads through the pointers.
+  auto* mutable_snapshot = const_cast<StateSnapshot*>(&snapshot);
+  SnapshotSections::ForEach(
+      mutable_snapshot, [&](std::uint32_t id, std::uint8_t kind, auto* vec) {
+        AppendSection(id, kind, *vec, &table, &payload);
+      });
+
+  out->clear();
+  out->reserve(kBinaryHeaderSize + table.size() * kSectionEntrySize +
+               payload.size());
+  out->append(kBinaryMagic, sizeof(kBinaryMagic));
+  PutWord<std::uint32_t>(out, kBinaryVersion);
+  PutWord<std::uint32_t>(out, static_cast<std::uint32_t>(table.size()));
+  PutWord<std::uint64_t>(out, snapshot.resource_count);
+  PutWord<std::uint64_t>(out, snapshot.path_count);
+  PutWord<std::uint64_t>(out, snapshot.subtask_count);
+  PutWord<std::uint64_t>(out, snapshot.task_count);
+  PutWord<std::int64_t>(out, snapshot.iteration);
+  PutWord<std::uint64_t>(out, snapshot.total_subtask_solves);
+  PutWord<std::int64_t>(out, snapshot.step_iteration);
+  PutWord<std::uint64_t>(out, snapshot.momentum_restarts);
+  out->push_back(snapshot.converged ? 1 : 0);
+  out->push_back(snapshot.price_state_primed ? 1 : 0);
+  out->append(6, '\0');
+  for (const SectionEntry& entry : table) {
+    PutWord<std::uint32_t>(out, entry.id);
+    out->push_back(static_cast<char>(entry.elem_kind));
+    out->push_back(static_cast<char>(entry.encoding));
+    out->append(2, '\0');
+    PutWord<std::uint64_t>(out, entry.count);
+    PutWord<std::uint64_t>(out, entry.offset);
+    PutWord<std::uint64_t>(out, entry.size);
+  }
+  out->append(payload);
+  return Status{};
+}
+
+Expected<std::string> SaveSnapshotBinaryToString(
+    const StateSnapshot& snapshot) {
+  std::string bytes;
+  const Status status = SaveSnapshotBinary(snapshot, &bytes);
+  if (!status.ok()) return Expected<std::string>::Error(status.error());
+  return bytes;
+}
+
+Status SaveSnapshotBinaryToFile(const StateSnapshot& snapshot,
+                                const std::string& path) {
+  std::string bytes;
+  const Status status = SaveSnapshotBinary(snapshot, &bytes);
+  if (!status.ok()) return status;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open '" + path + "' for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Error("cannot write '" + path + "'");
+  return Status{};
+}
+
+Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes) {
+  using E = Expected<StateSnapshot>;
+  if (!SnapshotBytesAreBinary(bytes)) {
+    return E::Error(BinaryError("missing magic bytes"));
+  }
+  if (bytes.size() < kBinaryHeaderSize) {
+    return E::Error(BinaryError("truncated header"));
+  }
+  const char* data = bytes.data();
+  const std::uint32_t version = GetWord<std::uint32_t>(data + 8);
+  if (version != kBinaryVersion) {
+    return E::Error(BinaryError("unsupported version " +
+                                std::to_string(version)));
+  }
+  const std::uint32_t section_count = GetWord<std::uint32_t>(data + 12);
+  const std::size_t table_end =
+      kBinaryHeaderSize +
+      static_cast<std::size_t>(section_count) * kSectionEntrySize;
+  if (section_count > (bytes.size() - kBinaryHeaderSize) / kSectionEntrySize) {
+    return E::Error(BinaryError("truncated section table"));
+  }
+
+  StateSnapshot snap;
+  snap.resource_count = GetWord<std::uint64_t>(data + 16);
+  snap.path_count = GetWord<std::uint64_t>(data + 24);
+  snap.subtask_count = GetWord<std::uint64_t>(data + 32);
+  snap.task_count = GetWord<std::uint64_t>(data + 40);
+  snap.iteration = GetWord<std::int64_t>(data + 48);
+  snap.total_subtask_solves = GetWord<std::uint64_t>(data + 56);
+  snap.step_iteration = GetWord<std::int64_t>(data + 64);
+  snap.momentum_restarts = GetWord<std::uint64_t>(data + 72);
+  const std::uint8_t converged = static_cast<std::uint8_t>(data[80]);
+  const std::uint8_t primed = static_cast<std::uint8_t>(data[81]);
+  if (converged > 1 || primed > 1) {
+    return E::Error(BinaryError("bad header flags"));
+  }
+  snap.converged = converged == 1;
+  snap.price_state_primed = primed == 1;
+
+  const char* payload = data + table_end;
+  const std::size_t payload_size = bytes.size() - table_end;
+  std::vector<std::uint32_t> seen_ids;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const char* row = data + kBinaryHeaderSize + s * kSectionEntrySize;
+    SectionEntry entry;
+    entry.id = GetWord<std::uint32_t>(row);
+    entry.elem_kind = static_cast<std::uint8_t>(row[4]);
+    entry.encoding = static_cast<std::uint8_t>(row[5]);
+    entry.count = GetWord<std::uint64_t>(row + 8);
+    entry.offset = GetWord<std::uint64_t>(row + 16);
+    entry.size = GetWord<std::uint64_t>(row + 24);
+
+    const std::string where = "section id " + std::to_string(entry.id);
+    if (std::find(seen_ids.begin(), seen_ids.end(), entry.id) !=
+        seen_ids.end()) {
+      return E::Error(BinaryError("duplicate " + where));
+    }
+    seen_ids.push_back(entry.id);
+    if (ElemWidth(entry.elem_kind) == 0) {
+      return E::Error(BinaryError(where + ": unknown element kind"));
+    }
+    if (entry.count > kMaxSectionElems) {
+      return E::Error(BinaryError(where + ": element count out of range"));
+    }
+    if (entry.offset % 8 != 0 || entry.offset > payload_size ||
+        entry.size > payload_size - entry.offset) {
+      return E::Error(BinaryError(where + ": payload out of bounds"));
+    }
+
+    bool matched = false;
+    bool ok = true;
+    std::string decode_error;
+    SnapshotSections::ForEach(
+        &snap, [&](std::uint32_t id, std::uint8_t kind, auto* vec) {
+          if (id != entry.id || matched) return;
+          matched = true;
+          if (kind != entry.elem_kind) {
+            ok = false;
+            decode_error = "element kind does not match section id";
+            return;
+          }
+          ok = DecodeSection(payload, entry, vec, &decode_error);
+        });
+    if (!matched) {
+      return E::Error(BinaryError("unknown " + where));
+    }
+    if (!ok) {
+      return E::Error(BinaryError(where + ": " + decode_error));
+    }
+  }
+
+  if (snap.mu.size() != snap.resource_count ||
+      snap.lambda.size() != snap.path_count) {
+    return E::Error(
+        BinaryError("price vectors do not match declared shape"));
+  }
+  return snap;
 }
 
 }  // namespace lla

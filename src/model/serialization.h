@@ -107,8 +107,10 @@ struct StateSnapshot {
   std::vector<double> prev_path_latencies;
 };
 
-/// Parses a snapshot written by SaveSnapshot; returns it or a message with
-/// the offending line number.
+/// Parses a snapshot in either format: text v1/v2 (line-oriented hex) or
+/// binary b1, auto-detected by the leading magic bytes.  Returns the
+/// snapshot or a message locating the defect (line number for text, byte
+/// offset / section for binary).
 Expected<StateSnapshot> LoadSnapshot(std::istream& in);
 Expected<StateSnapshot> LoadSnapshotFromString(const std::string& text);
 Expected<StateSnapshot> LoadSnapshotFromFile(const std::string& path);
@@ -118,5 +120,24 @@ Status SaveSnapshot(const StateSnapshot& snapshot, std::ostream& out);
 Expected<std::string> SaveSnapshotToString(const StateSnapshot& snapshot);
 Status SaveSnapshotToFile(const StateSnapshot& snapshot,
                           const std::string& path);
+
+/// Binary snapshot format "b1" (DESIGN.md §7.10): an 8-byte magic + version,
+/// the scalar header, then a section table of length-prefixed sections whose
+/// payloads are raw little-endian IEEE-754 bit patterns (or integer words)
+/// laid out contiguously and 8-byte aligned — so a restore is a bounds check
+/// plus memcpy per section, and the payload region is mmap-friendly.  Each
+/// section additionally records one of three encodings chosen by size at
+/// save time: raw (contiguous words), run-length (repeated words collapse —
+/// step multipliers, settled flags), or sparse (index/value pairs of the
+/// non-zero words — retired lambda).  All encodings keep the exact bit
+/// patterns, so the round-trip is bitwise-identical like the text format.
+/// The loaders above sniff the magic, so binary files flow through the same
+/// Load* entry points.
+bool SnapshotBytesAreBinary(const std::string& bytes);
+Status SaveSnapshotBinary(const StateSnapshot& snapshot, std::string* out);
+Expected<std::string> SaveSnapshotBinaryToString(const StateSnapshot& snapshot);
+Status SaveSnapshotBinaryToFile(const StateSnapshot& snapshot,
+                                const std::string& path);
+Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes);
 
 }  // namespace lla

@@ -9,6 +9,8 @@ constexpr std::uint8_t kTagLatencyUpdate = 1;
 constexpr std::uint8_t kTagResourcePriceUpdate = 2;
 constexpr std::uint8_t kTagRepairRequest = 3;
 constexpr std::uint8_t kTagRepairResponse = 4;
+constexpr std::uint8_t kTagShardLatencyUpdate = 5;
+constexpr std::uint8_t kTagShardPriceUpdate = 6;
 
 class Writer {
  public:
@@ -88,6 +90,27 @@ std::vector<std::uint8_t> Serialize(const Message& message) {
                  std::get_if<RepairRequest>(&message.payload)) {
     w.U8(kTagRepairRequest);
     w.U32(request->resource.value());
+  } else if (const auto* shard_latency =
+                 std::get_if<ShardLatencyUpdate>(&message.payload)) {
+    w.U8(kTagShardLatencyUpdate);
+    w.U32(shard_latency->task.value());
+    w.U32(shard_latency->shard);
+    w.U32(static_cast<std::uint32_t>(shard_latency->subtasks.size()));
+    for (std::size_t i = 0; i < shard_latency->subtasks.size(); ++i) {
+      w.U32(shard_latency->subtasks[i].value());
+      w.F64(shard_latency->latencies_ms[i]);
+    }
+  } else if (const auto* shard_price =
+                 std::get_if<ShardPriceUpdate>(&message.payload)) {
+    w.U8(kTagShardPriceUpdate);
+    w.U32(shard_price->shard);
+    w.U32(shard_price->epoch);
+    w.U32(static_cast<std::uint32_t>(shard_price->resources.size()));
+    for (std::size_t i = 0; i < shard_price->resources.size(); ++i) {
+      w.U32(shard_price->resources[i].value());
+      w.F64(shard_price->mu[i]);
+      w.U8(shard_price->congested[i] ? 1 : 0);
+    }
   } else {
     const auto& repair = std::get<RepairResponse>(message.payload);
     w.U8(kTagRepairResponse);
@@ -167,6 +190,45 @@ std::optional<Message> Deserialize(const std::vector<std::uint8_t>& bytes) {
       repair.latencies_ms.push_back(latency);
     }
     message.payload = std::move(repair);
+  } else if (tag == kTagShardLatencyUpdate) {
+    ShardLatencyUpdate update;
+    std::uint32_t task = 0, count = 0;
+    if (!r.U32(&task) || !r.U32(&update.shard) || !r.U32(&count)) {
+      return std::nullopt;
+    }
+    update.task = TaskId(task);
+    update.subtasks.reserve(count);
+    update.latencies_ms.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t subtask = 0;
+      double latency = 0.0;
+      if (!r.U32(&subtask) || !r.F64(&latency)) return std::nullopt;
+      update.subtasks.push_back(SubtaskId(subtask));
+      update.latencies_ms.push_back(latency);
+    }
+    message.payload = std::move(update);
+  } else if (tag == kTagShardPriceUpdate) {
+    ShardPriceUpdate update;
+    std::uint32_t count = 0;
+    if (!r.U32(&update.shard) || !r.U32(&update.epoch) || !r.U32(&count)) {
+      return std::nullopt;
+    }
+    update.resources.reserve(count);
+    update.mu.reserve(count);
+    update.congested.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t resource = 0;
+      double mu = 0.0;
+      std::uint8_t congested = 0;
+      if (!r.U32(&resource) || !r.F64(&mu) || !r.U8(&congested) ||
+          congested > 1) {
+        return std::nullopt;
+      }
+      update.resources.push_back(ResourceId(resource));
+      update.mu.push_back(mu);
+      update.congested.push_back(congested);
+    }
+    message.payload = std::move(update);
   } else {
     return std::nullopt;
   }
@@ -184,6 +246,14 @@ std::size_t WireSize(const Message& message) {
   }
   if (std::holds_alternative<RepairRequest>(message.payload)) {
     return kHeader + 4;
+  }
+  if (const auto* shard_latency =
+          std::get_if<ShardLatencyUpdate>(&message.payload)) {
+    return kHeader + 4 + 4 + 4 + shard_latency->subtasks.size() * 12;
+  }
+  if (const auto* shard_price =
+          std::get_if<ShardPriceUpdate>(&message.payload)) {
+    return kHeader + 4 + 4 + 4 + shard_price->resources.size() * 13;
   }
   const auto& repair = std::get<RepairResponse>(message.payload);
   return kHeader + 4 + 4 + 8 + 4 + 1 + 4 + repair.subtasks.size() * 12;

@@ -83,8 +83,38 @@ struct RepairResponse {
   bool operator==(const RepairResponse&) const = default;
 };
 
+/// Sharded deployment (DESIGN.md §7.10): one controller's latencies for all
+/// of its subtasks hosted on one shard's resources, in a single message
+/// instead of one LatencyUpdate per resource.
+struct ShardLatencyUpdate {
+  TaskId task;
+  std::uint32_t shard = 0;
+  /// Parallel arrays: subtask[i] gets latency_ms[i].
+  std::vector<SubtaskId> subtasks;
+  std::vector<double> latencies_ms;
+
+  bool operator==(const ShardLatencyUpdate&) const = default;
+};
+
+/// One shard agent's whole price vector: every resource of the shard with
+/// its new mu and congestion flag, applied by receivers in one contiguous
+/// pass.  Collapses the per-round resource->controller traffic from
+/// O(resources) messages to O(shards).
+struct ShardPriceUpdate {
+  std::uint32_t shard = 0;
+  /// The shard's broadcast round (shared by all its resources).
+  std::uint32_t epoch = 0;
+  /// Parallel arrays over the shard's resources.
+  std::vector<ResourceId> resources;
+  std::vector<double> mu;
+  std::vector<std::uint8_t> congested;  ///< 0/1 per resource
+
+  bool operator==(const ShardPriceUpdate&) const = default;
+};
+
 using Payload = std::variant<LatencyUpdate, ResourcePriceUpdate,
-                             RepairRequest, RepairResponse>;
+                             RepairRequest, RepairResponse,
+                             ShardLatencyUpdate, ShardPriceUpdate>;
 
 struct Message {
   std::uint32_t sender = 0;    ///< EndpointId of the origin

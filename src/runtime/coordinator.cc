@@ -28,36 +28,70 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
   }
   bus_ = std::make_unique<net::InProcessBus>(config_.bus);
 
-  // Create agents, register endpoints, then bind (endpoint ids must all be
-  // known before binding).
-  std::vector<net::EndpointId> controller_endpoints(workload.task_count());
-  std::vector<net::EndpointId> resource_endpoints(workload.resource_count());
-
+  // Create agents, register endpoints into the member vectors, then bind
+  // (agents keep pointers into the member vectors, so the vectors must be in
+  // their final location and fully populated before binding).
+  controller_shared_ = std::make_unique<ControllerShared>(
+      workload, model, config_.solver);
   controllers_.reserve(workload.task_count());
   for (const TaskInfo& task : workload.tasks()) {
     controllers_.push_back(std::make_unique<TaskController>(
-        workload, model, task.id, config.step, config.solver));
+        workload, model, task.id, config.step, controller_shared_.get()));
   }
-  agents_.reserve(workload.resource_count());
-  for (const ResourceInfo& resource : workload.resources()) {
-    agents_.push_back(std::make_unique<ResourceAgent>(
-        workload, model, resource.id, config.step));
+  const bool sharded = config_.num_shards > 0;
+  if (sharded) {
+    const std::size_t resources = workload.resource_count();
+    const std::size_t shards = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.num_shards),
+        std::max<std::size_t>(resources, 1));
+    resource_shard_.assign(resources, 0);
+    shard_agents_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      // Contiguous partition: shard s owns [R*s/S, R*(s+1)/S).
+      const std::size_t first = resources * s / shards;
+      const std::size_t last = resources * (s + 1) / shards;
+      shard_agents_.push_back(std::make_unique<ShardAgent>(
+          workload, model, static_cast<std::uint32_t>(s),
+          ResourceId(static_cast<std::uint32_t>(first)), last - first,
+          config.step));
+      for (std::size_t r = first; r < last; ++r) {
+        resource_shard_[r] = static_cast<std::uint32_t>(s);
+      }
+    }
+  } else {
+    agents_.reserve(workload.resource_count());
+    for (const ResourceInfo& resource : workload.resources()) {
+      agents_.push_back(std::make_unique<ResourceAgent>(
+          workload, model, resource.id, config.step));
+    }
   }
 
   // Message endpoints; periodic async timers live on separate endpoints
   // created by ArmAsyncTimers.
   // (kept as members for failure injection)
+  controller_endpoints_.resize(workload.task_count());
   for (const TaskInfo& task : workload.tasks()) {
     TaskController* controller = controllers_[task.id.value()].get();
-    controller_endpoints[task.id.value()] = bus_->Register(
+    controller_endpoints_[task.id.value()] = bus_->Register(
         "controller/" + task.name,
         [controller](const net::Message& m) { controller->OnMessage(m); });
   }
-  for (const ResourceInfo& resource : workload.resources()) {
-    ResourceAgent* agent = agents_[resource.id.value()].get();
-    resource_endpoints[resource.id.value()] = bus_->Register(
-        "resource/" + resource.name,
-        [agent](const net::Message& m) { agent->OnMessage(m); });
+  if (sharded) {
+    shard_endpoints_.resize(shard_agents_.size());
+    for (std::size_t s = 0; s < shard_agents_.size(); ++s) {
+      ShardAgent* agent = shard_agents_[s].get();
+      shard_endpoints_[s] = bus_->Register(
+          "shard/" + std::to_string(s),
+          [agent](const net::Message& m) { agent->OnMessage(m); });
+    }
+  } else {
+    resource_endpoints_.resize(workload.resource_count());
+    for (const ResourceInfo& resource : workload.resources()) {
+      ResourceAgent* agent = agents_[resource.id.value()].get();
+      resource_endpoints_[resource.id.value()] = bus_->Register(
+          "resource/" + resource.name,
+          [agent](const net::Message& m) { agent->OnMessage(m); });
+    }
   }
   monitor_endpoint_ = bus_->Register(
       "monitor", nullptr, [this](std::uint64_t token) {
@@ -68,17 +102,23 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
       });
 
   for (const TaskInfo& task : workload.tasks()) {
-    controllers_[task.id.value()]->Bind(
-        bus_.get(), controller_endpoints[task.id.value()],
-        resource_endpoints);
+    TaskController* controller = controllers_[task.id.value()].get();
+    controller->Bind(bus_.get(), controller_endpoints_[task.id.value()],
+                     &resource_endpoints_);
+    if (sharded) controller->BindShards(&shard_endpoints_, &resource_shard_);
   }
-  for (const ResourceInfo& resource : workload.resources()) {
-    agents_[resource.id.value()]->Bind(bus_.get(),
-                                       resource_endpoints[resource.id.value()],
-                                       controller_endpoints);
+  if (sharded) {
+    for (std::size_t s = 0; s < shard_agents_.size(); ++s) {
+      shard_agents_[s]->Bind(bus_.get(), shard_endpoints_[s],
+                             &controller_endpoints_);
+    }
+  } else {
+    for (const ResourceInfo& resource : workload.resources()) {
+      agents_[resource.id.value()]->Bind(
+          bus_.get(), resource_endpoints_[resource.id.value()],
+          &controller_endpoints_);
+    }
   }
-  controller_endpoints_ = std::move(controller_endpoints);
-  resource_endpoints_ = std::move(resource_endpoints);
 
   recovery_hooks_ = RecoveryHooks::Resolve(config_.metrics);
   for (auto& controller : controllers_) {
@@ -104,6 +144,7 @@ void Coordinator::EmitRecoveryEvent(const char* type,
 }
 
 void Coordinator::CrashEndpoint(ResourceId resource) {
+  assert(!sharded());  // per-resource fault injection is unsharded-only
   const net::EndpointId endpoint = resource_endpoints_[resource.value()];
   bus_->CrashEndpoint(endpoint);
   agents_[resource.value()]->Crash();
@@ -120,6 +161,7 @@ void Coordinator::CrashEndpoint(TaskId task) {
 }
 
 void Coordinator::RestartEndpoint(ResourceId resource) {
+  assert(!sharded());  // per-resource fault injection is unsharded-only
   const net::EndpointId endpoint = resource_endpoints_[resource.value()];
   bus_->RestartEndpoint(endpoint);
   agents_[resource.value()]->ColdRestart();
@@ -143,6 +185,7 @@ void Coordinator::RestartEndpoint(TaskId task) {
 
 void Coordinator::RestartEndpoint(ResourceId resource,
                                   const ResourceAgentSnapshot& snapshot) {
+  assert(!sharded());  // per-resource fault injection is unsharded-only
   const net::EndpointId endpoint = resource_endpoints_[resource.value()];
   bus_->RestartEndpoint(endpoint);
   agents_[resource.value()]->RestoreFromSnapshot(snapshot);
@@ -167,6 +210,7 @@ void Coordinator::RestartEndpoint(TaskId task,
 
 ResourceAgentSnapshot Coordinator::CheckpointResource(
     ResourceId resource) const {
+  assert(!sharded());  // per-resource checkpointing is unsharded-only
   return agents_[resource.value()]->Snapshot();
 }
 
@@ -176,6 +220,7 @@ TaskControllerSnapshot Coordinator::CheckpointController(TaskId task) const {
 
 void Coordinator::PartitionResource(ResourceId resource,
                                     double duration_ms) {
+  assert(!sharded());  // per-resource fault injection is unsharded-only
   bus_->BlackoutEndpoint(resource_endpoints_[resource.value()],
                          bus_->now_ms() + duration_ms);
 }
@@ -190,6 +235,7 @@ RoundStats Coordinator::RunSyncRound() {
   for (auto& controller : controllers_) controller->AllocateAndSend();
   bus_->RunAll();
   for (auto& agent : agents_) agent->ComputePriceAndBroadcast();
+  for (auto& agent : shard_agents_) agent->ComputePricesAndBroadcast();
   bus_->RunAll();
   ++round_;
   if (rounds_counter_ != nullptr) rounds_counter_->Increment();
@@ -246,6 +292,20 @@ void Coordinator::ArmAsyncTimers() {
     bus_->ScheduleTimer(endpoint, phase, kResourceTimer);
     phase += config_.phase_spread_ms;
   }
+  for (std::size_t s = 0; s < shard_agents_.size(); ++s) {
+    ShardAgent* agent = shard_agents_[s].get();
+    const net::EndpointId endpoint =
+        bus_->Register("shard-timer/" + std::to_string(s), nullptr,
+                       [this, agent, endpoint_slot = s](std::uint64_t) {
+                         agent->ComputePricesAndBroadcast();
+                         bus_->ScheduleTimer(
+                             resource_timer_endpoints_[endpoint_slot],
+                             config_.resource_period_ms, kResourceTimer);
+                       });
+    resource_timer_endpoints_.push_back(endpoint);
+    bus_->ScheduleTimer(endpoint, phase, kResourceTimer);
+    phase += config_.phase_spread_ms;
+  }
   bus_->ScheduleTimer(monitor_endpoint_, config_.monitor_period_ms,
                       kMonitorTimer);
 }
@@ -272,13 +332,21 @@ Assignment Coordinator::CurrentAssignment() const {
 }
 
 void Coordinator::InvalidateModelCache() {
-  for (auto& controller : controllers_) controller->InvalidateModelCache();
+  controller_shared_->solver.InvalidateModelCache();
 }
 
 PriceVector Coordinator::CurrentPrices() const {
   PriceVector prices = PriceVector::Zero(*workload_);
-  for (const ResourceInfo& resource : workload_->resources()) {
-    prices.mu[resource.id.value()] = agents_[resource.id.value()]->mu();
+  if (sharded()) {
+    for (const ResourceInfo& resource : workload_->resources()) {
+      const ShardAgent& agent =
+          *shard_agents_[resource_shard_[resource.id.value()]];
+      prices.mu[resource.id.value()] = agent.mu(resource.id);
+    }
+  } else {
+    for (const ResourceInfo& resource : workload_->resources()) {
+      prices.mu[resource.id.value()] = agents_[resource.id.value()]->mu();
+    }
   }
   for (const TaskInfo& task : workload_->tasks()) {
     const auto& lambdas = controllers_[task.id.value()]->lambdas();
@@ -372,10 +440,18 @@ void Coordinator::EmitTrace(double at_ms, double utility,
   trace_.resource_mu.resize(workload_->resource_count());
   trace_.resource_step.resize(workload_->resource_count());
   for (const ResourceInfo& resource : workload_->resources()) {
-    const ResourceAgent& agent = *agents_[resource.id.value()];
-    trace_.resource_mu[resource.id.value()] = agent.mu();
-    trace_.resource_step[resource.id.value()] =
-        config_.step.gamma0 * agent.step_multiplier();
+    if (sharded()) {
+      const ShardAgent& agent =
+          *shard_agents_[resource_shard_[resource.id.value()]];
+      trace_.resource_mu[resource.id.value()] = agent.mu(resource.id);
+      trace_.resource_step[resource.id.value()] =
+          config_.step.gamma0 * agent.step_multiplier(resource.id);
+    } else {
+      const ResourceAgent& agent = *agents_[resource.id.value()];
+      trace_.resource_mu[resource.id.value()] = agent.mu();
+      trace_.resource_step[resource.id.value()] =
+          config_.step.gamma0 * agent.step_multiplier();
+    }
   }
   trace_.path_lambda.resize(workload_->path_count());
   trace_.path_step.resize(workload_->path_count());

@@ -29,6 +29,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/resource_agent.h"
+#include "runtime/shard_agent.h"
 #include "runtime/task_controller.h"
 
 namespace lla::runtime {
@@ -38,6 +39,13 @@ struct CoordinatorConfig {
   LatencySolverConfig solver;
   net::BusConfig bus;
   ConvergenceConfig convergence;
+  /// Sharded deployment (DESIGN.md §7.10): partition the resources into this
+  /// many shard agents, each owning a contiguous range and exchanging one
+  /// batched message per peer per round — O(shards) instead of O(resources)
+  /// coordinator round traffic.  0 (the default) keeps the classic
+  /// one-agent-per-resource deployment; per-resource fault injection
+  /// (crash/partition of a single resource) requires the unsharded mode.
+  int num_shards = 0;
   /// Relative utility change that triggers an enactment.
   double enactment_threshold = 0.01;
   /// Async mode: local re-optimization periods and initial phase stagger.
@@ -153,8 +161,15 @@ class Coordinator {
   const TaskController& controller(TaskId task) const {
     return *controllers_[task.value()];
   }
+  /// Unsharded mode only.
   const ResourceAgent& agent(ResourceId resource) const {
     return *agents_[resource.value()];
+  }
+  bool sharded() const { return !shard_agents_.empty(); }
+  std::size_t shard_count() const { return shard_agents_.size(); }
+  /// Sharded mode only.
+  const ShardAgent& shard_agent(std::size_t shard) const {
+    return *shard_agents_[shard];
   }
 
  private:
@@ -170,11 +185,18 @@ class Coordinator {
   const LatencyModel* model_;
   CoordinatorConfig config_;
   std::unique_ptr<net::InProcessBus> bus_;
+  /// One solver + full-size solve buffers shared by all controllers; must
+  /// precede controllers_ (they hold a pointer into it).
+  std::unique_ptr<ControllerShared> controller_shared_;
   std::vector<std::unique_ptr<TaskController>> controllers_;
-  std::vector<std::unique_ptr<ResourceAgent>> agents_;
+  std::vector<std::unique_ptr<ResourceAgent>> agents_;   ///< unsharded mode
+  std::vector<std::unique_ptr<ShardAgent>> shard_agents_;  ///< sharded mode
   net::EndpointId monitor_endpoint_ = 0;
   std::vector<net::EndpointId> controller_endpoints_;
   std::vector<net::EndpointId> resource_endpoints_;
+  std::vector<net::EndpointId> shard_endpoints_;
+  /// Sharded mode: the shard owning each resource.
+  std::vector<std::uint32_t> resource_shard_;
   std::vector<net::EndpointId> controller_timer_endpoints_;
   std::vector<net::EndpointId> resource_timer_endpoints_;
   bool async_armed_ = false;

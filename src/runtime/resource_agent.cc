@@ -29,11 +29,12 @@ ResourceAgent::ResourceAgent(const Workload& workload,
   task_incarnation_.assign(workload.task_count(), 0);
 }
 
-void ResourceAgent::Bind(net::InProcessBus* bus, net::EndpointId self,
-                         std::vector<net::EndpointId> controller_endpoints) {
+void ResourceAgent::Bind(
+    net::InProcessBus* bus, net::EndpointId self,
+    const std::vector<net::EndpointId>* controller_endpoints) {
   bus_ = bus;
   self_ = self;
-  controller_endpoints_ = std::move(controller_endpoints);
+  controller_endpoints_ = controller_endpoints;
 }
 
 bool ResourceAgent::AcceptIncarnation(TaskId task,
@@ -139,7 +140,7 @@ void ResourceAgent::SendRepairRequest() {
   for (TaskId task : client_tasks_) {
     net::Message message;
     message.sender = self_;
-    message.receiver = controller_endpoints_[task.value()];
+    message.receiver = (*controller_endpoints_)[task.value()];
     message.payload = request;
     bus_->Send(std::move(message));
   }
@@ -201,7 +202,7 @@ void ResourceAgent::ComputePriceAndBroadcast() {
   for (TaskId task : client_tasks_) {
     net::Message message;
     message.sender = self_;
-    message.receiver = controller_endpoints_[task.value()];
+    message.receiver = (*controller_endpoints_)[task.value()];
     message.payload = update;
     bus_->Send(std::move(message));
   }

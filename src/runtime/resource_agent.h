@@ -37,10 +37,10 @@ class ResourceAgent {
                 ResourceId resource, AgentStepConfig config);
 
   /// Wires the agent to the bus.  `controller_endpoints[t]` is the endpoint
-  /// of task t's controller; only controllers with subtasks on this resource
-  /// are messaged.
+  /// of task t's controller (non-owning; the coordinator keeps the vector
+  /// alive); only controllers with subtasks on this resource are messaged.
   void Bind(net::InProcessBus* bus, net::EndpointId self,
-            std::vector<net::EndpointId> controller_endpoints);
+            const std::vector<net::EndpointId>* controller_endpoints);
 
   /// Handles a LatencyUpdate destined for this resource.
   void OnMessage(const net::Message& message);
@@ -86,7 +86,7 @@ class ResourceAgent {
 
   net::InProcessBus* bus_ = nullptr;
   net::EndpointId self_ = 0;
-  std::vector<net::EndpointId> controller_endpoints_;
+  const std::vector<net::EndpointId>* controller_endpoints_ = nullptr;
   std::vector<TaskId> client_tasks_;  ///< tasks with subtasks here
 
   /// Latest latency per hosted subtask, indexed like

@@ -1,0 +1,103 @@
+// ShardAgent: the batched, many-resources-per-agent variant of
+// ResourceAgent for large deployments (DESIGN.md §7.10).
+//
+// A shard owns a contiguous range of resources.  Controllers send one
+// ShardLatencyUpdate per shard they touch (instead of one LatencyUpdate per
+// resource), and the shard answers each round with a single
+// ShardPriceUpdate per client carrying the batched prices of exactly the
+// resources that client uses on the shard — so the coordinator's per-round
+// message count drops from O(resources) to O(shards) per task without
+// inflating bytes on sparse workloads, while every per-resource quantity
+// (share sum, Eq. 8 price, adaptive step multiplier, congestion flag) is
+// computed exactly as the one-resource agent computes it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/latency_model.h"
+#include "model/workload.h"
+#include "net/bus.h"
+#include "runtime/resource_agent.h"
+
+namespace lla::runtime {
+
+class ShardAgent {
+ public:
+  /// The shard owns resources [first_resource, first_resource + count).
+  ShardAgent(const Workload& workload, const LatencyModel& model,
+             std::uint32_t shard, ResourceId first_resource,
+             std::size_t count, AgentStepConfig config);
+
+  /// Wires the agent to the bus.  `controller_endpoints[t]` is the endpoint
+  /// of task t's controller (non-owning; the coordinator keeps the vector
+  /// alive).  Only controllers with subtasks on this shard are messaged.
+  void Bind(net::InProcessBus* bus, net::EndpointId self,
+            const std::vector<net::EndpointId>* controller_endpoints);
+
+  /// Handles a ShardLatencyUpdate destined for this shard.
+  void OnMessage(const net::Message& message);
+
+  /// One price computation for every owned resource + a single batched
+  /// broadcast per client controller.
+  void ComputePricesAndBroadcast();
+
+  std::uint32_t shard() const { return shard_; }
+  std::size_t resource_count() const { return resources_.size(); }
+  bool Hosts(ResourceId r) const {
+    return r.value() >= first_ && r.value() < first_ + resources_.size();
+  }
+  double mu(ResourceId r) const { return mu_[Local(r)]; }
+  double step_multiplier(ResourceId r) const {
+    return gamma_multiplier_[Local(r)];
+  }
+  double ShareSum(ResourceId r) const;
+  bool Congested(ResourceId r) const;
+  std::uint32_t epoch() const { return epoch_; }
+  const std::vector<TaskId>& client_tasks() const { return client_tasks_; }
+
+ private:
+  std::size_t Local(ResourceId r) const { return r.value() - first_; }
+  /// Incarnation-gated acceptance of a peer controller's message.
+  bool AcceptIncarnation(TaskId task, std::uint32_t incarnation);
+
+  const Workload* workload_;
+  const LatencyModel* model_;
+  std::uint32_t shard_;
+  std::size_t first_;
+  AgentStepConfig config_;
+
+  net::InProcessBus* bus_ = nullptr;
+  net::EndpointId self_ = 0;
+  const std::vector<net::EndpointId>* controller_endpoints_ = nullptr;
+  std::vector<ResourceId> resources_;
+  std::vector<TaskId> client_tasks_;  ///< tasks with subtasks on the shard
+  /// client_resources_[c] = sorted local indices of the resources
+  /// client_tasks_[c] uses here; its per-round price update carries exactly
+  /// these (sending the whole shard vector to every client would blow the
+  /// round's byte volume up by shard_width / resources_per_task_per_shard).
+  std::vector<std::vector<std::uint32_t>> client_resources_;
+
+  /// Flattened latest-latency inputs: resource-local slice
+  /// [latency_offset_[i], latency_offset_[i+1]) holds the latencies of
+  /// workload.resource(resources_[i]).subtasks in hosted order.
+  std::vector<double> latencies_;
+  std::vector<std::size_t> latency_offset_;
+  /// Flat slot per hosted subtask id (only this shard's subtasks appear).
+  std::unordered_map<std::uint32_t, std::size_t> subtask_slot_;
+
+  /// Per-resource dual state, indexed by Local().
+  std::vector<double> mu_;
+  std::vector<double> gamma_multiplier_;
+  /// This round's congestion flags, filled by ComputePricesAndBroadcast
+  /// before the per-client sends (scratch; avoids re-deriving share sums).
+  std::vector<std::uint8_t> congested_;
+  std::uint32_t epoch_ = 0;
+
+  RecoveryHooks hooks_;
+  /// Highest sender incarnation seen per client task (stale rejection).
+  std::vector<std::uint32_t> task_incarnation_;
+};
+
+}  // namespace lla::runtime

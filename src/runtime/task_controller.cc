@@ -9,39 +9,84 @@ namespace lla::runtime {
 TaskController::TaskController(const Workload& workload,
                                const LatencyModel& model, TaskId task,
                                AgentStepConfig step_config,
-                               LatencySolverConfig solver_config)
+                               ControllerShared* shared)
     : workload_(&workload),
       model_(&model),
       task_(task),
       step_config_(step_config),
-      solver_(workload, model, solver_config) {
-  prices_ = PriceVector::Zero(workload);
-  scratch_latencies_.assign(workload.subtask_count(), 0.0);
+      shared_(shared) {
+  assert(shared_ != nullptr);
   const TaskInfo& info = workload.task(task);
   local_latencies_.assign(info.subtasks.size(), 0.0);
   local_lambdas_.assign(info.paths.size(), 0.0);
   path_gamma_multiplier_.assign(info.paths.size(), 1.0);
-  resource_congested_.assign(workload.resource_count(), false);
 
   std::set<ResourceId> used;
   for (SubtaskId sid : info.subtasks) {
     used.insert(workload.subtask(sid).resource);
   }
   used_resources_.assign(used.begin(), used.end());
-  resource_epoch_.assign(workload.resource_count(), 0);
-  resource_incarnation_.assign(workload.resource_count(), 0);
+  mu_cache_.assign(used_resources_.size(), 0.0);
+  used_congested_.assign(used_resources_.size(), 0);
+  used_epoch_.assign(used_resources_.size(), 0);
+  used_incarnation_.assign(used_resources_.size(), 0);
 }
 
-void TaskController::Bind(net::InProcessBus* bus, net::EndpointId self,
-                          std::vector<net::EndpointId> resource_endpoints) {
+void TaskController::Bind(
+    net::InProcessBus* bus, net::EndpointId self,
+    const std::vector<net::EndpointId>* resource_endpoints) {
   bus_ = bus;
   self_ = self;
-  resource_endpoints_ = std::move(resource_endpoints);
+  resource_endpoints_ = resource_endpoints;
 }
 
-bool TaskController::AcceptIncarnation(ResourceId resource,
+void TaskController::BindShards(
+    const std::vector<net::EndpointId>* shard_endpoints,
+    const std::vector<std::uint32_t>* resource_shard) {
+  shard_endpoints_ = shard_endpoints;
+  resource_shard_ = resource_shard;
+  shard_incarnation_.assign(shard_endpoints->size(), 0);
+
+  // Group this task's subtasks by owning shard once, so each send is a
+  // gather over precomputed index lists.
+  const TaskInfo& info = workload_->task(task_);
+  used_shards_.clear();
+  shard_subtasks_.clear();
+  for (std::size_t i = 0; i < info.subtasks.size(); ++i) {
+    const ResourceId resource = workload_->subtask(info.subtasks[i]).resource;
+    const std::uint32_t shard = (*resource_shard)[resource.value()];
+    auto it = std::find(used_shards_.begin(), used_shards_.end(), shard);
+    if (it == used_shards_.end()) {
+      used_shards_.push_back(shard);
+      shard_subtasks_.emplace_back();
+      it = used_shards_.end() - 1;
+    }
+    shard_subtasks_[static_cast<std::size_t>(it - used_shards_.begin())]
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+int TaskController::UsedIndex(ResourceId resource) const {
+  const auto it = std::lower_bound(used_resources_.begin(),
+                                   used_resources_.end(), resource);
+  if (it == used_resources_.end() || *it != resource) return -1;
+  return static_cast<int>(it - used_resources_.begin());
+}
+
+double TaskController::mu_seen(ResourceId r) const {
+  const int k = UsedIndex(r);
+  return k < 0 ? 0.0 : mu_cache_[static_cast<std::size_t>(k)];
+}
+
+std::uint32_t TaskController::mu_epoch_seen(ResourceId r) const {
+  const int k = UsedIndex(r);
+  return k < 0 ? 0u : used_epoch_[static_cast<std::size_t>(k)];
+}
+
+bool TaskController::AcceptIncarnation(std::vector<std::uint32_t>* watermarks,
+                                       std::size_t slot,
                                        std::uint32_t incarnation) {
-  std::uint32_t& seen = resource_incarnation_[resource.value()];
+  std::uint32_t& seen = (*watermarks)[slot];
   if (incarnation < seen) {
     if (hooks_.stale_rejected != nullptr) hooks_.stale_rejected->Increment();
     return false;
@@ -54,10 +99,34 @@ void TaskController::OnMessage(const net::Message& message) {
   if (crashed_) return;
   if (const auto* update =
           std::get_if<net::ResourcePriceUpdate>(&message.payload)) {
-    if (!AcceptIncarnation(update->resource, message.incarnation)) return;
-    prices_.mu[update->resource.value()] = update->mu;
-    resource_congested_[update->resource.value()] = update->congested;
-    resource_epoch_[update->resource.value()] = update->epoch;
+    const int k = UsedIndex(update->resource);
+    if (k < 0) return;  // misrouted; this task does not use the resource
+    const auto slot = static_cast<std::size_t>(k);
+    if (!AcceptIncarnation(&used_incarnation_, slot, message.incarnation)) {
+      return;
+    }
+    mu_cache_[slot] = update->mu;
+    used_congested_[slot] = update->congested ? 1 : 0;
+    used_epoch_[slot] = update->epoch;
+    return;
+  }
+  if (const auto* update =
+          std::get_if<net::ShardPriceUpdate>(&message.payload)) {
+    if (update->shard >= shard_incarnation_.size()) return;  // misrouted
+    if (!AcceptIncarnation(&shard_incarnation_, update->shard,
+                           message.incarnation)) {
+      return;
+    }
+    // One contiguous apply of the shard's batched entries (the shard sends
+    // this task exactly the resources it uses; unknown entries are skipped).
+    for (std::size_t i = 0; i < update->resources.size(); ++i) {
+      const int k = UsedIndex(update->resources[i]);
+      if (k < 0) continue;
+      const auto slot = static_cast<std::size_t>(k);
+      mu_cache_[slot] = update->mu[i];
+      used_congested_[slot] = update->congested[i];
+      used_epoch_[slot] = update->epoch;
+    }
     return;
   }
   if (const auto* request =
@@ -66,14 +135,20 @@ void TaskController::OnMessage(const net::Message& message) {
     // the agent's post-restart incarnation: adopting it as the watermark
     // makes every price the agent sent before its crash (still in flight,
     // or arriving out of order) rejectable as stale from this moment on.
-    if (!AcceptIncarnation(request->resource, message.incarnation)) return;
+    const int k = UsedIndex(request->resource);
+    if (k >= 0 &&
+        !AcceptIncarnation(&used_incarnation_, static_cast<std::size_t>(k),
+                           message.incarnation)) {
+      return;
+    }
     const TaskInfo& info = workload_->task(task_);
     net::RepairResponse repair;
     repair.resource = request->resource;
     repair.task = task_;
-    repair.mu = prices_.mu[request->resource.value()];
-    repair.epoch = resource_epoch_[request->resource.value()];
-    repair.congested = resource_congested_[request->resource.value()];
+    repair.mu = mu_seen(request->resource);
+    repair.epoch = mu_epoch_seen(request->resource);
+    repair.congested =
+        k >= 0 && used_congested_[static_cast<std::size_t>(k)] != 0;
     for (std::size_t i = 0; i < info.subtasks.size(); ++i) {
       const SubtaskId sid = info.subtasks[i];
       if (workload_->subtask(sid).resource != request->resource) continue;
@@ -93,14 +168,15 @@ void TaskController::Crash() { crashed_ = true; }
 
 void TaskController::ColdRestart() {
   crashed_ = false;
-  prices_ = PriceVector::Zero(*workload_);
+  std::fill(mu_cache_.begin(), mu_cache_.end(), 0.0);
   std::fill(local_latencies_.begin(), local_latencies_.end(), 0.0);
   std::fill(local_lambdas_.begin(), local_lambdas_.end(), 0.0);
   std::fill(path_gamma_multiplier_.begin(), path_gamma_multiplier_.end(),
             1.0);
-  std::fill(resource_congested_.begin(), resource_congested_.end(), false);
-  std::fill(resource_epoch_.begin(), resource_epoch_.end(), 0);
-  std::fill(resource_incarnation_.begin(), resource_incarnation_.end(), 0);
+  std::fill(used_congested_.begin(), used_congested_.end(), 0);
+  std::fill(used_epoch_.begin(), used_epoch_.end(), 0);
+  std::fill(used_incarnation_.begin(), used_incarnation_.end(), 0);
+  std::fill(shard_incarnation_.begin(), shard_incarnation_.end(), 0);
 }
 
 void TaskController::RestoreFromSnapshot(
@@ -112,24 +188,22 @@ void TaskController::RestoreFromSnapshot(
   }
   if (snapshot.local_lambdas.size() == local_lambdas_.size()) {
     local_lambdas_ = snapshot.local_lambdas;
-    const TaskInfo& info = workload_->task(task_);
-    for (std::size_t p = 0; p < info.paths.size(); ++p) {
-      prices_.lambda[info.paths[p].value()] = local_lambdas_[p];
-    }
   }
   if (snapshot.path_gamma_multiplier.size() == path_gamma_multiplier_.size()) {
     path_gamma_multiplier_ = snapshot.path_gamma_multiplier;
   }
-  if (snapshot.mu.size() == prices_.mu.size()) prices_.mu = snapshot.mu;
-  if (snapshot.resource_congested.size() == resource_congested_.size()) {
-    for (std::size_t r = 0; r < resource_congested_.size(); ++r) {
-      resource_congested_[r] = snapshot.resource_congested[r] != 0;
+  for (std::size_t k = 0; k < used_resources_.size(); ++k) {
+    const std::size_t r = used_resources_[k].value();
+    if (r < snapshot.mu.size()) mu_cache_[k] = snapshot.mu[r];
+    if (r < snapshot.resource_congested.size()) {
+      used_congested_[k] = snapshot.resource_congested[r];
+    }
+    if (r < snapshot.resource_epoch.size()) {
+      used_epoch_[k] = snapshot.resource_epoch[r];
     }
   }
-  if (snapshot.resource_epoch.size() == resource_epoch_.size()) {
-    resource_epoch_ = snapshot.resource_epoch;
-  }
-  std::fill(resource_incarnation_.begin(), resource_incarnation_.end(), 0);
+  std::fill(used_incarnation_.begin(), used_incarnation_.end(), 0);
+  std::fill(shard_incarnation_.begin(), shard_incarnation_.end(), 0);
 }
 
 TaskControllerSnapshot TaskController::Snapshot() const {
@@ -138,12 +212,17 @@ TaskControllerSnapshot TaskController::Snapshot() const {
   snapshot.local_latencies = local_latencies_;
   snapshot.local_lambdas = local_lambdas_;
   snapshot.path_gamma_multiplier = path_gamma_multiplier_;
-  snapshot.mu = prices_.mu;
-  snapshot.resource_congested.resize(resource_congested_.size());
-  for (std::size_t r = 0; r < resource_congested_.size(); ++r) {
-    snapshot.resource_congested[r] = resource_congested_[r] ? 1 : 0;
+  // The snapshot struct keeps the full-size layout for compatibility; only
+  // used entries are ever non-zero, exactly as the dense cache behaved.
+  snapshot.mu.assign(workload_->resource_count(), 0.0);
+  snapshot.resource_congested.assign(workload_->resource_count(), 0);
+  snapshot.resource_epoch.assign(workload_->resource_count(), 0);
+  for (std::size_t k = 0; k < used_resources_.size(); ++k) {
+    const std::size_t r = used_resources_[k].value();
+    snapshot.mu[r] = mu_cache_[k];
+    snapshot.resource_congested[r] = used_congested_[k];
+    snapshot.resource_epoch[r] = used_epoch_[k];
   }
-  snapshot.resource_epoch = resource_epoch_;
   return snapshot;
 }
 
@@ -152,10 +231,22 @@ void TaskController::AllocateAndSend() {
   if (crashed_) return;
   const TaskInfo& info = workload_->task(task_);
 
+  // Publish this task's slots of the shared solve buffers.  Other
+  // controllers' stale entries are never read: SolveTask only gathers the
+  // prices of this task's own resources and paths.
+  PriceVector& prices = shared_->prices;
+  for (std::size_t k = 0; k < used_resources_.size(); ++k) {
+    prices.mu[used_resources_[k].value()] = mu_cache_[k];
+  }
+  for (std::size_t p = 0; p < info.paths.size(); ++p) {
+    prices.lambda[info.paths[p].value()] = local_lambdas_[p];
+  }
+
   // 3. Latency allocation at the stored prices (Eq. 7).
-  solver_.SolveTask(task_, prices_, &scratch_latencies_);
+  Assignment& scratch = shared_->latencies;
+  shared_->solver.SolveTask(task_, prices, &scratch);
   for (std::size_t i = 0; i < info.subtasks.size(); ++i) {
-    local_latencies_[i] = scratch_latencies_[info.subtasks[i].value()];
+    local_latencies_[i] = scratch[info.subtasks[i].value()];
   }
 
   // 2'. Path price update (Eq. 9) with the adaptive per-path step: a path's
@@ -165,8 +256,9 @@ void TaskController::AllocateAndSend() {
     bool any_congested = false;
     double latency = 0.0;
     for (SubtaskId sid : path.subtasks) {
-      latency += scratch_latencies_[sid.value()];
-      if (resource_congested_[workload_->subtask(sid).resource.value()]) {
+      latency += scratch[sid.value()];
+      const int k = UsedIndex(workload_->subtask(sid).resource);
+      if (k >= 0 && used_congested_[static_cast<std::size_t>(k)] != 0) {
         any_congested = true;
       }
     }
@@ -180,10 +272,29 @@ void TaskController::AllocateAndSend() {
     const double slack = 1.0 - latency / path.critical_time_ms;
     local_lambdas_[p] =
         std::max(0.0, local_lambdas_[p] - gamma * slack);
-    prices_.lambda[info.paths[p].value()] = local_lambdas_[p];
   }
 
-  // 4. Send the new latencies, one message per resource used.
+  // 4. Send the new latencies: one batched message per shard touched, or —
+  // unsharded — one message per resource used.
+  if (shard_endpoints_ != nullptr) {
+    for (std::size_t s = 0; s < used_shards_.size(); ++s) {
+      net::ShardLatencyUpdate update;
+      update.task = task_;
+      update.shard = used_shards_[s];
+      update.subtasks.reserve(shard_subtasks_[s].size());
+      update.latencies_ms.reserve(shard_subtasks_[s].size());
+      for (std::uint32_t i : shard_subtasks_[s]) {
+        update.subtasks.push_back(info.subtasks[i]);
+        update.latencies_ms.push_back(local_latencies_[i]);
+      }
+      net::Message message;
+      message.sender = self_;
+      message.receiver = (*shard_endpoints_)[used_shards_[s]];
+      message.payload = std::move(update);
+      bus_->Send(std::move(message));
+    }
+    return;
+  }
   for (ResourceId resource : used_resources_) {
     net::LatencyUpdate update;
     update.task = task_;
@@ -195,7 +306,7 @@ void TaskController::AllocateAndSend() {
     }
     net::Message message;
     message.sender = self_;
-    message.receiver = resource_endpoints_[resource.value()];
+    message.receiver = (*resource_endpoints_)[resource.value()];
     message.payload = std::move(update);
     bus_->Send(std::move(message));
   }

@@ -6,7 +6,16 @@
 //   2. Compute the path prices lambda_p of the task's own paths (Eq. 9).
 //   3. Compute new latencies by zeroing the Lagrangian derivative (Eq. 7)
 //      — delegated to LatencySolver::SolveTask.
-//   4. Send the latencies to the resources hosting the subtasks.
+//   4. Send the latencies to the resources hosting the subtasks — or, in a
+//      sharded deployment, one batched message per shard touched.
+//
+// Controllers keep only O(task) state: compact per-used-resource caches plus
+// pointers into a ControllerShared block owned by the coordinator (one
+// solver and one full-size price/latency buffer for the whole fleet).  The
+// old layout — a LatencySolver and full PriceVector per controller — was
+// O(workload) per task and the memory wall at 10^5 subtasks.  Sharing is
+// race-free because controllers run on the single-threaded bus and each one
+// writes only its own task's slots before solving.
 #pragma once
 
 #include <cstdint>
@@ -21,28 +30,50 @@
 
 namespace lla::runtime {
 
+/// Per-coordinator state shared by every task controller: the latency
+/// solver (its invariant caches are O(workload)) and the full-size solve
+/// buffers its interface requires.
+struct ControllerShared {
+  ControllerShared(const Workload& workload, const LatencyModel& model,
+                   LatencySolverConfig solver_config)
+      : solver(workload, model, solver_config),
+        prices(PriceVector::Zero(workload)),
+        latencies(workload.subtask_count(), 0.0) {}
+
+  LatencySolver solver;
+  PriceVector prices;
+  Assignment latencies;
+};
+
 class TaskController {
  public:
+  /// `shared` is owned by the coordinator and must outlive the controller.
   TaskController(const Workload& workload, const LatencyModel& model,
                  TaskId task, AgentStepConfig step_config,
-                 LatencySolverConfig solver_config = {});
+                 ControllerShared* shared);
 
   /// Wires the controller to the bus.  `resource_endpoints[r]` is the
-  /// endpoint of resource r's agent.
+  /// endpoint of resource r's agent (non-owning; the coordinator keeps the
+  /// vector alive).
   void Bind(net::InProcessBus* bus, net::EndpointId self,
-            std::vector<net::EndpointId> resource_endpoints);
+            const std::vector<net::EndpointId>* resource_endpoints);
 
-  /// Handles a ResourcePriceUpdate destined for this controller.
+  /// Switches the controller to sharded sends: latencies go out as one
+  /// ShardLatencyUpdate per shard touched, and ShardPriceUpdates are
+  /// absorbed in one contiguous pass.  `resource_shard[r]` is the shard
+  /// owning resource r; `shard_endpoints[s]` its agent's endpoint (both
+  /// non-owning, coordinator-owned).
+  void BindShards(const std::vector<net::EndpointId>* shard_endpoints,
+                  const std::vector<std::uint32_t>* resource_shard);
+
+  /// Handles a ResourcePriceUpdate / ShardPriceUpdate destined for this
+  /// controller.
   void OnMessage(const net::Message& message);
 
   /// One latency allocation + path price update + broadcast.
   void AllocateAndSend();
 
   TaskId task() const { return task_; }
-
-  /// Drops the solver's cached model invariants (see
-  /// LatencySolver::InvalidateModelCache).
-  void InvalidateModelCache() { solver_.InvalidateModelCache(); }
 
   /// Latencies of this task's subtasks (indexed by local subtask order).
   const std::vector<double>& latencies() const { return local_latencies_; }
@@ -52,11 +83,9 @@ class TaskController {
   const std::vector<double>& path_step_multipliers() const {
     return path_gamma_multiplier_;
   }
-  double mu_seen(ResourceId r) const { return prices_.mu[r.value()]; }
+  double mu_seen(ResourceId r) const;
   /// Resource epoch at which mu_seen(r) was cached (repair provenance).
-  std::uint32_t mu_epoch_seen(ResourceId r) const {
-    return resource_epoch_[r.value()];
-  }
+  std::uint32_t mu_epoch_seen(ResourceId r) const;
 
   /// Crash-restart recovery (DESIGN.md §7.7); driven by the Coordinator in
   /// lockstep with the bus-side CrashEndpoint/RestartEndpoint.
@@ -71,37 +100,47 @@ class TaskController {
   bool crashed() const { return crashed_; }
 
  private:
-  /// Incarnation-gated acceptance of a resource agent's message.
-  bool AcceptIncarnation(ResourceId resource, std::uint32_t incarnation);
+  /// Index of `resource` in used_resources_, or -1 when this task has no
+  /// subtask there.
+  int UsedIndex(ResourceId resource) const;
+  /// Incarnation-gated acceptance of a peer's message; `slot` is a used-
+  /// resource index (unsharded) or a shard id (sharded).
+  bool AcceptIncarnation(std::vector<std::uint32_t>* watermarks,
+                         std::size_t slot, std::uint32_t incarnation);
   const Workload* workload_;
   const LatencyModel* model_;
   TaskId task_;
   AgentStepConfig step_config_;
-  LatencySolver solver_;
+  ControllerShared* shared_;
 
   net::InProcessBus* bus_ = nullptr;
   net::EndpointId self_ = 0;
-  std::vector<net::EndpointId> resource_endpoints_;
-  std::vector<ResourceId> used_resources_;
+  const std::vector<net::EndpointId>* resource_endpoints_ = nullptr;
+  const std::vector<net::EndpointId>* shard_endpoints_ = nullptr;
+  const std::vector<std::uint32_t>* resource_shard_ = nullptr;
+  std::vector<ResourceId> used_resources_;  ///< sorted
+  /// Sharded sends: the distinct shards this task touches, and for each the
+  /// (local subtask index) list going into its batched update (parallel to
+  /// used_shards_).
+  std::vector<std::uint32_t> used_shards_;
+  std::vector<std::vector<std::uint32_t>> shard_subtasks_;
 
-  /// Full-size price vector so SolveTask can be reused unchanged; only the
-  /// entries of used resources / own paths are ever non-zero.
-  PriceVector prices_;
-  Assignment scratch_latencies_;
+  /// Compact per-used-resource caches, parallel to used_resources_.
+  std::vector<double> mu_cache_;
+  std::vector<std::uint8_t> used_congested_;
+  std::vector<std::uint32_t> used_epoch_;
+
   std::vector<double> local_latencies_;
   std::vector<double> local_lambdas_;
-  /// Latest congestion flag per resource (from the price messages).
-  std::vector<bool> resource_congested_;
   /// Adaptive multiplier per local path.
   std::vector<double> path_gamma_multiplier_;
 
-  /// Recovery state: the epoch each cached mu was computed at (served back
-  /// in RepairResponses), the highest incarnation seen per resource agent,
-  /// and the crash flag.
+  /// Recovery state: the highest incarnation seen per used resource
+  /// (unsharded) or per shard (sharded), and the crash flag.
   RecoveryHooks hooks_;
   bool crashed_ = false;
-  std::vector<std::uint32_t> resource_epoch_;
-  std::vector<std::uint32_t> resource_incarnation_;
+  std::vector<std::uint32_t> used_incarnation_;
+  std::vector<std::uint32_t> shard_incarnation_;
 };
 
 }  // namespace lla::runtime

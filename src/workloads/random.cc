@@ -36,7 +36,14 @@ Expected<Workload> MakeRandomWorkload(const RandomWorkloadConfig& config) {
     resources.push_back(std::move(spec));
   }
 
+  // Persistent pool for scaled sampling: a partial Fisher-Yates of length n
+  // over any permutation yields a uniform distinct n-subset, so the pool
+  // need not be re-initialized between tasks.
+  std::vector<int> pool(config.num_resources);
+  std::iota(pool.begin(), pool.end(), 0);
+
   std::vector<TaskSpec> tasks;
+  std::vector<int> resource_ids;
   for (int t = 0; t < config.num_tasks; ++t) {
     const int n = config.min_subtasks +
                   static_cast<int>(rng.Below(
@@ -46,11 +53,22 @@ Expected<Workload> MakeRandomWorkload(const RandomWorkloadConfig& config) {
     task.name = "rand" + std::to_string(t);
     task.trigger = TriggerSpec::Periodic(config.trigger_period_ms);
 
-    // Distinct resources per task: shuffled prefix.
-    std::vector<int> resource_ids(config.num_resources);
-    std::iota(resource_ids.begin(), resource_ids.end(), 0);
-    for (int i = config.num_resources - 1; i > 0; --i) {
-      std::swap(resource_ids[i], resource_ids[rng.Below(i + 1)]);
+    // Distinct resources per task.
+    if (config.scaled_sampling) {
+      // Partial Fisher-Yates: O(n) draws against the persistent pool.
+      resource_ids.resize(n);
+      for (int i = 0; i < n; ++i) {
+        std::swap(pool[i],
+                  pool[i + rng.Below(config.num_resources - i)]);
+        resource_ids[i] = pool[i];
+      }
+    } else {
+      // Full shuffle, prefix taken (the original stream; seeds are pinned).
+      resource_ids.resize(config.num_resources);
+      std::iota(resource_ids.begin(), resource_ids.end(), 0);
+      for (int i = config.num_resources - 1; i > 0; --i) {
+        std::swap(resource_ids[i], resource_ids[rng.Below(i + 1)]);
+      }
     }
 
     for (int i = 0; i < n; ++i) {
@@ -107,6 +125,32 @@ Expected<Workload> MakeRandomWorkload(const RandomWorkloadConfig& config) {
   }
 
   return Workload::Create(std::move(resources), std::move(tasks));
+}
+
+RandomWorkloadConfig ScaledRandomWorkloadConfig(std::size_t num_subtasks,
+                                                std::uint64_t seed) {
+  RandomWorkloadConfig config;
+  config.seed = seed;
+  config.num_resources = static_cast<int>(
+      std::max<std::size_t>(8, num_subtasks / 200));
+  config.min_subtasks = 3;
+  config.max_subtasks = 6;
+  // Mean subtasks per task is (3+6)/2 = 4.5.
+  config.num_tasks = static_cast<int>(
+      std::max<std::size_t>(1, 2 * num_subtasks / 9));
+  config.extra_edge_prob = 0.15;
+  config.target_utilization = 0.8;
+  // Scale the trigger period with the expected per-resource load so the sum
+  // of min shares (wcet / period) per resource stays near 0.3 of capacity at
+  // any size — keeping both the hard min-share validity check and the
+  // equal-split schedulable witness comfortable.
+  const double per_resource =
+      static_cast<double>(num_subtasks) / config.num_resources;
+  const double mean_wcet = 0.5 * (config.min_wcet_ms + config.max_wcet_ms);
+  config.trigger_period_ms =
+      std::max(100.0, per_resource * mean_wcet / (0.3 * config.capacity));
+  config.scaled_sampling = true;
+  return config;
 }
 
 }  // namespace lla

@@ -35,8 +35,23 @@ struct RandomWorkloadConfig {
   double trigger_period_ms = 100.0;
   /// Utility f_i(x) = k*C_i - x.
   double utility_k = 2.0;
+  /// Samples each task's resources with a partial Fisher-Yates over a
+  /// persistent pool — O(subtasks) per task instead of O(num_resources) —
+  /// which is what makes 10^5-subtask generation cheap.  The draw produces
+  /// the same uniform distinct-subset distribution but a different RNG
+  /// stream, so it is opt-in to keep existing seeds byte-identical.
+  bool scaled_sampling = false;
 };
 
 Expected<Workload> MakeRandomWorkload(const RandomWorkloadConfig& config);
+
+/// The size-parameterized random_100k family (random_1k / random_10k /
+/// random_100k in the scale bench): ~`num_subtasks` subtasks spread over
+/// num_subtasks/200 resources (min 8) in tasks of 3-6 subtasks, with
+/// trigger periods scaled to the per-resource load so the per-resource
+/// min-share capacity check and the equal-split schedulable witness hold at
+/// any size.  Feed the result to MakeRandomWorkload.
+RandomWorkloadConfig ScaledRandomWorkloadConfig(std::size_t num_subtasks,
+                                                std::uint64_t seed = 1);
 
 }  // namespace lla

@@ -1,6 +1,7 @@
 #include "model/serialization.h"
 
 #include <cstdio>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -376,6 +377,220 @@ TEST(SnapshotSerializationTest, RejectsPriceVectorShapeMismatch) {
   auto saved = SaveSnapshotToString(snapshot);
   ASSERT_TRUE(saved.ok());
   EXPECT_FALSE(LoadSnapshotFromString(saved.value()).ok());
+}
+
+// --- Binary snapshot format "b1" (DESIGN.md §7.10).
+
+// Helpers that poke the fixed layout: magic(8) + version(4) + section
+// count(4) + scalars to byte 88, then 32-byte table entries
+// {id u32, elem_kind u8, encoding u8, pad u16, count u64, offset u64,
+// size u64}, then 8-byte aligned payload.
+constexpr std::size_t kB1Header = 88;
+constexpr std::size_t kB1Entry = 32;
+
+std::uint32_t B1SectionCount(const std::string& bytes) {
+  std::uint32_t count;
+  std::memcpy(&count, bytes.data() + 12, 4);
+  return count;
+}
+
+/// Byte offset of section `id`'s table entry, or npos.
+std::size_t B1FindEntry(const std::string& bytes, std::uint32_t id) {
+  for (std::uint32_t s = 0; s < B1SectionCount(bytes); ++s) {
+    std::uint32_t entry_id;
+    std::memcpy(&entry_id, bytes.data() + kB1Header + s * kB1Entry, 4);
+    if (entry_id == id) return kB1Header + s * kB1Entry;
+  }
+  return std::string::npos;
+}
+
+TEST(BinarySnapshotTest, RoundTripsBitExactlyAndDeterministically) {
+  const StateSnapshot original = MakeSnapshot();
+  auto bytes = SaveSnapshotBinaryToString(original);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(SnapshotBytesAreBinary(bytes.value()));
+  auto loaded = LoadSnapshotBinaryFromString(bytes.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ExpectSnapshotsEqual(original, loaded.value());
+  // Deterministic bytes: re-serializing the loaded snapshot reproduces the
+  // image exactly, so snapshot files diff/dedup cleanly.
+  auto again = SaveSnapshotBinaryToString(loaded.value());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(bytes.value(), again.value());
+}
+
+TEST(BinarySnapshotTest, GenericLoadersSniffTheMagic) {
+  const StateSnapshot original = MakeSnapshot();
+  auto bytes = SaveSnapshotBinaryToString(original);
+  ASSERT_TRUE(bytes.ok());
+  // String entry point.
+  auto loaded = LoadSnapshotFromString(bytes.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ExpectSnapshotsEqual(original, loaded.value());
+  // File entry point (std::istream path; the file is binary-safe).
+  const std::string path = ::testing::TempDir() + "/snapshot_b1.snap";
+  ASSERT_TRUE(SaveSnapshotBinaryToFile(original, path).ok());
+  auto from_file = LoadSnapshotFromFile(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.error();
+  ExpectSnapshotsEqual(original, from_file.value());
+  std::remove(path.c_str());
+  // Text bytes are not misidentified.
+  auto text = SaveSnapshotToString(original);
+  ASSERT_TRUE(text.ok());
+  EXPECT_FALSE(SnapshotBytesAreBinary(text.value()));
+}
+
+TEST(BinarySnapshotTest, RejectsEveryTruncation) {
+  auto bytes = SaveSnapshotBinaryToString(MakeSnapshot());
+  ASSERT_TRUE(bytes.ok());
+  const std::string& good = bytes.value();
+  // Any prefix that loses more than the trailing alignment padding (< 8
+  // bytes, bit-zero) must be rejected — header, section table, and payload
+  // truncations alike.
+  for (std::size_t len = 0; len + 8 <= good.size(); ++len) {
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(good.substr(0, len)).ok())
+        << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(BinarySnapshotTest, RejectsHeaderCorruption) {
+  auto bytes = SaveSnapshotBinaryToString(MakeSnapshot());
+  ASSERT_TRUE(bytes.ok());
+  const std::string& good = bytes.value();
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(LoadSnapshotBinaryFromString(bad_magic).ok());
+  EXPECT_FALSE(LoadSnapshotFromString(bad_magic).ok());  // nor as text
+
+  std::string bad_version = good;
+  bad_version[8] = 2;
+  EXPECT_FALSE(LoadSnapshotBinaryFromString(bad_version).ok());
+
+  std::string bad_count = good;  // section count beyond the actual table
+  bad_count[12] = static_cast<char>(0xff);
+  bad_count[13] = static_cast<char>(0xff);
+  EXPECT_FALSE(LoadSnapshotBinaryFromString(bad_count).ok());
+
+  std::string bad_flag = good;
+  bad_flag[80] = 2;  // converged must be 0/1
+  EXPECT_FALSE(LoadSnapshotBinaryFromString(bad_flag).ok());
+}
+
+TEST(BinarySnapshotTest, RejectsSectionTableCorruption) {
+  auto bytes = SaveSnapshotBinaryToString(MakeSnapshot());
+  ASSERT_TRUE(bytes.ok());
+  const std::string& good = bytes.value();
+  const std::size_t mu_entry = B1FindEntry(good, 1);
+  const std::size_t lambda_entry = B1FindEntry(good, 2);
+  ASSERT_NE(mu_entry, std::string::npos);
+  ASSERT_NE(lambda_entry, std::string::npos);
+
+  {
+    std::string bad = good;  // unknown section id
+    bad[mu_entry] = 99;
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // duplicate section id
+    bad[lambda_entry] = 1;
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // unknown element kind
+    bad[mu_entry + 4] = 7;
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // unknown encoding
+    bad[mu_entry + 5] = 9;
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // element count no longer matches payload size
+    ++bad[mu_entry + 8];
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // hostile count: must refuse to allocate
+    std::memset(bad.data() + mu_entry + 8, 0xff, 8);
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // misaligned payload offset
+    ++bad[mu_entry + 16];
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // offset past the payload region
+    std::memset(bad.data() + mu_entry + 16, 0x7f, 8);
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // size overrunning the payload region
+    std::memset(bad.data() + mu_entry + 24, 0x7f, 8);
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+}
+
+TEST(BinarySnapshotTest, RejectsCorruptCompressedPayloads) {
+  // Force the two compressed encodings: a mostly-zero f64 vector (sparse)
+  // and a constant f64 vector (rle), both longer than the table overhead.
+  StateSnapshot snapshot = MakeSnapshot();
+  snapshot.path_count = 64;
+  snapshot.lambda.assign(64, 0.0);
+  snapshot.lambda[5] = 0.25;  // sparse: 8 + 1*12 bytes << raw 512
+  snapshot.path_step_multiplier.assign(64, 1.0);  // rle: one run
+  snapshot.lambda_velocity.clear();
+  snapshot.lambda_base.clear();
+  snapshot.lambda_phase.clear();
+  snapshot.lambda_settled.clear();
+  snapshot.lambda_zero_epochs.clear();
+  snapshot.lambda_stable_epochs.clear();
+  snapshot.shadow_lambda.clear();
+  snapshot.prev_path_latencies.clear();
+  auto bytes = SaveSnapshotBinaryToString(snapshot);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& good = bytes.value();
+  ASSERT_TRUE(LoadSnapshotBinaryFromString(good).ok());
+
+  const std::size_t payload_start =
+      kB1Header + B1SectionCount(good) * kB1Entry;
+  const std::size_t lambda_entry = B1FindEntry(good, 2);
+  const std::size_t rle_entry = B1FindEntry(good, 4);
+  ASSERT_NE(lambda_entry, std::string::npos);
+  ASSERT_NE(rle_entry, std::string::npos);
+  std::uint8_t lambda_encoding =
+      static_cast<std::uint8_t>(good[lambda_entry + 5]);
+  std::uint8_t rle_encoding = static_cast<std::uint8_t>(good[rle_entry + 5]);
+  ASSERT_EQ(lambda_encoding, 2u);  // sparse
+  ASSERT_EQ(rle_encoding, 1u);     // rle
+  std::uint64_t lambda_off, rle_off;
+  std::memcpy(&lambda_off, good.data() + lambda_entry + 16, 8);
+  std::memcpy(&rle_off, good.data() + rle_entry + 16, 8);
+
+  {
+    std::string bad = good;  // sparse index out of range (>= count)
+    const std::uint32_t index = 64;
+    std::memcpy(bad.data() + payload_start + lambda_off + 8, &index, 4);
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // sparse nnz disagrees with section size
+    ++bad[payload_start + lambda_off];
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // rle run count disagrees with section size
+    ++bad[payload_start + rle_off];
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
+  {
+    std::string bad = good;  // rle run length exceeds the element count
+    const std::uint64_t run_len = 65;
+    std::memcpy(bad.data() + payload_start + rle_off + 8, &run_len, 8);
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
 }
 
 }  // namespace

@@ -72,7 +72,7 @@ void ExpectBitIdentical(const Trajectory& expected, const Trajectory& actual,
   }
 }
 
-enum class RoundTrip { kInMemory, kString, kFile };
+enum class RoundTrip { kInMemory, kString, kFile, kBinary };
 
 // Runs `pre` iterations, checkpoints, runs `post` more on the original
 // engine, then restores the snapshot (optionally via the serialized form)
@@ -100,6 +100,15 @@ void CheckResume(const Workload& workload, const LlaConfig& config, int pre,
     ASSERT_TRUE(loaded.ok()) << label << ": " << loaded.error();
     snapshot = loaded.value();
     std::remove(path.c_str());
+  } else if (round_trip == RoundTrip::kBinary) {
+    // Binary b1, deliberately loaded through the generic (magic-sniffing)
+    // entry point rather than the binary-specific one.
+    auto bytes = SaveSnapshotBinaryToString(snapshot);
+    ASSERT_TRUE(bytes.ok()) << label;
+    ASSERT_TRUE(SnapshotBytesAreBinary(bytes.value())) << label;
+    auto loaded = LoadSnapshotFromString(bytes.value());
+    ASSERT_TRUE(loaded.ok()) << label << ": " << loaded.error();
+    snapshot = loaded.value();
   }
 
   LlaEngine restored(workload, model, config);
@@ -157,6 +166,67 @@ TEST(RecoveryPropertyTest, SerializedSnapshotResumesBitIdentically) {
               "active via string");
   CheckResume(w, MakeConfig(1, /*active=*/true), 60, 60, RoundTrip::kFile,
               "active via file");
+}
+
+// Same guarantee for binary b1 (DESIGN.md §7.10): the RLE/sparse encodings
+// preserve exact bit patterns, so a binary round trip resumes the same
+// bitwise trajectory — dense and active-set, threads 1 and 8.
+TEST(RecoveryPropertyTest, BinarySnapshotResumesBitIdentically) {
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  for (const bool active : {false, true}) {
+    for (const int num_threads : {1, 8}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "binary %s threads=%d",
+                    active ? "active" : "dense", num_threads);
+      CheckResume(w, MakeConfig(num_threads, active), 60, 60,
+                  RoundTrip::kBinary, label);
+    }
+  }
+}
+
+// Cross-format identity: text -> binary -> text reproduces the first text
+// image byte-for-byte, and binary -> text -> binary reproduces the binary
+// image — neither format drops or perturbs any state the other carries.
+// Covers both a dense engine (active-set sections empty) and an active-set
+// engine (all 21 sections populated).
+TEST(RecoveryPropertyTest, TextBinaryCrossRoundTripIsLossless) {
+  auto workload = MakeScaledSimWorkload(2, /*scale_critical_times=*/true);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  for (const bool active : {false, true}) {
+    SCOPED_TRACE(active ? "active" : "dense");
+    LlaEngine engine(w, model, MakeConfig(active ? 8 : 1, active));
+    for (int i = 0; i < 60; ++i) engine.Step();
+    const StateSnapshot snapshot = engine.Checkpoint();
+
+    auto text = SaveSnapshotToString(snapshot);
+    auto binary = SaveSnapshotBinaryToString(snapshot);
+    ASSERT_TRUE(text.ok());
+    ASSERT_TRUE(binary.ok());
+    ASSERT_TRUE(SnapshotBytesAreBinary(binary.value()));
+    ASSERT_FALSE(SnapshotBytesAreBinary(text.value()));
+
+    // text -> load -> binary -> load -> text
+    auto from_text = LoadSnapshotFromString(text.value());
+    ASSERT_TRUE(from_text.ok()) << from_text.error();
+    auto binary2 = SaveSnapshotBinaryToString(from_text.value());
+    ASSERT_TRUE(binary2.ok());
+    ASSERT_EQ(binary.value().size(), binary2.value().size());
+    EXPECT_EQ(std::memcmp(binary.value().data(), binary2.value().data(),
+                          binary.value().size()),
+              0);
+    auto from_binary = LoadSnapshotFromString(binary2.value());
+    ASSERT_TRUE(from_binary.ok()) << from_binary.error();
+    auto text2 = SaveSnapshotToString(from_binary.value());
+    ASSERT_TRUE(text2.ok());
+    ASSERT_EQ(text.value().size(), text2.value().size());
+    EXPECT_EQ(std::memcmp(text.value().data(), text2.value().data(),
+                          text.value().size()),
+              0);
+  }
 }
 
 // A checkpoint taken at iteration 0 (before any step) must also restore: it

@@ -146,6 +146,50 @@ TEST(CliTest, CheckpointThenRestoreRoundTrips) {
   std::remove(snap.c_str());
 }
 
+// --format=binary writes a b1 image (magic bytes, no text header), and
+// `solve --restore=` sniffs the format — the same restore flag consumes
+// either encoding with no extra flag.
+TEST(CliTest, BinaryCheckpointRestoresThroughAutoDetection) {
+  const std::string snap = ::testing::TempDir() + "/cli_state_b1.snap";
+  std::remove(snap.c_str());
+  ASSERT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload + " " + snap +
+                   " --iters 50 --format=binary"),
+            0);
+  const std::string bytes = ReadFile(snap);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.compare(0, 8, "LLASNAPB"), 0);
+  EXPECT_EQ(bytes.find("snapshot v"), std::string::npos);
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload +
+                   " --restore=" + snap),
+            0);
+  std::remove(snap.c_str());
+}
+
+// --format=text is the explicit spelling of the default.
+TEST(CliTest, TextFormatFlagMatchesDefault) {
+  const std::string snap = ::testing::TempDir() + "/cli_state_text.snap";
+  std::remove(snap.c_str());
+  ASSERT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload + " " + snap +
+                   " --iters 50 --format=text"),
+            0);
+  EXPECT_NE(ReadFile(snap).find("snapshot v2"), std::string::npos);
+  std::remove(snap.c_str());
+}
+
+TEST(CliTest, InvalidFormatValueReturnsTwo) {
+  const std::string checkpoint = std::string("checkpoint ") + kPaperWorkload +
+                                 " " + ::testing::TempDir() +
+                                 "/cli_fmt.snap --iters 5";
+  EXPECT_EQ(RunCli(checkpoint + " --format=json"), 2);   // unknown format
+  EXPECT_EQ(RunCli(checkpoint + " --format=Binary"), 2); // case-sensitive
+  EXPECT_EQ(RunCli(checkpoint + " --format="), 2);       // empty value
+  EXPECT_EQ(RunCli(checkpoint + " --format"), 2);        // missing value
+  // --format belongs to checkpoint, not solve.
+  EXPECT_EQ(RunCli(std::string("solve ") + kPaperWorkload +
+                   " --format=binary"),
+            2);
+}
+
 TEST(CliTest, CheckpointAndRestoreErrors) {
   EXPECT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload), 2);
   EXPECT_EQ(RunCli(std::string("checkpoint ") + kPaperWorkload +
@@ -158,6 +202,10 @@ TEST(CliTest, CheckpointAndRestoreErrors) {
   // A corrupt snapshot is a load error (3), not a crash.
   const std::string bad = ::testing::TempDir() + "/cli_bad.snap";
   std::ofstream(bad) << "snapshot v1\nshape 1 1\n";  // malformed shape line
+  EXPECT_EQ(RunCli(solve + " --restore=" + bad), 3);
+
+  // So is a truncated binary snapshot (valid magic, cut-off body).
+  std::ofstream(bad, std::ios::binary) << "LLASNAPB\x01";
   EXPECT_EQ(RunCli(solve + " --restore=" + bad), 3);
   std::remove(bad.c_str());
 }

@@ -3,10 +3,15 @@
 //   lla solve <workload-file> [--variant sum|path-weighted] [--iters N]
 //       Optimize and print the latency assignment, shares and prices.
 //       --restore=path resumes the dual iteration from a state snapshot
-//       previously written by `lla checkpoint` (bit-identical resume).
+//       previously written by `lla checkpoint` (bit-identical resume); the
+//       snapshot format (text v1/v2 or binary b1) is auto-detected from the
+//       file's magic bytes.
 //   lla checkpoint <workload-file> <snapshot-file> [--iters N]
+//                  [--format=text|binary]
 //       Run N iterations, then save the engine's dual state (prices, step
-//       multipliers, active-set shadow state) as a durable snapshot.
+//       multipliers, active-set shadow state) as a durable snapshot — text
+//       by default (diff-able, DESIGN.md §7.7), binary b1 on request
+//       (compact, DESIGN.md §7.10).
 //   lla check <workload-file> [--iters N]
 //       Schedulability verdict (LLA run + Phase-I cross-check).
 //   lla simulate <workload-file> <seconds> [--sfs]
@@ -69,7 +74,7 @@ int Usage() {
                "[--momentum=B] [--restore=snapshot]\n"
                "  lla checkpoint <file> <snapshot> [--variant "
                "sum|path-weighted] [--iters N] [--threads=N] "
-               "[--epsilon-quiescence=X]\n"
+               "[--epsilon-quiescence=X] [--format=text|binary]\n"
                "            [--dynamics=plain|heavy-ball|nesterov] "
                "[--momentum=B]\n"
                "  lla check <file> [--iters N]\n"
@@ -322,7 +327,7 @@ int Solve(const Workload& w, UtilityVariant variant, int iters,
 int Checkpoint(const Workload& w, UtilityVariant variant, int iters,
                int threads, double epsilon_quiescence,
                const DynamicsConfig& dynamics,
-               const std::string& snapshot_path) {
+               const std::string& snapshot_path, bool binary_format) {
   LatencyModel model(w);
   LlaConfig config;
   config.solver.variant = variant;
@@ -332,16 +337,19 @@ int Checkpoint(const Workload& w, UtilityVariant variant, int iters,
   config.dynamics = dynamics;
   LlaEngine engine(w, model, config);
   const RunResult run = engine.Run(iters);
-  const Status saved = SaveSnapshotToFile(engine.Checkpoint(), snapshot_path);
+  const StateSnapshot snapshot = engine.Checkpoint();
+  const Status saved = binary_format
+                           ? SaveSnapshotBinaryToFile(snapshot, snapshot_path)
+                           : SaveSnapshotToFile(snapshot, snapshot_path);
   if (!saved.ok()) {
     std::fprintf(stderr, "error saving snapshot %s: %s\n",
                  snapshot_path.c_str(), saved.error().c_str());
     return kExitRuntimeError;
   }
-  std::printf("wrote %s at iteration %d (%s, utility %.6f); resume with "
-              "`lla solve ... --restore=%s`\n",
-              snapshot_path.c_str(), run.iterations,
-              run.converged ? "converged" : "not converged",
+  std::printf("wrote %s (%s) at iteration %d (%s, utility %.6f); resume "
+              "with `lla solve ... --restore=%s`\n",
+              snapshot_path.c_str(), binary_format ? "binary b1" : "text v2",
+              run.iterations, run.converged ? "converged" : "not converged",
               run.final_utility, snapshot_path.c_str());
   return kExitSuccess;
 }
@@ -590,6 +598,7 @@ int main(int argc, char** argv) {
     double epsilon_quiescence = 0.0;
     DynamicsConfig dynamics;
     std::string restore_path;
+    bool binary_format = false;
     bool threads_seen = false;
     for (int i = first_flag; i < argc; ++i) {
       bool is_threads = false;
@@ -606,6 +615,15 @@ int main(int argc, char** argv) {
                  std::strncmp(argv[i], "--restore=", 10) == 0) {
         restore_path = argv[i] + 10;
         if (restore_path.empty()) return Usage();
+      } else if (is_checkpoint &&
+                 std::strncmp(argv[i], "--format=", 9) == 0) {
+        // Strict: exactly "text" or "binary", anything else is usage (2).
+        const char* format = argv[i] + 9;
+        if (std::strcmp(format, "binary") == 0) {
+          binary_format = true;
+        } else if (std::strcmp(format, "text") != 0) {
+          return Usage();
+        }
       } else if (!MatchThreadsFlag(argc, argv, &i, &threads, &is_threads)) {
         return Usage();
       } else if (is_threads) {
@@ -631,7 +649,7 @@ int main(int argc, char** argv) {
     if (iters < 1) return Usage();
     if (is_checkpoint) {
       return Checkpoint(w, variant, iters, threads, epsilon_quiescence,
-                        dynamics, snapshot_path);
+                        dynamics, snapshot_path, binary_format);
     }
     return Solve(w, variant, iters, threads, epsilon_quiescence, dynamics,
                  restore_path);
