@@ -782,7 +782,9 @@ bool DecodeSection(const char* data, const SectionEntry& entry,
       return false;
     }
     const std::uint64_t runs = GetWord<std::uint64_t>(at);
-    if (entry.size != 8 + runs * (8 + width)) {
+    // Each run covers >= 1 element, so runs <= count; with count capped at
+    // kMaxSectionElems this also keeps the size product below u64 overflow.
+    if (runs > entry.count || entry.size != 8 + runs * (8 + width)) {
       *error = "rle section size does not match run count";
       return false;
     }

@@ -125,6 +125,7 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
     controller->set_recovery_hooks(recovery_hooks_);
   }
   for (auto& agent : agents_) agent->set_recovery_hooks(recovery_hooks_);
+  for (auto& shard : shard_agents_) shard->set_recovery_hooks(recovery_hooks_);
 }
 
 void Coordinator::EmitRecoveryEvent(const char* type,

@@ -66,6 +66,7 @@ void ShardAgent::OnMessage(const net::Message& message) {
   const auto* update = std::get_if<net::ShardLatencyUpdate>(&message.payload);
   if (update == nullptr) return;
   if (update->shard != shard_) return;  // misrouted; ignore
+  if (update->task.value() >= task_incarnation_.size()) return;  // unknown task
   if (!AcceptIncarnation(update->task, message.incarnation)) return;
   for (std::size_t i = 0; i < update->subtasks.size(); ++i) {
     const auto it = subtask_slot_.find(update->subtasks[i].value());

@@ -57,6 +57,8 @@ class ShardAgent {
   std::uint32_t epoch() const { return epoch_; }
   const std::vector<TaskId>& client_tasks() const { return client_tasks_; }
 
+  void set_recovery_hooks(const RecoveryHooks& hooks) { hooks_ = hooks; }
+
  private:
   std::size_t Local(ResourceId r) const { return r.value() - first_; }
   /// Incarnation-gated acceptance of a peer controller's message.

@@ -591,6 +591,17 @@ TEST(BinarySnapshotTest, RejectsCorruptCompressedPayloads) {
     std::memcpy(bad.data() + payload_start + rle_off + 8, &run_len, 8);
     EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
   }
+  {
+    // rle run count crafted so 8 + runs * 16 wraps u64 back to the real
+    // section size: without the runs <= count bound the size equality
+    // passes and the decode loop reads far past the section.
+    std::string bad = good;
+    std::uint64_t size;
+    std::memcpy(&size, bad.data() + rle_entry + 24, 8);
+    const std::uint64_t runs = ((size - 8) / 16) + (1ull << 60);
+    std::memcpy(bad.data() + payload_start + rle_off, &runs, 8);
+    EXPECT_FALSE(LoadSnapshotBinaryFromString(bad).ok());
+  }
 }
 
 }  // namespace
