@@ -1,25 +1,41 @@
-// bench_scale — the 10^3 / 10^4 / 10^5-subtask scale tier.
+// bench_scale — the 10^3 / 10^4 / 10^5 / 10^6-subtask scale tier.
 //
 // For each size of the random_100k family (ScaledRandomWorkloadConfig) this
 // records into BENCH_scale.json:
 //   * workload generation time and engine solve throughput (dense-mode
 //     steps/sec, plus final utility/feasibility after a bounded run),
 //   * snapshot size and serialize+deserialize time, text vs. binary b1,
-//   * coordinator sync-round latency, messages/round and bytes/round for the
-//     classic one-agent-per-resource deployment vs. the sharded one.
+//     plus the zero-copy mmap restore time (DESIGN.md §7.11),
+//   * coordinator sync-round latency (mean and p50/p99), messages/round and
+//     bytes/round for the classic one-agent-per-resource deployment vs. the
+//     sharded one, and a round-threads sweep of the parallel coordinator
+//     rounds with per-row effective_threads / clamped stamps.
 //
-// Acceptance gates (evaluated on the largest size; failure exits 1):
+// The random_1m tier runs sharded-only (the per-resource deployment would
+// queue ~2M messages per round) and is skipped in --quick mode to keep the
+// CI job bounded; its full-mode run demonstrates that a 10^6-subtask round
+// completes without exhausting memory.
+//
+// Acceptance gates (evaluated on random_100k; failure exits 1):
 //   * binary snapshot >= 5x smaller than text,
 //   * binary serialize+deserialize >= 10x faster than text,
 //   * binary round-trip bitwise-lossless,
 //   * sharded coordinator uses fewer messages per round than unsharded and
 //     ends within 1e-9 relative utility of it (sync rounds are numerically
-//     identical; the pin guards the claim).
+//     identical; the pin guards the claim),
+//   * the zero-copy wire path moves strictly fewer bytes per round than the
+//     id-carrying PR 8 format would on the same workload (analytic),
+//   * parallel rounds at 4 threads are >= 2x faster than serial delivery —
+//     suppressed (not failed) when the host has < 4 hardware threads, where
+//     every width clamps and the ratio is meaningless; the CI bench matrix
+//     runs on >= 4-thread runners, so the gate is real there.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -51,6 +67,16 @@ double BestMs(Fn&& fn, int reps = 3) {
   return best;
 }
 
+/// Nearest-rank percentile of a small sample (exact, not streamed — round
+/// counts here are tens, not thousands).
+double Percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = q * static_cast<double>(xs.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
 struct SizeSpec {
   const char* name;
   std::size_t subtasks;
@@ -60,6 +86,8 @@ struct SizeSpec {
 
 struct CoordinatorRun {
   double ms_per_round = 0.0;
+  double round_ms_p50 = 0.0;
+  double round_ms_p99 = 0.0;
   double messages_per_round = 0.0;
   double bytes_per_round = 0.0;
   double final_utility = 0.0;
@@ -67,9 +95,10 @@ struct CoordinatorRun {
 
 CoordinatorRun RunCoordinator(const Workload& workload,
                               const LatencyModel& model, int num_shards,
-                              int rounds) {
+                              int rounds, int round_threads = 1) {
   runtime::CoordinatorConfig config;
   config.num_shards = num_shards;
+  config.round_threads = round_threads;
   config.bus.base_delay_ms = 0.0;
   // The per-delivery serialize+deserialize self-check would dominate the
   // round timing at 10^5 subtasks; wire-format correctness is pinned by the
@@ -82,13 +111,21 @@ CoordinatorRun RunCoordinator(const Workload& workload,
   // latency inputs, so message counts are steady from round 2 on.
   coordinator.RunSyncRound();
   const net::BusStats before = coordinator.bus().stats();
+  std::vector<double> round_ms;
+  round_ms.reserve(static_cast<std::size_t>(rounds));
   const double start = NowSeconds();
-  for (int i = 0; i < rounds; ++i) coordinator.RunSyncRound();
+  for (int i = 0; i < rounds; ++i) {
+    const double round_start = NowSeconds();
+    coordinator.RunSyncRound();
+    round_ms.push_back((NowSeconds() - round_start) * 1e3);
+  }
   const double elapsed_ms = (NowSeconds() - start) * 1e3;
   const net::BusStats after = coordinator.bus().stats();
 
   CoordinatorRun run;
   run.ms_per_round = elapsed_ms / rounds;
+  run.round_ms_p50 = Percentile(round_ms, 0.50);
+  run.round_ms_p99 = Percentile(round_ms, 0.99);
   run.messages_per_round =
       static_cast<double>(after.sent - before.sent) / rounds;
   run.bytes_per_round =
@@ -97,29 +134,86 @@ CoordinatorRun RunCoordinator(const Workload& workload,
   return run;
 }
 
+/// Bytes one sync round would move under the PR 8 id-carrying wire format
+/// on this workload, from the message combinatorics alone: every round each
+/// controller sent one ShardLatencyUpdate per used shard carrying
+/// (resource u32, latency f64) pairs — 25 + 12*nsub bytes for nsub subtask
+/// entries — and each shard answered every client with one ShardPriceUpdate
+/// of (resource u32, mu f64, congested u8) triples — 25 + 13*nres bytes for
+/// the client's nres used resources in the shard.  The zero-copy format's
+/// measured bytes/round must come in strictly below this.
+double OldWireBytesPerRound(const Workload& workload, int num_shards) {
+  const std::size_t resources = workload.resource_count();
+  const std::size_t shards =
+      std::min<std::size_t>(static_cast<std::size_t>(num_shards),
+                            std::max<std::size_t>(resources, 1));
+  // Same contiguous partition the coordinator builds: shard s owns
+  // [R*s/S, R*(s+1)/S).
+  std::vector<std::uint32_t> shard_of(resources, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t first = resources * s / shards;
+    const std::size_t last = resources * (s + 1) / shards;
+    for (std::size_t r = first; r < last; ++r) {
+      shard_of[r] = static_cast<std::uint32_t>(s);
+    }
+  }
+  double bytes = 0.0;
+  std::vector<std::size_t> shard_subtasks(shards, 0);
+  std::vector<std::size_t> shard_resources(shards, 0);
+  std::vector<std::uint32_t> used;
+  for (const TaskInfo& task : workload.tasks()) {
+    std::fill(shard_subtasks.begin(), shard_subtasks.end(), 0);
+    std::fill(shard_resources.begin(), shard_resources.end(), 0);
+    used.clear();
+    for (SubtaskId sid : task.subtasks) {
+      const std::uint32_t r = workload.subtask(sid).resource.value();
+      ++shard_subtasks[shard_of[r]];
+      used.push_back(r);
+    }
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    for (std::uint32_t r : used) ++shard_resources[shard_of[r]];
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (shard_subtasks[s] > 0) bytes += 25.0 + 12.0 * shard_subtasks[s];
+      if (shard_resources[s] > 0) bytes += 25.0 + 13.0 * shard_resources[s];
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = bench::HasQuickFlag(argc, argv);
 
   bench::PrintHeader(
-      "bench_scale — 10^3/10^4/10^5-subtask scale tier",
-      "sharded resource agents + binary snapshot format (DESIGN.md §7.10)",
+      "bench_scale — 10^3/10^4/10^5/10^6-subtask scale tier",
+      "sharded agents, zero-copy wire + parallel rounds (DESIGN.md §7.10-11)",
       "binary snapshot >= 5x smaller and >= 10x faster than text; sharded "
-      "coordinator strictly fewer messages/round than per-resource agents");
+      "coordinator fewer messages and strictly fewer bytes per round than "
+      "the PR 8 wire format; 4-thread rounds >= 2x serial on >= 4-core "
+      "hosts");
 
   const int scale = quick ? 4 : 1;
   const std::vector<SizeSpec> sizes = {
       {"random_1k", 1000, 400 / scale, 40 / scale},
       {"random_10k", 10000, 200 / scale, 12 / scale},
       {"random_100k", 100000, 80 / scale, 8 / scale},
+      {"random_1m", 1000000, 4, 3},
   };
   const int num_shards = 8;
+  const std::vector<int> thread_sweep = {2, 4};
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
 
   bool gate_size = false, gate_time = false, gate_lossless = false;
-  bool gate_sharded = false;
+  bool gate_sharded = false, gate_bytes = false;
+  bool gate_speedup = false, speedup_suppressed = false;
   bench::JsonValue results = bench::JsonValue::Array();
   for (const SizeSpec& spec : sizes) {
+    if (quick && spec.subtasks >= 1000000) {
+      std::printf("\n--- %s skipped in --quick mode ---\n", spec.name);
+      continue;
+    }
     std::printf("\n--- %s (%zu subtasks requested) ---\n", spec.name,
                 spec.subtasks);
     const double gen_start = NowSeconds();
@@ -173,6 +267,27 @@ int main(int argc, char** argv) {
     const double binary_load_ms = BestMs([&] {
       if (!LoadSnapshotBinaryFromString(binary_bytes).ok()) std::abort();
     });
+    // Zero-copy restore (DESIGN.md §7.11): mmap the file, parse the
+    // non-owning view, materialize once — the path `lla solve --restore`
+    // takes for binary snapshots.
+    const std::string mmap_path = "bench_scale_snapshot.tmp";
+    double binary_mmap_load_ms = 0.0;
+    {
+      const Status saved = SaveSnapshotBinaryToFile(snapshot, mmap_path);
+      if (!saved.ok()) std::abort();
+      binary_mmap_load_ms = BestMs([&] {
+        auto mapped = MappedSnapshotFile::Open(mmap_path);
+        if (!mapped.ok()) std::abort();
+        auto view =
+            ParseSnapshotBinary(mapped.value().data(), mapped.value().size());
+        if (!view.ok()) std::abort();
+        const StateSnapshot materialized = MaterializeSnapshot(view.value());
+        if (materialized.resource_count != snapshot.resource_count) {
+          std::abort();
+        }
+      });
+      std::remove(mmap_path.c_str());
+    }
     // Bitwise losslessness: load the binary image and re-serialize; the
     // bytes must be identical (same standard the text path pins).
     bool lossless = false;
@@ -188,34 +303,144 @@ int main(int argc, char** argv) {
     const double time_ratio = (text_save_ms + text_load_ms) /
                               (binary_save_ms + binary_load_ms);
     std::printf("snapshot: text %zu B (save %.2f ms, load %.2f ms), binary "
-                "%zu B (save %.3f ms, load %.3f ms)\n",
+                "%zu B (save %.3f ms, load %.3f ms, mmap load %.3f ms)\n",
                 text_bytes.size(), text_save_ms, text_load_ms,
-                binary_bytes.size(), binary_save_ms, binary_load_ms);
+                binary_bytes.size(), binary_save_ms, binary_load_ms,
+                binary_mmap_load_ms);
     std::printf("snapshot: binary %.1fx smaller, %.1fx faster, lossless: "
                 "%s\n",
                 size_ratio, time_ratio, lossless ? "yes" : "NO");
 
-    // Coordinator round cost, per-resource agents vs sharded.
-    const CoordinatorRun unsharded =
-        RunCoordinator(workload, model, /*num_shards=*/0, spec.rounds);
+    // Coordinator round cost, per-resource agents vs sharded.  The 10^6
+    // tier runs sharded-only: the per-resource deployment would enqueue
+    // ~2 messages per subtask per round.
+    const bool run_unsharded = spec.subtasks < 1000000;
+    CoordinatorRun unsharded;
+    if (run_unsharded) {
+      unsharded =
+          RunCoordinator(workload, model, /*num_shards=*/0, spec.rounds);
+    }
     const CoordinatorRun sharded =
         RunCoordinator(workload, model, num_shards, spec.rounds);
     const double utility_rel_diff =
-        std::fabs(sharded.final_utility - unsharded.final_utility) /
-        std::max(1.0, std::fabs(unsharded.final_utility));
-    std::printf("coordinator: unsharded %.0f msgs/round (%.2f ms), sharded "
-                "[%d] %.0f msgs/round (%.2f ms), utility rel diff %.2e\n",
-                unsharded.messages_per_round, unsharded.ms_per_round,
-                num_shards, sharded.messages_per_round, sharded.ms_per_round,
-                utility_rel_diff);
+        run_unsharded
+            ? std::fabs(sharded.final_utility - unsharded.final_utility) /
+                  std::max(1.0, std::fabs(unsharded.final_utility))
+            : 0.0;
+    const double old_wire_bytes = OldWireBytesPerRound(workload, num_shards);
+    if (run_unsharded) {
+      std::printf("coordinator: unsharded %.0f msgs/round (%.2f ms), sharded "
+                  "[%d] %.0f msgs/round (%.2f ms), utility rel diff %.2e\n",
+                  unsharded.messages_per_round, unsharded.ms_per_round,
+                  num_shards, sharded.messages_per_round,
+                  sharded.ms_per_round, utility_rel_diff);
+    } else {
+      std::printf("coordinator: sharded [%d] %.0f msgs/round (%.2f ms), "
+                  "unsharded skipped at this size\n",
+                  num_shards, sharded.messages_per_round,
+                  sharded.ms_per_round);
+    }
+    std::printf("coordinator: sharded round p50 %.2f ms, p99 %.2f ms; "
+                "%.0f B/round (PR 8 wire format would use %.0f B/round)\n",
+                sharded.round_ms_p50, sharded.round_ms_p99,
+                sharded.bytes_per_round, old_wire_bytes);
 
-    if (spec.subtasks >= 100000) {
+    // Parallel round-threads sweep (DESIGN.md §7.11).  The fixed point is
+    // bit-identical at every width (parallel_round_property_test pins it);
+    // this measures wall-clock only.  Widths beyond the host's hardware
+    // threads are stamped clamped and carry no speedup column — a 1-core
+    // host would "measure" pure oversubscription noise.
+    bench::JsonValue parallel_rows = bench::JsonValue::Array();
+    double speedup_at_4 = 0.0;
+    bool clamped_at_4 = true;
+    for (int threads : thread_sweep) {
+      const int effective =
+          std::min(threads, static_cast<int>(hardware));
+      const bool clamped = effective < threads;
+      const CoordinatorRun run =
+          RunCoordinator(workload, model, num_shards, spec.rounds, threads);
+      bench::JsonValue row =
+          bench::JsonValue::Object()
+              .Add("round_threads", bench::JsonValue::Number(threads))
+              .Add("effective_threads", bench::JsonValue::Number(effective))
+              .Add("clamped", bench::JsonValue::Bool(clamped))
+              .Add("ms_per_round", bench::JsonValue::Number(run.ms_per_round))
+              .Add("round_ms_p50",
+                   bench::JsonValue::Number(run.round_ms_p50))
+              .Add("round_ms_p99",
+                   bench::JsonValue::Number(run.round_ms_p99));
+      if (!clamped) {
+        const double speedup = sharded.ms_per_round / run.ms_per_round;
+        row.Add("speedup_vs_serial", bench::JsonValue::Number(speedup));
+        std::printf("parallel rounds: %d threads %.2f ms/round "
+                    "(p50 %.2f, p99 %.2f), %.2fx vs serial\n",
+                    threads, run.ms_per_round, run.round_ms_p50,
+                    run.round_ms_p99, speedup);
+        if (threads == 4) {
+          speedup_at_4 = speedup;
+          clamped_at_4 = false;
+        }
+      } else {
+        std::printf("parallel rounds: %d threads clamped to %d on this host "
+                    "(%.2f ms/round, speedup suppressed)\n",
+                    threads, effective, run.ms_per_round);
+      }
+      parallel_rows.Push(std::move(row));
+    }
+
+    if (std::strcmp(spec.name, "random_100k") == 0) {
       gate_size = size_ratio >= 5.0;
       gate_time = time_ratio >= 10.0;
       gate_lossless = lossless;
       gate_sharded =
           sharded.messages_per_round < unsharded.messages_per_round &&
           utility_rel_diff <= 1e-9;
+      gate_bytes = sharded.bytes_per_round < old_wire_bytes;
+      if (clamped_at_4) {
+        // < 4 hardware threads: the ratio is oversubscription noise, not a
+        // speedup measurement.  Pass the gate as "suppressed" — the CI
+        // bench matrix (>= 4-thread runners) evaluates it for real.
+        gate_speedup = true;
+        speedup_suppressed = true;
+      } else {
+        gate_speedup = speedup_at_4 >= 2.0;
+        speedup_suppressed = false;
+      }
+    }
+
+    bench::JsonValue coordinator_json =
+        bench::JsonValue::Object()
+            .Add("rounds", bench::JsonValue::Number(spec.rounds))
+            .Add("num_shards", bench::JsonValue::Number(num_shards))
+            .Add("unsharded_skipped",
+                 bench::JsonValue::Bool(!run_unsharded))
+            .Add("sharded_messages_per_round",
+                 bench::JsonValue::Number(sharded.messages_per_round))
+            .Add("sharded_bytes_per_round",
+                 bench::JsonValue::Number(sharded.bytes_per_round))
+            .Add("old_wire_bytes_per_round",
+                 bench::JsonValue::Number(old_wire_bytes))
+            .Add("sharded_ms_per_round",
+                 bench::JsonValue::Number(sharded.ms_per_round))
+            .Add("sharded_round_ms_p50",
+                 bench::JsonValue::Number(sharded.round_ms_p50))
+            .Add("sharded_round_ms_p99",
+                 bench::JsonValue::Number(sharded.round_ms_p99))
+            .Add("parallel", std::move(parallel_rows));
+    if (run_unsharded) {
+      coordinator_json
+          .Add("unsharded_messages_per_round",
+               bench::JsonValue::Number(unsharded.messages_per_round))
+          .Add("unsharded_bytes_per_round",
+               bench::JsonValue::Number(unsharded.bytes_per_round))
+          .Add("unsharded_ms_per_round",
+               bench::JsonValue::Number(unsharded.ms_per_round))
+          .Add("unsharded_round_ms_p50",
+               bench::JsonValue::Number(unsharded.round_ms_p50))
+          .Add("unsharded_round_ms_p99",
+               bench::JsonValue::Number(unsharded.round_ms_p99))
+          .Add("utility_rel_diff",
+               bench::JsonValue::Number(utility_rel_diff));
     }
 
     results.Push(
@@ -259,45 +484,37 @@ int main(int argc, char** argv) {
                           bench::JsonValue::Number(binary_save_ms))
                      .Add("binary_load_ms",
                           bench::JsonValue::Number(binary_load_ms))
+                     .Add("binary_mmap_load_ms",
+                          bench::JsonValue::Number(binary_mmap_load_ms))
                      .Add("size_ratio", bench::JsonValue::Number(size_ratio))
                      .Add("time_ratio", bench::JsonValue::Number(time_ratio))
                      .Add("lossless", bench::JsonValue::Bool(lossless)))
-            .Add("coordinator",
-                 bench::JsonValue::Object()
-                     .Add("rounds", bench::JsonValue::Number(spec.rounds))
-                     .Add("num_shards",
-                          bench::JsonValue::Number(num_shards))
-                     .Add("unsharded_messages_per_round",
-                          bench::JsonValue::Number(
-                              unsharded.messages_per_round))
-                     .Add("sharded_messages_per_round",
-                          bench::JsonValue::Number(
-                              sharded.messages_per_round))
-                     .Add("unsharded_bytes_per_round",
-                          bench::JsonValue::Number(unsharded.bytes_per_round))
-                     .Add("sharded_bytes_per_round",
-                          bench::JsonValue::Number(sharded.bytes_per_round))
-                     .Add("unsharded_ms_per_round",
-                          bench::JsonValue::Number(unsharded.ms_per_round))
-                     .Add("sharded_ms_per_round",
-                          bench::JsonValue::Number(sharded.ms_per_round))
-                     .Add("utility_rel_diff",
-                          bench::JsonValue::Number(utility_rel_diff))));
+            .Add("coordinator", std::move(coordinator_json)));
   }
 
-  const bool pass = gate_size && gate_time && gate_lossless && gate_sharded;
+  const bool pass = gate_size && gate_time && gate_lossless &&
+                    gate_sharded && gate_bytes && gate_speedup;
   std::printf("\ngates on random_100k: size >= 5x: %s  time >= 10x: %s  "
-              "lossless: %s  sharded fewer msgs + same utility: %s\n",
+              "lossless: %s  sharded fewer msgs + same utility: %s  "
+              "fewer bytes than PR 8 wire: %s  parallel >= 2x @4t: %s\n",
               gate_size ? "PASS" : "FAIL", gate_time ? "PASS" : "FAIL",
               gate_lossless ? "PASS" : "FAIL",
-              gate_sharded ? "PASS" : "FAIL");
+              gate_sharded ? "PASS" : "FAIL", gate_bytes ? "PASS" : "FAIL",
+              speedup_suppressed ? "SUPPRESSED (host < 4 hw threads)"
+                                 : (gate_speedup ? "PASS" : "FAIL"));
 
   bench::JsonValue root =
       bench::BenchReportRoot("scale", "subtask_solves_per_sec", quick);
+  root.Add("hardware_concurrency",
+           bench::JsonValue::Number(static_cast<double>(hardware)));
   root.Add("binary_5x_smaller", bench::JsonValue::Bool(gate_size));
   root.Add("binary_10x_faster", bench::JsonValue::Bool(gate_time));
   root.Add("binary_lossless", bench::JsonValue::Bool(gate_lossless));
   root.Add("sharded_fewer_messages", bench::JsonValue::Bool(gate_sharded));
+  root.Add("fewer_bytes_than_old_wire", bench::JsonValue::Bool(gate_bytes));
+  root.Add("parallel_2x_speedup", bench::JsonValue::Bool(gate_speedup));
+  root.Add("parallel_gate_suppressed",
+           bench::JsonValue::Bool(speedup_suppressed));
   root.Add("results", std::move(results));
   if (bench::EmitBenchReport("BENCH_scale.json", root) != 0) return 1;
   return pass ? 0 : 1;

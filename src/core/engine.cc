@@ -329,6 +329,25 @@ StateSnapshot LlaEngine::Checkpoint() const {
 }
 
 Status LlaEngine::Restore(const StateSnapshot& snapshot) {
+  StateSnapshot copy = snapshot;
+  return RestoreImpl(std::move(copy));
+}
+
+Status LlaEngine::Restore(const SnapshotView& view) {
+  // Shape-check from the header scalars before decoding any section, so a
+  // foreign snapshot is refused without touching the payload (or the
+  // engine).
+  if (view.resource_count != workload_->resource_count() ||
+      view.path_count != workload_->path_count() ||
+      view.subtask_count != workload_->subtask_count() ||
+      view.task_count != workload_->task_count()) {
+    return Status::Error(
+        "Restore: snapshot shape does not match this workload");
+  }
+  return RestoreImpl(MaterializeSnapshot(view));
+}
+
+Status LlaEngine::RestoreImpl(StateSnapshot&& snapshot) {
   if (snapshot.resource_count != workload_->resource_count() ||
       snapshot.path_count != workload_->path_count() ||
       snapshot.subtask_count != workload_->subtask_count() ||
@@ -374,16 +393,16 @@ Status LlaEngine::Restore(const StateSnapshot& snapshot) {
           "Restore: snapshot active-set price state is misshapen");
     }
   }
-  prices_.mu = snapshot.mu;
-  prices_.lambda = snapshot.lambda;
+  prices_.mu = std::move(snapshot.mu);
+  prices_.lambda = std::move(snapshot.lambda);
   // Reset sizes the policy's vectors for this workload; LoadState then
   // overwrites the saved fields (and ignores a foreign-policy snapshot —
   // e.g. a fixed-policy checkpoint restored into an adaptive engine simply
   // keeps the reset state).
   step_policy_->Reset(*workload_);
   StepPolicyState policy_state;
-  policy_state.resource_multiplier = snapshot.resource_step_multiplier;
-  policy_state.path_multiplier = snapshot.path_step_multiplier;
+  policy_state.resource_multiplier = std::move(snapshot.resource_step_multiplier);
+  policy_state.path_multiplier = std::move(snapshot.path_step_multiplier);
   policy_state.iteration = snapshot.step_iteration;
   step_policy_->LoadState(policy_state);
   if (dynamics_ != nullptr) {
@@ -394,12 +413,12 @@ Status LlaEngine::Restore(const StateSnapshot& snapshot) {
     // checkpoint that never had momentum state.
     dynamics_->Reset(*workload_, prices_);
     DynamicsPolicyState dynamics_state;
-    dynamics_state.mu_velocity = snapshot.mu_velocity;
-    dynamics_state.lambda_velocity = snapshot.lambda_velocity;
-    dynamics_state.mu_base = snapshot.mu_base;
-    dynamics_state.lambda_base = snapshot.lambda_base;
-    dynamics_state.mu_phase = snapshot.mu_phase;
-    dynamics_state.lambda_phase = snapshot.lambda_phase;
+    dynamics_state.mu_velocity = std::move(snapshot.mu_velocity);
+    dynamics_state.lambda_velocity = std::move(snapshot.lambda_velocity);
+    dynamics_state.mu_base = std::move(snapshot.mu_base);
+    dynamics_state.lambda_base = std::move(snapshot.lambda_base);
+    dynamics_state.mu_phase = std::move(snapshot.mu_phase);
+    dynamics_state.lambda_phase = std::move(snapshot.lambda_phase);
     dynamics_state.restarts = snapshot.momentum_restarts;
     dynamics_->LoadState(dynamics_state);
   }
@@ -426,16 +445,18 @@ Status LlaEngine::Restore(const StateSnapshot& snapshot) {
     if (active_primes_ != nullptr) active_primes_->Increment();
     if (snapshot.price_state_primed) {
       price_state_.primed = true;
-      price_state_.mu_settled = snapshot.mu_settled;
-      price_state_.lambda_settled = snapshot.lambda_settled;
-      price_state_.mu_zero_epochs = snapshot.mu_zero_epochs;
-      price_state_.lambda_zero_epochs = snapshot.lambda_zero_epochs;
-      price_state_.mu_stable_epochs = snapshot.mu_stable_epochs;
-      price_state_.lambda_stable_epochs = snapshot.lambda_stable_epochs;
-      price_state_.shadow_mu = snapshot.shadow_mu;
-      price_state_.shadow_lambda = snapshot.shadow_lambda;
-      price_state_.prev_share_sums = snapshot.prev_share_sums;
-      price_state_.prev_path_latencies = snapshot.prev_path_latencies;
+      price_state_.mu_settled = std::move(snapshot.mu_settled);
+      price_state_.lambda_settled = std::move(snapshot.lambda_settled);
+      price_state_.mu_zero_epochs = std::move(snapshot.mu_zero_epochs);
+      price_state_.lambda_zero_epochs = std::move(snapshot.lambda_zero_epochs);
+      price_state_.mu_stable_epochs = std::move(snapshot.mu_stable_epochs);
+      price_state_.lambda_stable_epochs =
+          std::move(snapshot.lambda_stable_epochs);
+      price_state_.shadow_mu = std::move(snapshot.shadow_mu);
+      price_state_.shadow_lambda = std::move(snapshot.shadow_lambda);
+      price_state_.prev_share_sums = std::move(snapshot.prev_share_sums);
+      price_state_.prev_path_latencies =
+          std::move(snapshot.prev_path_latencies);
     }
   } else {
     solver_.SolveAll(prices_, &latencies_, pool_.get());

@@ -8,8 +8,18 @@
 #include <iomanip>
 #include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define LLA_HAVE_MMAP 1
+#endif
+
+#include "model/section_codec.h"
 #include "model/utility.h"
 
 namespace lla {
@@ -662,10 +672,6 @@ constexpr std::uint8_t kElemF64 = 0;
 constexpr std::uint8_t kElemU8 = 1;
 constexpr std::uint8_t kElemU32 = 2;
 
-constexpr std::uint8_t kEncodingRaw = 0;
-constexpr std::uint8_t kEncodingRle = 1;
-constexpr std::uint8_t kEncodingSparse = 2;
-
 std::size_t ElemWidth(std::uint8_t kind) {
   switch (kind) {
     case kElemF64: return 8;
@@ -675,18 +681,16 @@ std::size_t ElemWidth(std::uint8_t kind) {
   return 0;
 }
 
-template <typename T>
-void PutWord(std::string* out, T value) {
-  static_assert(std::endian::native == std::endian::little,
-                "snapshot b1 writes native little-endian words");
-  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+using b1::GetWord;
+using b1::PutWord;
 
-template <typename T>
-T GetWord(const char* at) {
-  T value;
-  std::memcpy(&value, at, sizeof(value));
-  return value;
+/// Element kind of each section id (the fixed catalogue; ids are part of
+/// the format).  0xff marks an unknown id.
+std::uint8_t SectionKind(std::uint32_t id) {
+  if (id >= 1 && id <= 15) return kElemF64;
+  if (id == 16 || id == 17) return kElemU8;
+  if (id >= 18 && id <= 21) return kElemU32;
+  return 0xff;
 }
 
 struct SectionEntry {
@@ -699,62 +703,15 @@ struct SectionEntry {
 };
 
 template <typename T>
-bool IsZeroWord(T v) {
-  // Bit-pattern zero, not value zero: -0.0 must round-trip as -0.0, so it
-  // does not qualify for the sparse encoding's implicit zeros.
-  T zero{};
-  return std::memcmp(&v, &zero, sizeof(T)) == 0;
-}
-
-template <typename T>
 void AppendSection(std::uint32_t id, std::uint8_t kind,
                    const std::vector<T>& values,
                    std::vector<SectionEntry>* table, std::string* payload) {
-  const std::size_t width = sizeof(T);
-  std::size_t runs = values.empty() ? 0 : 1;
-  std::size_t nnz = 0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i > 0 && std::memcmp(&values[i], &values[i - 1], width) != 0) ++runs;
-    if (!IsZeroWord(values[i])) ++nnz;
-  }
-  const std::size_t raw_size = values.size() * width;
-  const std::size_t rle_size = 8 + runs * (8 + width);
-  const bool sparse_ok = values.size() <= 0xffffffffull;
-  const std::size_t sparse_size =
-      sparse_ok ? 8 + nnz * (4 + width) : raw_size + 1;
-
   SectionEntry entry;
   entry.id = id;
   entry.elem_kind = kind;
   entry.count = values.size();
   entry.offset = payload->size();
-
-  if (rle_size < raw_size && rle_size <= sparse_size) {
-    entry.encoding = kEncodingRle;
-    PutWord<std::uint64_t>(payload, runs);
-    std::size_t i = 0;
-    while (i < values.size()) {
-      std::size_t j = i + 1;
-      while (j < values.size() &&
-             std::memcmp(&values[j], &values[i], width) == 0) {
-        ++j;
-      }
-      PutWord<std::uint64_t>(payload, j - i);
-      payload->append(reinterpret_cast<const char*>(&values[i]), width);
-      i = j;
-    }
-  } else if (sparse_ok && sparse_size < raw_size) {
-    entry.encoding = kEncodingSparse;
-    PutWord<std::uint64_t>(payload, nnz);
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (IsZeroWord(values[i])) continue;
-      PutWord<std::uint32_t>(payload, static_cast<std::uint32_t>(i));
-      payload->append(reinterpret_cast<const char*>(&values[i]), width);
-    }
-  } else {
-    entry.encoding = kEncodingRaw;
-    payload->append(reinterpret_cast<const char*>(values.data()), raw_size);
-  }
+  entry.encoding = b1::EncodeWords(values.data(), values.size(), payload);
   entry.size = payload->size() - entry.offset;
   // Keep every section 8-byte aligned from the payload start (and so from
   // the file start: header and table sizes are multiples of 8).
@@ -762,79 +719,34 @@ void AppendSection(std::uint32_t id, std::uint8_t kind,
   table->push_back(entry);
 }
 
-template <typename T>
-bool DecodeSection(const char* data, const SectionEntry& entry,
-                   std::vector<T>* out, std::string* error) {
-  const std::size_t width = sizeof(T);
-  const char* at = data + entry.offset;
-  out->resize(entry.count);
-  if (entry.encoding == kEncodingRaw) {
-    if (entry.size != entry.count * width) {
-      *error = "raw section size does not match element count";
-      return false;
-    }
-    std::memcpy(out->data(), at, entry.size);
-    return true;
-  }
-  if (entry.encoding == kEncodingRle) {
-    if (entry.size < 8) {
-      *error = "rle section too small for its run count";
-      return false;
-    }
-    const std::uint64_t runs = GetWord<std::uint64_t>(at);
-    // Each run covers >= 1 element, so runs <= count; with count capped at
-    // kMaxSectionElems this also keeps the size product below u64 overflow.
-    if (runs > entry.count || entry.size != 8 + runs * (8 + width)) {
-      *error = "rle section size does not match run count";
-      return false;
-    }
-    std::size_t filled = 0;
-    const char* run = at + 8;
-    for (std::uint64_t i = 0; i < runs; ++i) {
-      const std::uint64_t len = GetWord<std::uint64_t>(run);
-      if (len == 0 || len > entry.count - filled) {
-        *error = "rle runs do not sum to the element count";
-        return false;
-      }
-      T value;
-      std::memcpy(&value, run + 8, width);
-      std::fill_n(out->begin() + filled, len, value);
-      filled += len;
-      run += 8 + width;
-    }
-    if (filled != entry.count) {
-      *error = "rle runs do not sum to the element count";
-      return false;
-    }
-    return true;
-  }
-  if (entry.encoding == kEncodingSparse) {
-    if (entry.size < 8) {
-      *error = "sparse section too small for its entry count";
-      return false;
-    }
-    const std::uint64_t nnz = GetWord<std::uint64_t>(at);
-    if (entry.size != 8 + nnz * (4 + width) || nnz > entry.count) {
-      *error = "sparse section size does not match entry count";
-      return false;
-    }
-    std::fill(out->begin(), out->end(), T{});
-    const char* pair = at + 8;
-    std::uint64_t prev_plus_one = 0;
-    for (std::uint64_t i = 0; i < nnz; ++i) {
-      const std::uint32_t index = GetWord<std::uint32_t>(pair);
-      if (index >= entry.count || index + 1 <= prev_plus_one) {
-        *error = "sparse section indices not strictly increasing in range";
-        return false;
-      }
-      std::memcpy(&(*out)[index], pair + 4, width);
-      prev_plus_one = static_cast<std::uint64_t>(index) + 1;
-      pair += 4 + width;
-    }
-    return true;
+/// Structural validation of one section's encoding, as ValidateWords but
+/// dispatched on the runtime element kind.
+bool ValidateSectionWords(const char* at, std::uint64_t size,
+                          std::uint8_t encoding, std::uint8_t kind,
+                          std::uint64_t count, std::string* error) {
+  switch (kind) {
+    case kElemF64:
+      return b1::ValidateWords<double>(at, size, encoding, count, error);
+    case kElemU8:
+      return b1::ValidateWords<std::uint8_t>(at, size, encoding, count, error);
+    case kElemU32:
+      return b1::ValidateWords<std::uint32_t>(at, size, encoding, count,
+                                              error);
   }
   *error = "unknown section encoding";
   return false;
+}
+
+template <typename T>
+void MaterializeSectionImpl(const SnapshotSectionRef& section,
+                            std::vector<T>* out) {
+  out->resize(section.count);
+  if (!section.present() || section.count == 0) return;
+  std::string error;
+  // The view is pre-validated by ParseSnapshotBinary, so this cannot fail.
+  const bool ok = b1::DecodeWords(section.data, section.size, section.encoding,
+                                  section.count, out->data(), &error);
+  (void)ok;
 }
 
 /// The fixed section catalogue; ids are part of the format.
@@ -872,8 +784,12 @@ std::string BinaryError(const std::string& message) {
 }  // namespace
 
 bool SnapshotBytesAreBinary(const std::string& bytes) {
-  return bytes.size() >= sizeof(kBinaryMagic) &&
-         std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+  return SnapshotBytesAreBinary(bytes.data(), bytes.size());
+}
+
+bool SnapshotBytesAreBinary(const char* data, std::size_t size) {
+  return size >= sizeof(kBinaryMagic) &&
+         std::memcmp(data, kBinaryMagic, sizeof(kBinaryMagic)) == 0;
 }
 
 Status SaveSnapshotBinary(const StateSnapshot& snapshot, std::string* out) {
@@ -937,15 +853,16 @@ Status SaveSnapshotBinaryToFile(const StateSnapshot& snapshot,
   return Status{};
 }
 
-Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes) {
-  using E = Expected<StateSnapshot>;
-  if (!SnapshotBytesAreBinary(bytes)) {
+Expected<SnapshotView> ParseSnapshotBinary(const char* data,
+                                           std::size_t size) {
+  using E = Expected<SnapshotView>;
+  if (size < sizeof(kBinaryMagic) ||
+      std::memcmp(data, kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
     return E::Error(BinaryError("missing magic bytes"));
   }
-  if (bytes.size() < kBinaryHeaderSize) {
+  if (size < kBinaryHeaderSize) {
     return E::Error(BinaryError("truncated header"));
   }
-  const char* data = bytes.data();
   const std::uint32_t version = GetWord<std::uint32_t>(data + 8);
   if (version != kBinaryVersion) {
     return E::Error(BinaryError("unsupported version " +
@@ -955,30 +872,29 @@ Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes) {
   const std::size_t table_end =
       kBinaryHeaderSize +
       static_cast<std::size_t>(section_count) * kSectionEntrySize;
-  if (section_count > (bytes.size() - kBinaryHeaderSize) / kSectionEntrySize) {
+  if (section_count > (size - kBinaryHeaderSize) / kSectionEntrySize) {
     return E::Error(BinaryError("truncated section table"));
   }
 
-  StateSnapshot snap;
-  snap.resource_count = GetWord<std::uint64_t>(data + 16);
-  snap.path_count = GetWord<std::uint64_t>(data + 24);
-  snap.subtask_count = GetWord<std::uint64_t>(data + 32);
-  snap.task_count = GetWord<std::uint64_t>(data + 40);
-  snap.iteration = GetWord<std::int64_t>(data + 48);
-  snap.total_subtask_solves = GetWord<std::uint64_t>(data + 56);
-  snap.step_iteration = GetWord<std::int64_t>(data + 64);
-  snap.momentum_restarts = GetWord<std::uint64_t>(data + 72);
+  SnapshotView view;
+  view.resource_count = GetWord<std::uint64_t>(data + 16);
+  view.path_count = GetWord<std::uint64_t>(data + 24);
+  view.subtask_count = GetWord<std::uint64_t>(data + 32);
+  view.task_count = GetWord<std::uint64_t>(data + 40);
+  view.iteration = GetWord<std::int64_t>(data + 48);
+  view.total_subtask_solves = GetWord<std::uint64_t>(data + 56);
+  view.step_iteration = GetWord<std::int64_t>(data + 64);
+  view.momentum_restarts = GetWord<std::uint64_t>(data + 72);
   const std::uint8_t converged = static_cast<std::uint8_t>(data[80]);
   const std::uint8_t primed = static_cast<std::uint8_t>(data[81]);
   if (converged > 1 || primed > 1) {
     return E::Error(BinaryError("bad header flags"));
   }
-  snap.converged = converged == 1;
-  snap.price_state_primed = primed == 1;
+  view.converged = converged == 1;
+  view.price_state_primed = primed == 1;
 
   const char* payload = data + table_end;
-  const std::size_t payload_size = bytes.size() - table_end;
-  std::vector<std::uint32_t> seen_ids;
+  const std::size_t payload_size = size - table_end;
   for (std::uint32_t s = 0; s < section_count; ++s) {
     const char* row = data + kBinaryHeaderSize + s * kSectionEntrySize;
     SectionEntry entry;
@@ -990,11 +906,11 @@ Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes) {
     entry.size = GetWord<std::uint64_t>(row + 24);
 
     const std::string where = "section id " + std::to_string(entry.id);
-    if (std::find(seen_ids.begin(), seen_ids.end(), entry.id) !=
-        seen_ids.end()) {
+    const std::uint8_t kind = SectionKind(entry.id);
+    if (entry.id <= SnapshotView::kMaxSectionId &&
+        view.sections[entry.id].present()) {
       return E::Error(BinaryError("duplicate " + where));
     }
-    seen_ids.push_back(entry.id);
     if (ElemWidth(entry.elem_kind) == 0) {
       return E::Error(BinaryError(where + ": unknown element kind"));
     }
@@ -1005,35 +921,154 @@ Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes) {
         entry.size > payload_size - entry.offset) {
       return E::Error(BinaryError(where + ": payload out of bounds"));
     }
-
-    bool matched = false;
-    bool ok = true;
-    std::string decode_error;
-    SnapshotSections::ForEach(
-        &snap, [&](std::uint32_t id, std::uint8_t kind, auto* vec) {
-          if (id != entry.id || matched) return;
-          matched = true;
-          if (kind != entry.elem_kind) {
-            ok = false;
-            decode_error = "element kind does not match section id";
-            return;
-          }
-          ok = DecodeSection(payload, entry, vec, &decode_error);
-        });
-    if (!matched) {
+    if (kind == 0xff) {
       return E::Error(BinaryError("unknown " + where));
     }
-    if (!ok) {
+    if (kind != entry.elem_kind) {
+      return E::Error(
+          BinaryError(where + ": element kind does not match section id"));
+    }
+    // Full structural validation up front, so materialization — straight
+    // into the consumer's buffers, possibly much later — cannot fail.
+    std::string decode_error;
+    if (!ValidateSectionWords(payload + entry.offset, entry.size,
+                              entry.encoding, kind, entry.count,
+                              &decode_error)) {
       return E::Error(BinaryError(where + ": " + decode_error));
     }
+    SnapshotSectionRef& ref = view.sections[entry.id];
+    ref.elem_kind = entry.elem_kind;
+    ref.encoding = entry.encoding;
+    ref.count = entry.count;
+    ref.data = payload + entry.offset;
+    ref.size = entry.size;
   }
 
-  if (snap.mu.size() != snap.resource_count ||
-      snap.lambda.size() != snap.path_count) {
+  const std::uint64_t mu_count =
+      view.sections[1].present() ? view.sections[1].count : 0;
+  const std::uint64_t lambda_count =
+      view.sections[2].present() ? view.sections[2].count : 0;
+  if (mu_count != view.resource_count || lambda_count != view.path_count) {
     return E::Error(
         BinaryError("price vectors do not match declared shape"));
   }
+  return view;
+}
+
+void MaterializeSection(const SnapshotSectionRef& section,
+                        std::vector<double>* out) {
+  MaterializeSectionImpl(section, out);
+}
+
+void MaterializeSection(const SnapshotSectionRef& section,
+                        std::vector<std::uint8_t>* out) {
+  MaterializeSectionImpl(section, out);
+}
+
+void MaterializeSection(const SnapshotSectionRef& section,
+                        std::vector<std::uint32_t>* out) {
+  MaterializeSectionImpl(section, out);
+}
+
+StateSnapshot MaterializeSnapshot(const SnapshotView& view) {
+  StateSnapshot snap;
+  snap.resource_count = view.resource_count;
+  snap.path_count = view.path_count;
+  snap.subtask_count = view.subtask_count;
+  snap.task_count = view.task_count;
+  snap.iteration = view.iteration;
+  snap.converged = view.converged;
+  snap.total_subtask_solves = view.total_subtask_solves;
+  snap.step_iteration = view.step_iteration;
+  snap.momentum_restarts = view.momentum_restarts;
+  snap.price_state_primed = view.price_state_primed;
+  SnapshotSections::ForEach(
+      &snap, [&](std::uint32_t id, std::uint8_t kind, auto* vec) {
+        (void)kind;
+        MaterializeSection(view.sections[id], vec);
+      });
   return snap;
+}
+
+Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes) {
+  Expected<SnapshotView> view = ParseSnapshotBinary(bytes.data(), bytes.size());
+  if (!view.ok()) return Expected<StateSnapshot>::Error(view.error());
+  return MaterializeSnapshot(view.value());
+}
+
+MappedSnapshotFile::MappedSnapshotFile(MappedSnapshotFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+}
+
+MappedSnapshotFile& MappedSnapshotFile::operator=(
+    MappedSnapshotFile&& other) noexcept {
+  if (this == &other) return *this;
+  this->~MappedSnapshotFile();
+  new (this) MappedSnapshotFile(std::move(other));
+  return *this;
+}
+
+MappedSnapshotFile::~MappedSnapshotFile() {
+#if defined(LLA_HAVE_MMAP)
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Expected<MappedSnapshotFile> MappedSnapshotFile::Open(const std::string& path) {
+  using E = Expected<MappedSnapshotFile>;
+  MappedSnapshotFile file;
+#if defined(LLA_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+      const std::size_t size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        file.data_ = "";
+        file.size_ = 0;
+        return file;
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        file.data_ = static_cast<const char*>(map);
+        file.size_ = size;
+        file.mapped_ = true;
+        return file;
+      }
+    } else {
+      ::close(fd);
+    }
+    // fstat/mmap failure: fall through to the buffered read.
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return E::Error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return E::Error("cannot read '" + path + "'");
+  }
+  file.fallback_ = buffer.str();
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  file.mapped_ = false;
+  return file;
 }
 
 }  // namespace lla

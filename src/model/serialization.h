@@ -134,10 +134,91 @@ Status SaveSnapshotToFile(const StateSnapshot& snapshot,
 /// The loaders above sniff the magic, so binary files flow through the same
 /// Load* entry points.
 bool SnapshotBytesAreBinary(const std::string& bytes);
+bool SnapshotBytesAreBinary(const char* data, std::size_t size);
 Status SaveSnapshotBinary(const StateSnapshot& snapshot, std::string* out);
 Expected<std::string> SaveSnapshotBinaryToString(const StateSnapshot& snapshot);
 Status SaveSnapshotBinaryToFile(const StateSnapshot& snapshot,
                                 const std::string& path);
 Expected<StateSnapshot> LoadSnapshotBinaryFromString(const std::string& bytes);
+
+/// Zero-copy restore path (DESIGN.md §7.11): a parsed, NON-OWNING view of a
+/// binary b1 snapshot.  ParseSnapshotBinary decodes the scalar header and
+/// fully validates the section table and every section's encoding structure
+/// — exactly the checks LoadSnapshotBinaryFromString performs, with the
+/// same error strings — but leaves the section payloads as byte ranges
+/// aliasing the caller's buffer (an mmap'd file, typically).  Materializing
+/// a section afterwards is a single decode pass straight into the
+/// consumer's own vector (one memcpy for raw sections), with no
+/// intermediate StateSnapshot and no whole-file std::string; it cannot fail
+/// on a parsed view.  The backing bytes must outlive the view.
+struct SnapshotSectionRef {
+  std::uint8_t elem_kind = 0;
+  std::uint8_t encoding = 0;
+  std::uint64_t count = 0;
+  const char* data = nullptr;  ///< encoded payload bytes (aliased)
+  std::uint64_t size = 0;
+  bool present() const { return data != nullptr; }
+};
+
+struct SnapshotView {
+  std::uint64_t resource_count = 0;
+  std::uint64_t path_count = 0;
+  std::uint64_t subtask_count = 0;
+  std::uint64_t task_count = 0;
+  std::int64_t iteration = 0;
+  bool converged = false;
+  std::uint64_t total_subtask_solves = 0;
+  std::int64_t step_iteration = 0;
+  std::uint64_t momentum_restarts = 0;
+  bool price_state_primed = false;
+  /// Indexed by section id (1..21, slot 0 unused); absent sections have
+  /// data == nullptr and materialize as empty vectors.
+  static constexpr std::size_t kMaxSectionId = 21;
+  SnapshotSectionRef sections[kMaxSectionId + 1];
+};
+
+Expected<SnapshotView> ParseSnapshotBinary(const char* data, std::size_t size);
+
+/// Decodes every section of a parsed view into an owning StateSnapshot (the
+/// one copy of the zero-copy path).  LoadSnapshotBinaryFromString is
+/// exactly ParseSnapshotBinary + this.
+StateSnapshot MaterializeSnapshot(const SnapshotView& view);
+
+/// Per-section materialization for consumers that decode straight into
+/// their own buffers (LlaEngine::Restore(const SnapshotView&)).  `out` is
+/// resized to the section's count; an absent section yields an empty
+/// vector.  The view must come from ParseSnapshotBinary (pre-validated).
+void MaterializeSection(const SnapshotSectionRef& section,
+                        std::vector<double>* out);
+void MaterializeSection(const SnapshotSectionRef& section,
+                        std::vector<std::uint8_t>* out);
+void MaterializeSection(const SnapshotSectionRef& section,
+                        std::vector<std::uint32_t>* out);
+
+/// A read-only file mapping for the zero-copy restore: mmap where the
+/// platform has it, falling back to one read into a heap buffer.  Move-only;
+/// unmaps/frees on destruction.
+class MappedSnapshotFile {
+ public:
+  MappedSnapshotFile() = default;
+  MappedSnapshotFile(MappedSnapshotFile&& other) noexcept;
+  MappedSnapshotFile& operator=(MappedSnapshotFile&& other) noexcept;
+  MappedSnapshotFile(const MappedSnapshotFile&) = delete;
+  MappedSnapshotFile& operator=(const MappedSnapshotFile&) = delete;
+  ~MappedSnapshotFile();
+
+  static Expected<MappedSnapshotFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  /// True when the bytes come from an actual mmap (false: heap fallback).
+  bool mapped() const { return mapped_; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  ///< owns the bytes when !mapped_
+};
 
 }  // namespace lla

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "model/section_codec.h"
+
 namespace lla::net {
 namespace {
 
@@ -11,6 +13,11 @@ constexpr std::uint8_t kTagRepairRequest = 3;
 constexpr std::uint8_t kTagRepairResponse = 4;
 constexpr std::uint8_t kTagShardLatencyUpdate = 5;
 constexpr std::uint8_t kTagShardPriceUpdate = 6;
+
+/// Entry-count ceiling for the positional shard payloads: rejects count
+/// fields that would drive huge decode allocations before the size checks
+/// can catch them (2^24 entries is ~134 MB of f64 — far beyond any shard).
+constexpr std::uint32_t kMaxShardEntries = 1u << 24;
 
 class Writer {
  public:
@@ -24,6 +31,10 @@ class Writer {
     std::uint64_t bits;
     std::memcpy(&bits, &v, sizeof(bits));
     for (int i = 0; i < 8; ++i) out_->push_back((bits >> (8 * i)) & 0xff);
+  }
+  void Bytes(const char* data, std::size_t size) {
+    out_->insert(out_->end(), reinterpret_cast<const std::uint8_t*>(data),
+                 reinterpret_cast<const std::uint8_t*>(data) + size);
   }
 
  private:
@@ -56,6 +67,13 @@ class Reader {
     std::memcpy(v, &bits, sizeof(*v));
     return true;
   }
+  /// Remaining bytes (the positional payloads extend to the end of the
+  /// message, so their length is implicit).
+  std::size_t Remaining() const { return in_.size() - pos_; }
+  const char* Here() const {
+    return reinterpret_cast<const char*>(in_.data()) + pos_;
+  }
+  void Skip(std::size_t n) { pos_ += n; }
   bool AtEnd() const { return pos_ == in_.size(); }
 
  private:
@@ -63,7 +81,103 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+void AppendPackedBitset(const std::uint8_t* bits01, std::size_t count,
+                        std::string* arena) {
+  for (std::size_t base = 0; base < count; base += 8) {
+    unsigned char byte = 0;
+    for (std::size_t j = 0; j < 8 && base + j < count; ++j) {
+      if (bits01[base + j] != 0) byte |= static_cast<unsigned char>(1u << j);
+    }
+    arena->push_back(static_cast<char>(byte));
+  }
+}
+
 }  // namespace
+
+WireSlice WireSlice::Copy(const char* data, std::size_t size) {
+  auto arena = std::make_shared<const std::string>(data, size);
+  return WireSlice(std::move(arena), 0, static_cast<std::uint32_t>(size));
+}
+
+ArenaSpan AppendShardLatencyPayload(const double* latencies,
+                                    std::size_t count, std::string* arena) {
+  ArenaSpan span;
+  span.offset = static_cast<std::uint32_t>(arena->size());
+  arena->push_back('\0');  // encoding byte, patched after EncodeWords
+  const std::uint8_t encoding = b1::EncodeWords(latencies, count, arena);
+  (*arena)[span.offset] = static_cast<char>(encoding);
+  span.length = static_cast<std::uint32_t>(arena->size() - span.offset);
+  return span;
+}
+
+ArenaSpan AppendShardPricePayload(const double* mu,
+                                  const std::uint8_t* congested,
+                                  const std::uint8_t* stale,
+                                  std::size_t count, std::string* arena) {
+  bool any_stale = false;
+  if (stale != nullptr) {
+    for (std::size_t i = 0; i < count && !any_stale; ++i) {
+      any_stale = stale[i] != 0;
+    }
+  }
+  ArenaSpan span;
+  span.offset = static_cast<std::uint32_t>(arena->size());
+  arena->push_back(any_stale ? '\1' : '\0');  // flags
+  arena->push_back('\0');  // encoding byte, patched after EncodeWords
+  const std::uint8_t encoding = b1::EncodeWords(mu, count, arena);
+  (*arena)[span.offset + 1] = static_cast<char>(encoding);
+  AppendPackedBitset(congested, count, arena);
+  if (any_stale) AppendPackedBitset(stale, count, arena);
+  span.length = static_cast<std::uint32_t>(arena->size() - span.offset);
+  return span;
+}
+
+bool DecodeShardLatencyUpdate(const ShardLatencyUpdate& update,
+                              std::vector<double>* latencies) {
+  const char* data = update.payload.data();
+  const std::size_t size = update.payload.size();
+  if (size < 1 || update.count > kMaxShardEntries) return false;
+  const auto encoding = static_cast<std::uint8_t>(data[0]);
+  std::size_t words = 0;
+  if (!b1::EncodedWordsSize<double>(data + 1, size - 1, encoding,
+                                    update.count, &words) ||
+      size != 1 + words) {
+    return false;
+  }
+  latencies->resize(update.count);
+  std::string error;
+  return b1::DecodeWords<double>(data + 1, words, encoding, update.count,
+                                 latencies->data(), &error);
+}
+
+bool DecodeShardPriceUpdate(const ShardPriceUpdate& update,
+                            std::vector<double>* mu,
+                            ShardPriceBitsets* bits) {
+  const char* data = update.payload.data();
+  const std::size_t size = update.payload.size();
+  if (size < 2 || update.count > kMaxShardEntries) return false;
+  const auto flags = static_cast<std::uint8_t>(data[0]);
+  if (flags > 1) return false;
+  const auto encoding = static_cast<std::uint8_t>(data[1]);
+  std::size_t words = 0;
+  if (!b1::EncodedWordsSize<double>(data + 2, size - 2, encoding,
+                                    update.count, &words)) {
+    return false;
+  }
+  const std::size_t bitset = (update.count + 7) / 8;
+  const std::size_t expected =
+      2 + words + bitset + ((flags & 1) != 0 ? bitset : 0);
+  if (size != expected) return false;
+  mu->resize(update.count);
+  std::string error;
+  if (!b1::DecodeWords<double>(data + 2, words, encoding, update.count,
+                               mu->data(), &error)) {
+    return false;
+  }
+  bits->congested = data + 2 + words;
+  bits->stale = (flags & 1) != 0 ? data + 2 + words + bitset : nullptr;
+  return true;
+}
 
 std::vector<std::uint8_t> Serialize(const Message& message) {
   std::vector<std::uint8_t> bytes;
@@ -95,21 +209,18 @@ std::vector<std::uint8_t> Serialize(const Message& message) {
     w.U8(kTagShardLatencyUpdate);
     w.U32(shard_latency->task.value());
     w.U32(shard_latency->shard);
-    w.U32(static_cast<std::uint32_t>(shard_latency->subtasks.size()));
-    for (std::size_t i = 0; i < shard_latency->subtasks.size(); ++i) {
-      w.U32(shard_latency->subtasks[i].value());
-      w.F64(shard_latency->latencies_ms[i]);
+    w.U32(shard_latency->count);
+    if (!shard_latency->payload.empty()) {
+      w.Bytes(shard_latency->payload.data(), shard_latency->payload.size());
     }
   } else if (const auto* shard_price =
                  std::get_if<ShardPriceUpdate>(&message.payload)) {
     w.U8(kTagShardPriceUpdate);
     w.U32(shard_price->shard);
     w.U32(shard_price->epoch);
-    w.U32(static_cast<std::uint32_t>(shard_price->resources.size()));
-    for (std::size_t i = 0; i < shard_price->resources.size(); ++i) {
-      w.U32(shard_price->resources[i].value());
-      w.F64(shard_price->mu[i]);
-      w.U8(shard_price->congested[i] ? 1 : 0);
+    w.U32(shard_price->count);
+    if (!shard_price->payload.empty()) {
+      w.Bytes(shard_price->payload.data(), shard_price->payload.size());
     }
   } else {
     const auto& repair = std::get<RepairResponse>(message.payload);
@@ -192,42 +303,33 @@ std::optional<Message> Deserialize(const std::vector<std::uint8_t>& bytes) {
     message.payload = std::move(repair);
   } else if (tag == kTagShardLatencyUpdate) {
     ShardLatencyUpdate update;
-    std::uint32_t task = 0, count = 0;
-    if (!r.U32(&task) || !r.U32(&update.shard) || !r.U32(&count)) {
+    std::uint32_t task = 0;
+    if (!r.U32(&task) || !r.U32(&update.shard) || !r.U32(&update.count)) {
       return std::nullopt;
     }
     update.task = TaskId(task);
-    update.subtasks.reserve(count);
-    update.latencies_ms.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      std::uint32_t subtask = 0;
-      double latency = 0.0;
-      if (!r.U32(&subtask) || !r.F64(&latency)) return std::nullopt;
-      update.subtasks.push_back(SubtaskId(subtask));
-      update.latencies_ms.push_back(latency);
-    }
+    // The payload runs to the end of the message; validate it fully (a
+    // structurally-broken payload must be rejected here, not at apply time).
+    const std::size_t remaining = r.Remaining();
+    update.payload = WireSlice::Copy(r.Here(), remaining);
+    std::vector<double> scratch;
+    if (!DecodeShardLatencyUpdate(update, &scratch)) return std::nullopt;
+    r.Skip(remaining);
     message.payload = std::move(update);
   } else if (tag == kTagShardPriceUpdate) {
     ShardPriceUpdate update;
-    std::uint32_t count = 0;
-    if (!r.U32(&update.shard) || !r.U32(&update.epoch) || !r.U32(&count)) {
+    if (!r.U32(&update.shard) || !r.U32(&update.epoch) ||
+        !r.U32(&update.count)) {
       return std::nullopt;
     }
-    update.resources.reserve(count);
-    update.mu.reserve(count);
-    update.congested.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      std::uint32_t resource = 0;
-      double mu = 0.0;
-      std::uint8_t congested = 0;
-      if (!r.U32(&resource) || !r.F64(&mu) || !r.U8(&congested) ||
-          congested > 1) {
-        return std::nullopt;
-      }
-      update.resources.push_back(ResourceId(resource));
-      update.mu.push_back(mu);
-      update.congested.push_back(congested);
+    const std::size_t remaining = r.Remaining();
+    update.payload = WireSlice::Copy(r.Here(), remaining);
+    std::vector<double> scratch;
+    ShardPriceBitsets bits;
+    if (!DecodeShardPriceUpdate(update, &scratch, &bits)) {
+      return std::nullopt;
     }
+    r.Skip(remaining);
     message.payload = std::move(update);
   } else {
     return std::nullopt;
@@ -249,11 +351,11 @@ std::size_t WireSize(const Message& message) {
   }
   if (const auto* shard_latency =
           std::get_if<ShardLatencyUpdate>(&message.payload)) {
-    return kHeader + 4 + 4 + 4 + shard_latency->subtasks.size() * 12;
+    return kHeader + 4 + 4 + 4 + shard_latency->payload.size();
   }
   if (const auto* shard_price =
           std::get_if<ShardPriceUpdate>(&message.payload)) {
-    return kHeader + 4 + 4 + 4 + shard_price->resources.size() * 13;
+    return kHeader + 4 + 4 + 4 + shard_price->payload.size();
   }
   const auto& repair = std::get<RepairResponse>(message.payload);
   return kHeader + 4 + 4 + 8 + 4 + 1 + 4 + repair.subtasks.size() * 12;

@@ -14,6 +14,15 @@
 //                      the resource can rebuild both halves of its price
 //                      computation without waiting a full gossip round.
 //
+// The sharded deployment (DESIGN.md §7.10) batches these into one message
+// per (task, shard) pair.  Since PR 9 the shard messages are *positional*
+// (DESIGN.md §7.11): shard membership is static, so both sides derive the
+// same ordered per-(shard, client) entry list once at bind time and the
+// wire carries only a count plus a b1-encoded value array — no resource or
+// subtask ids.  The encoded bytes live in an arena built once per round and
+// each message holds a WireSlice into it, so a batched update is encoded
+// once and sliced per client instead of copied per message.
+//
 // Path prices never travel: each controller owns its task's paths and
 // computes lambda_p locally (Sec. 4.3).  Every Message additionally carries
 // the sender's incarnation number, stamped by the bus at Send time: a
@@ -24,6 +33,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -32,6 +43,39 @@
 #include "common/ids.h"
 
 namespace lla::net {
+
+/// A view into a shared, immutable arena of encoded payload bytes.  Copying
+/// a WireSlice copies a pointer + two offsets; the arena is freed when the
+/// last referencing message dies.  Equality compares the referenced bytes,
+/// not the arena identity, so a deserialized copy compares equal to the
+/// original slice.
+class WireSlice {
+ public:
+  WireSlice() = default;
+  WireSlice(std::shared_ptr<const std::string> arena, std::uint32_t offset,
+            std::uint32_t length)
+      : arena_(std::move(arena)), offset_(offset), length_(length) {}
+
+  /// A slice backed by a fresh arena holding a copy of [data, data + size).
+  static WireSlice Copy(const char* data, std::size_t size);
+
+  const char* data() const {
+    return arena_ == nullptr ? nullptr : arena_->data() + offset_;
+  }
+  std::size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  bool operator==(const WireSlice& other) const {
+    if (length_ != other.length_) return false;
+    if (length_ == 0) return true;
+    return std::memcmp(data(), other.data(), length_) == 0;
+  }
+
+ private:
+  std::shared_ptr<const std::string> arena_;
+  std::uint32_t offset_ = 0;
+  std::uint32_t length_ = 0;
+};
 
 struct LatencyUpdate {
   TaskId task;
@@ -83,31 +127,40 @@ struct RepairResponse {
   bool operator==(const RepairResponse&) const = default;
 };
 
-/// Sharded deployment (DESIGN.md §7.10): one controller's latencies for all
-/// of its subtasks hosted on one shard's resources, in a single message
-/// instead of one LatencyUpdate per resource.
+/// Sharded deployment: one controller's latencies for all of its subtasks
+/// hosted on one shard's resources, in a single positional message.  The
+/// receiver maps entry j onto the j-th element of its static per-client
+/// membership list (the client's subtasks on the shard, in the client's
+/// local subtask order); a count mismatch means a stale binding and the
+/// message is ignored.
 struct ShardLatencyUpdate {
   TaskId task;
   std::uint32_t shard = 0;
-  /// Parallel arrays: subtask[i] gets latency_ms[i].
-  std::vector<SubtaskId> subtasks;
-  std::vector<double> latencies_ms;
+  /// Number of latency entries encoded in `payload`.
+  std::uint32_t count = 0;
+  /// [encoding u8][b1-encoded f64 words] (section_codec.h).
+  WireSlice payload;
 
   bool operator==(const ShardLatencyUpdate&) const = default;
 };
 
-/// One shard agent's whole price vector: every resource of the shard with
-/// its new mu and congestion flag, applied by receivers in one contiguous
-/// pass.  Collapses the per-round resource->controller traffic from
-/// O(resources) messages to O(shards).
+/// One shard agent's batched prices for one client: entry j is the j-th
+/// resource of the static per-(shard, client) membership list (the client's
+/// used resources on the shard, ascending).  Collapses the per-round
+/// resource->controller traffic from O(resources) messages to O(shards)
+/// per task, with one arena encode per round sliced per client.
 struct ShardPriceUpdate {
   std::uint32_t shard = 0;
   /// The shard's broadcast round (shared by all its resources).
   std::uint32_t epoch = 0;
-  /// Parallel arrays over the shard's resources.
-  std::vector<ResourceId> resources;
-  std::vector<double> mu;
-  std::vector<std::uint8_t> congested;  ///< 0/1 per resource
+  /// Number of price entries encoded in `payload`.
+  std::uint32_t count = 0;
+  /// [flags u8][encoding u8][b1-encoded f64 mu words]
+  /// [congested bitset ceil(count/8)][stale bitset ditto, iff flags & 1].
+  /// A stale bit marks an entry whose resource is crashed or awaiting
+  /// repair inside the shard (per-resource fault injection): the receiver
+  /// keeps its cached price for that entry.
+  WireSlice payload;
 
   bool operator==(const ShardPriceUpdate&) const = default;
 };
@@ -127,6 +180,49 @@ struct Message {
 
   bool operator==(const Message&) const = default;
 };
+
+/// A span of bytes appended to an arena string: the (offset, length) a
+/// WireSlice should reference once the arena is frozen into a shared_ptr.
+struct ArenaSpan {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// Appends the ShardLatencyUpdate payload encoding of latencies[0..count)
+/// to *arena.
+ArenaSpan AppendShardLatencyPayload(const double* latencies,
+                                    std::size_t count, std::string* arena);
+
+/// Appends the ShardPriceUpdate payload encoding of mu[0..count) with the
+/// per-entry congestion flags (one 0/1 byte each, packed to a bitset on the
+/// wire).  `stale` is an optional parallel 0/1 array: null, or all-zero,
+/// emits no stale bitset.
+ArenaSpan AppendShardPricePayload(const double* mu,
+                                  const std::uint8_t* congested,
+                                  const std::uint8_t* stale,
+                                  std::size_t count, std::string* arena);
+
+/// Decodes a latency payload into latencies[0..update.count); false on any
+/// malformed payload (wrong size, bad encoding, bad run/sparse structure).
+bool DecodeShardLatencyUpdate(const ShardLatencyUpdate& update,
+                              std::vector<double>* latencies);
+
+/// Packed bitset views into a decoded price payload (valid while the
+/// message's WireSlice arena lives).  `stale` is null when absent.
+struct ShardPriceBitsets {
+  const char* congested = nullptr;
+  const char* stale = nullptr;
+};
+
+/// Decodes a price payload: mu words into *mu (resized to update.count) and
+/// bitset pointers into *bits.  False on any malformed payload.
+bool DecodeShardPriceUpdate(const ShardPriceUpdate& update,
+                            std::vector<double>* mu, ShardPriceBitsets* bits);
+
+/// Reads bit i of a packed little-endian bitset (bit j of byte i/8).
+inline bool TestWireBit(const char* bits, std::size_t i) {
+  return ((static_cast<unsigned char>(bits[i >> 3]) >> (i & 7)) & 1u) != 0;
+}
 
 /// Serializes to a compact binary representation (little-endian).
 std::vector<std::uint8_t> Serialize(const Message& message);

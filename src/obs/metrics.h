@@ -14,10 +14,12 @@
 // entity (`bus.endpoint.<name>.sent`).  Phase timers use the phase name
 // (engine.solve, engine.evaluate, engine.price_update).
 //
-// Not thread-safe: instrument from the owning thread (the engine's pool
-// workers never touch metrics — phases are timed around the fan-out).
+// Counters are relaxed-atomic so bus handlers may increment them from the
+// parallel delivery phase (DESIGN.md §7.11); everything else (timers, the
+// registry itself) must still be driven from the owning thread.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -28,14 +30,21 @@
 
 namespace lla::obs {
 
-/// Monotonic event count.
+/// Monotonic event count.  Increments are relaxed atomics: safe from
+/// concurrent delivery workers, and the summed value is deterministic (the
+/// order of additions does not matter); reads from the owning thread after
+/// a join observe every increment.
 class Counter {
  public:
-  void Increment(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Accumulated wall-clock duration statistics.

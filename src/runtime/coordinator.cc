@@ -27,6 +27,9 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
     }
   }
   bus_ = std::make_unique<net::InProcessBus>(config_.bus);
+  if (config_.round_threads > 1) {
+    round_pool_ = std::make_unique<ThreadPool>(config_.round_threads);
+  }
 
   // Create agents, register endpoints into the member vectors, then bind
   // (agents keep pointers into the member vectors, so the vectors must be in
@@ -145,7 +148,18 @@ void Coordinator::EmitRecoveryEvent(const char* type,
 }
 
 void Coordinator::CrashEndpoint(ResourceId resource) {
-  assert(!sharded());  // per-resource fault injection is unsharded-only
+  if (sharded()) {
+    // Sharded: the failing unit is the resource's state inside its shard
+    // agent, not the transport — the shard endpoint stays up (its other
+    // resources keep exchanging messages), so there is no bus-side crash
+    // and no incarnation bump.
+    const std::uint32_t shard = resource_shard_[resource.value()];
+    shard_agents_[shard]->CrashResource(resource);
+    EmitRecoveryEvent("recovery.crash", shard_endpoints_[shard],
+                      /*is_resource=*/true,
+                      static_cast<double>(resource.value()), /*cold=*/false);
+    return;
+  }
   const net::EndpointId endpoint = resource_endpoints_[resource.value()];
   bus_->CrashEndpoint(endpoint);
   agents_[resource.value()]->Crash();
@@ -162,7 +176,17 @@ void Coordinator::CrashEndpoint(TaskId task) {
 }
 
 void Coordinator::RestartEndpoint(ResourceId resource) {
-  assert(!sharded());  // per-resource fault injection is unsharded-only
+  if (sharded()) {
+    const std::uint32_t shard = resource_shard_[resource.value()];
+    shard_agents_[shard]->ColdRestartResource(resource);
+    if (recovery_hooks_.restarts != nullptr) {
+      recovery_hooks_.restarts->Increment();
+    }
+    EmitRecoveryEvent("recovery.restart", shard_endpoints_[shard],
+                      /*is_resource=*/true,
+                      static_cast<double>(resource.value()), /*cold=*/true);
+    return;
+  }
   const net::EndpointId endpoint = resource_endpoints_[resource.value()];
   bus_->RestartEndpoint(endpoint);
   agents_[resource.value()]->ColdRestart();
@@ -231,13 +255,69 @@ void Coordinator::PartitionController(TaskId task, double duration_ms) {
                          bus_->now_ms() + duration_ms);
 }
 
+void Coordinator::EnsureLaneScratch(int lanes) {
+  while (static_cast<int>(lane_prices_.size()) < lanes) {
+    lane_prices_.push_back(PriceVector::Zero(*workload_));
+  }
+  if (static_cast<int>(lane_outboxes_.size()) < lanes) {
+    lane_outboxes_.resize(static_cast<std::size_t>(lanes));
+  }
+}
+
+void Coordinator::CommitLaneOutboxes(int lanes) {
+  for (int lane = 0; lane < lanes; ++lane) {
+    for (net::Message& message : lane_outboxes_[lane]) {
+      bus_->Send(std::move(message));
+    }
+    lane_outboxes_[lane].clear();
+  }
+}
+
 RoundStats Coordinator::RunSyncRound() {
   obs::ScopedTimer timing(sync_round_timer_);
-  for (auto& controller : controllers_) controller->AllocateAndSend();
-  bus_->RunAll();
-  for (auto& agent : agents_) agent->ComputePriceAndBroadcast();
-  for (auto& agent : shard_agents_) agent->ComputePricesAndBroadcast();
-  bus_->RunAll();
+  ThreadPool* pool = round_pool_.get();
+  if (pool == nullptr || pool->size() <= 1) {
+    for (auto& controller : controllers_) controller->AllocateAndSend();
+    bus_->RunAll();
+    for (auto& agent : agents_) agent->ComputePriceAndBroadcast();
+    for (auto& agent : shard_agents_) agent->ComputePricesAndBroadcast();
+    bus_->RunAll();
+  } else {
+    // Parallel round (DESIGN.md §7.11).  Each phase fans disjoint endpoints
+    // across the pool with sends deferred to per-lane outboxes; committing
+    // the lanes in order reproduces the serial send order exactly (lanes own
+    // contiguous ascending chunks), so the bus sees the same (seq, payload)
+    // stream and the fixed point is bit-identical at any thread count.
+    controller_shared_->solver.PrepareSolve();
+    const int lanes =
+        pool->ParticipantsFor(controllers_.size(), /*min_items_per_thread=*/1);
+    EnsureLaneScratch(std::max(lanes, pool->size()));
+    pool->RunRegion(lanes, [&](int index, int total) {
+      const auto [begin, end] = ChunkRange(controllers_.size(), total, index);
+      for (std::size_t t = begin; t < end; ++t) {
+        controllers_[t]->AllocateAndSend(&lane_prices_[index],
+                                         &lane_outboxes_[index]);
+      }
+    });
+    CommitLaneOutboxes(lanes);
+    bus_->RunAllParallel(pool);
+    // Unsharded agents are cheap single-resource updates; only the sharded
+    // agents carry enough per-call work to fan out.
+    for (auto& agent : agents_) agent->ComputePriceAndBroadcast();
+    if (!shard_agents_.empty()) {
+      const int shard_lanes = pool->ParticipantsFor(shard_agents_.size(),
+                                                    /*min_items_per_thread=*/1);
+      pool->RunRegion(shard_lanes, [&](int index, int total) {
+        const auto [begin, end] =
+            ChunkRange(shard_agents_.size(), total, index);
+        for (std::size_t s = begin; s < end; ++s) {
+          shard_agents_[s]->ComputePricesAndBroadcast(&lane_outboxes_[index]);
+        }
+      });
+      CommitLaneOutboxes(shard_lanes);
+    }
+    bus_->RunAllParallel(pool);
+  }
   ++round_;
   if (rounds_counter_ != nullptr) rounds_counter_->Increment();
   RecordSample(bus_->now_ms());

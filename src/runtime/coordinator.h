@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/engine.h"
 #include "model/evaluation.h"
 #include "model/latency_model.h"
@@ -43,9 +44,19 @@ struct CoordinatorConfig {
   /// many shard agents, each owning a contiguous range and exchanging one
   /// batched message per peer per round — O(shards) instead of O(resources)
   /// coordinator round traffic.  0 (the default) keeps the classic
-  /// one-agent-per-resource deployment; per-resource fault injection
-  /// (crash/partition of a single resource) requires the unsharded mode.
+  /// one-agent-per-resource deployment.  Crash/restart of a single resource
+  /// works in both modes (sharded: the resource's state inside its shard
+  /// agent, see ShardAgent::CrashResource); snapshot restarts, checkpoints
+  /// and partitions of a single resource remain unsharded-only.
   int num_shards = 0;
+  /// Parallel synchronous rounds (DESIGN.md §7.11): with N > 1 the
+  /// coordinator owns an N-thread pool and each RunSyncRound fans the
+  /// controller solves, the shard price computations and the bus delivery
+  /// waves across it, with all sends deferred to per-lane outboxes and
+  /// committed serially in lane order — the fixed point is bit-identical to
+  /// the single-threaded round at any thread count.  Requires an RNG-free
+  /// bus (drop_probability == 0 && jitter_ms == 0); async mode ignores it.
+  int round_threads = 1;
   /// Relative utility change that triggers an enactment.
   double enactment_threshold = 0.01;
   /// Async mode: local re-optimization periods and initial phase stagger.
@@ -180,6 +191,13 @@ class Coordinator {
   void ArmAsyncTimers();
   void EmitRecoveryEvent(const char* type, net::EndpointId endpoint,
                          bool is_resource, double index, bool cold);
+  /// Lane scratch for the parallel round: full-size per-lane PriceVectors
+  /// (the shared one's mu slots overlap across tasks) and deferred-send
+  /// outboxes, grown on first use.
+  void EnsureLaneScratch(int lanes);
+  /// Sends every lane's deferred messages in lane order (= the serial send
+  /// order, since lanes own contiguous ascending chunks) and clears them.
+  void CommitLaneOutboxes(int lanes);
 
   const Workload* workload_;
   const LatencyModel* model_;
@@ -199,6 +217,11 @@ class Coordinator {
   std::vector<std::uint32_t> resource_shard_;
   std::vector<net::EndpointId> controller_timer_endpoints_;
   std::vector<net::EndpointId> resource_timer_endpoints_;
+  /// Parallel-round pool (null when config.round_threads <= 1) and lane
+  /// scratch.
+  std::unique_ptr<ThreadPool> round_pool_;
+  std::vector<PriceVector> lane_prices_;
+  std::vector<std::vector<net::Message>> lane_outboxes_;
   bool async_armed_ = false;
   int round_ = 0;
   bool converged_ = false;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <set>
+#include <utility>
 
 namespace lla::runtime {
 
@@ -28,6 +30,7 @@ ShardAgent::ShardAgent(const Workload& workload, const LatencyModel& model,
       // Same "no demand yet" initial reading as the per-resource agent: an
       // effectively-infinite latency gives share ~ 0.
       latencies_.push_back(1e9);
+      slot_resource_.push_back(static_cast<std::uint32_t>(i));
       clients[workload.subtask(sid).task].insert(
           static_cast<std::uint32_t>(i));
     }
@@ -35,13 +38,32 @@ ShardAgent::ShardAgent(const Workload& workload, const LatencyModel& model,
   }
   client_tasks_.reserve(clients.size());
   client_resources_.reserve(clients.size());
+  client_latency_slots_.reserve(clients.size());
+  resource_clients_.assign(count, {});
   for (const auto& [task, locals] : clients) {
+    const auto c = static_cast<std::uint32_t>(client_tasks_.size());
     client_tasks_.push_back(task);
     client_resources_.emplace_back(locals.begin(), locals.end());
+    for (const std::uint32_t local : client_resources_.back()) {
+      resource_clients_[local].push_back(c);
+    }
+    // The positional latency list: the client's subtasks hosted here, in
+    // the client's local subtask order — exactly the order the controller's
+    // shard_subtasks_ gather emits.
+    auto& slots = client_latency_slots_.emplace_back();
+    for (SubtaskId sid : workload.task(task).subtasks) {
+      const auto it = subtask_slot_.find(sid.value());
+      if (it != subtask_slot_.end()) slots.push_back(it->second);
+    }
   }
   mu_.assign(count, 0.0);
   gamma_multiplier_.assign(count, 1.0);
   congested_.assign(count, 0);
+  resource_crashed_.assign(count, 0);
+  awaiting_repair_.assign(count, 0);
+  repair_adopted_.assign(count, 0);
+  repair_grace_left_.assign(count, 0);
+  best_repair_epoch_.assign(count, 0);
   task_incarnation_.assign(workload.task_count(), 0);
 }
 
@@ -62,16 +84,124 @@ bool ShardAgent::AcceptIncarnation(TaskId task, std::uint32_t incarnation) {
   return true;
 }
 
+int ShardAgent::ClientIndex(TaskId task) const {
+  const auto it =
+      std::lower_bound(client_tasks_.begin(), client_tasks_.end(), task);
+  if (it == client_tasks_.end() || *it != task) return -1;
+  return static_cast<int>(it - client_tasks_.begin());
+}
+
 void ShardAgent::OnMessage(const net::Message& message) {
-  const auto* update = std::get_if<net::ShardLatencyUpdate>(&message.payload);
-  if (update == nullptr) return;
-  if (update->shard != shard_) return;  // misrouted; ignore
-  if (update->task.value() >= task_incarnation_.size()) return;  // unknown task
-  if (!AcceptIncarnation(update->task, message.incarnation)) return;
-  for (std::size_t i = 0; i < update->subtasks.size(); ++i) {
-    const auto it = subtask_slot_.find(update->subtasks[i].value());
-    if (it == subtask_slot_.end()) continue;  // misrouted entry; skip
-    latencies_[it->second] = update->latencies_ms[i];
+  if (const auto* update =
+          std::get_if<net::ShardLatencyUpdate>(&message.payload)) {
+    if (update->shard != shard_) return;  // misrouted; ignore
+    if (update->task.value() >= task_incarnation_.size()) return;
+    if (!AcceptIncarnation(update->task, message.incarnation)) return;
+    ApplyLatencyUpdate(*update);
+    return;
+  }
+  if (const auto* repair =
+          std::get_if<net::RepairResponse>(&message.payload)) {
+    if (!Hosts(repair->resource)) return;  // misrouted; ignore
+    if (repair->task.value() >= task_incarnation_.size()) return;
+    if (!AcceptIncarnation(repair->task, message.incarnation)) return;
+    ApplyRepairResponse(*repair);
+    return;
+  }
+}
+
+void ShardAgent::ApplyLatencyUpdate(const net::ShardLatencyUpdate& update) {
+  const int c = ClientIndex(update.task);
+  if (c < 0) return;  // not a client here; ignore
+  const std::vector<std::size_t>& slots =
+      client_latency_slots_[static_cast<std::size_t>(c)];
+  // The positional contract: the sender's entry list is derived from the
+  // same static membership, so the counts must agree; a mismatch means a
+  // stale or foreign binding and the whole message is ignored.
+  if (update.count != slots.size()) return;
+  if (!net::DecodeShardLatencyUpdate(update, &decode_scratch_)) return;
+  if (!any_resource_faulted_) {
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      latencies_[slots[j]] = decode_scratch_[j];
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    // A crashed resource's state is frozen until its restart (the
+    // per-resource analogue of the crashed agent ignoring messages).
+    if (resource_crashed_[slot_resource_[slots[j]]] != 0) continue;
+    latencies_[slots[j]] = decode_scratch_[j];
+  }
+}
+
+void ShardAgent::ApplyRepairResponse(const net::RepairResponse& repair) {
+  const std::size_t local = Local(repair.resource);
+  if (resource_crashed_[local] != 0) return;  // still down; ignore
+  // Absolute state from a client controller: always absorb the latencies
+  // (they are the controller's current truth), and while awaiting repair
+  // adopt the price from the freshest epoch offered — same policy as
+  // ResourceAgent, scoped to one resource.
+  for (std::size_t i = 0; i < repair.subtasks.size(); ++i) {
+    const auto it = subtask_slot_.find(repair.subtasks[i].value());
+    if (it == subtask_slot_.end()) continue;
+    if (slot_resource_[it->second] != local) continue;  // misrouted entry
+    latencies_[it->second] = repair.latencies_ms[i];
+  }
+  if (awaiting_repair_[local] != 0 &&
+      (repair_adopted_[local] == 0 ||
+       repair.epoch >= best_repair_epoch_[local])) {
+    best_repair_epoch_[local] = repair.epoch;
+    mu_[local] = repair.mu;
+    congested_[local] = repair.congested ? 1 : 0;
+    gamma_multiplier_[local] = 1.0;  // congestion history is gone
+    repair_adopted_[local] = 1;
+    if (hooks_.repair_rounds != nullptr) hooks_.repair_rounds->Increment();
+  }
+}
+
+void ShardAgent::CrashResource(ResourceId r) {
+  assert(Hosts(r));
+  resource_crashed_[Local(r)] = 1;
+  any_resource_faulted_ = true;
+}
+
+void ShardAgent::ColdRestartResource(ResourceId r) {
+  assert(bus_ != nullptr && Hosts(r));
+  const std::size_t local = Local(r);
+  resource_crashed_[local] = 0;
+  std::fill(latencies_.begin() +
+                static_cast<std::ptrdiff_t>(latency_offset_[local]),
+            latencies_.begin() +
+                static_cast<std::ptrdiff_t>(latency_offset_[local + 1]),
+            1e9);
+  mu_[local] = 0.0;
+  gamma_multiplier_[local] = 1.0;
+  congested_[local] = 0;
+  awaiting_repair_[local] = 1;
+  repair_adopted_[local] = 0;
+  repair_grace_left_[local] = config_.repair_grace_ticks;
+  best_repair_epoch_[local] = 0;
+  any_resource_faulted_ = true;
+  // Unlike a whole-agent restart there is no incarnation bump (the shard's
+  // endpoint never went down) and no watermark reset: the transport state
+  // survives, only this resource's dual state was lost.
+  SendRepairRequest(local, nullptr);
+}
+
+void ShardAgent::SendRepairRequest(std::size_t local,
+                                   std::vector<net::Message>* outbox) {
+  net::RepairRequest request;
+  request.resource = resources_[local];
+  for (const std::uint32_t c : resource_clients_[local]) {
+    net::Message message;
+    message.sender = self_;
+    message.receiver = (*controller_endpoints_)[client_tasks_[c].value()];
+    message.payload = request;
+    if (outbox != nullptr) {
+      outbox->push_back(std::move(message));
+    } else {
+      bus_->Send(std::move(message));
+    }
   }
 }
 
@@ -92,9 +222,30 @@ bool ShardAgent::Congested(ResourceId r) const {
   return ShareSum(r) > workload_->resource(r).capacity;
 }
 
-void ShardAgent::ComputePricesAndBroadcast() {
+void ShardAgent::ComputePricesAndBroadcast(
+    std::vector<net::Message>* outbox) {
   assert(bus_ != nullptr);
+  bool still_faulted = false;
   for (std::size_t i = 0; i < resources_.size(); ++i) {
+    if (any_resource_faulted_) {
+      if (resource_crashed_[i] != 0) {
+        still_faulted = true;
+        continue;  // frozen: no Eq. 8 step, entry goes out stale
+      }
+      if (awaiting_repair_[i] != 0) {
+        // Hold this resource's price while the repair exchange is in
+        // flight (publishing the reset mu=0 would drag its clients through
+        // a cold transient); re-request each held tick, resume once a
+        // response was adopted or the grace budget is exhausted.
+        if (repair_adopted_[i] == 0 && repair_grace_left_[i] > 0) {
+          --repair_grace_left_[i];
+          SendRepairRequest(i, outbox);
+          still_faulted = true;
+          continue;
+        }
+        awaiting_repair_[i] = 0;
+      }
+    }
     const ResourceId r = resources_[i];
     const ResourceInfo& info = workload_->resource(r);
     const double share_sum = ShareSum(r);
@@ -115,30 +266,57 @@ void ShardAgent::ComputePricesAndBroadcast() {
     // Eq. 8 with projection at zero.
     mu_[i] = std::max(0.0, mu_[i] - gamma * (info.capacity - share_sum));
   }
+  any_resource_faulted_ = still_faulted;
   ++epoch_;
 
-  // One batched message per client, carrying only the prices that client
-  // reads: a whole-shard vector to every client would multiply the round's
-  // byte volume by shard_width / task_resources_per_shard on sparse
-  // workloads (11x measured on random_100k) for data the controller skips.
+  // One batched positional message per client, carrying only the prices
+  // that client reads (a whole-shard vector to every client would multiply
+  // the round's byte volume by shard_width / task_resources_per_shard on
+  // sparse workloads).  All clients' payloads are encoded into one arena,
+  // then sliced per message — encode once, slice per client.
+  std::string arena;
+  arena.reserve(client_tasks_.size() * 2 + latencies_.size() * 8);
+  client_spans_.resize(client_tasks_.size());
+  for (std::size_t c = 0; c < client_tasks_.size(); ++c) {
+    const std::vector<std::uint32_t>& locals = client_resources_[c];
+    gather_mu_.resize(locals.size());
+    gather_congested_.resize(locals.size());
+    const std::uint8_t* stale = nullptr;
+    for (std::size_t j = 0; j < locals.size(); ++j) {
+      gather_mu_[j] = mu_[locals[j]];
+      gather_congested_[j] = congested_[locals[j]];
+    }
+    if (any_resource_faulted_) {
+      gather_stale_.resize(locals.size());
+      for (std::size_t j = 0; j < locals.size(); ++j) {
+        const std::uint32_t i = locals[j];
+        gather_stale_[j] =
+            (resource_crashed_[i] != 0 || awaiting_repair_[i] != 0) ? 1 : 0;
+      }
+      stale = gather_stale_.data();
+    }
+    client_spans_[c] = net::AppendShardPricePayload(
+        gather_mu_.data(), gather_congested_.data(), stale, locals.size(),
+        &arena);
+  }
+  const auto shared_arena =
+      std::make_shared<const std::string>(std::move(arena));
   for (std::size_t c = 0; c < client_tasks_.size(); ++c) {
     net::ShardPriceUpdate update;
     update.shard = shard_;
     update.epoch = epoch_;
-    const std::vector<std::uint32_t>& locals = client_resources_[c];
-    update.resources.reserve(locals.size());
-    update.mu.reserve(locals.size());
-    update.congested.reserve(locals.size());
-    for (const std::uint32_t i : locals) {
-      update.resources.push_back(resources_[i]);
-      update.mu.push_back(mu_[i]);
-      update.congested.push_back(congested_[i]);
-    }
+    update.count = static_cast<std::uint32_t>(client_resources_[c].size());
+    update.payload = net::WireSlice(shared_arena, client_spans_[c].offset,
+                                    client_spans_[c].length);
     net::Message message;
     message.sender = self_;
     message.receiver = (*controller_endpoints_)[client_tasks_[c].value()];
     message.payload = std::move(update);
-    bus_->Send(std::move(message));
+    if (outbox != nullptr) {
+      outbox->push_back(std::move(message));
+    } else {
+      bus_->Send(std::move(message));
+    }
   }
 }
 

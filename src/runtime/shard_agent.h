@@ -10,9 +10,26 @@
 // inflating bytes on sparse workloads, while every per-resource quantity
 // (share sum, Eq. 8 price, adaptive step multiplier, congestion flag) is
 // computed exactly as the one-resource agent computes it.
+//
+// Since PR 9 the shard messages are positional (DESIGN.md §7.11): shard
+// membership is static, so the agent derives, once, the ordered entry list
+// of each client — latency slots for inbound updates, used resources for
+// outbound prices — and the wire carries only b1-encoded value arrays.
+// All clients' price payloads are encoded into ONE arena per round and each
+// message holds a WireSlice into it (encode once, slice per client).
+//
+// Per-resource fault injection: a single resource inside the shard can be
+// crashed and cold-restarted (the shard's endpoint stays up — the failing
+// unit is the resource's state, not the transport).  A crashed resource's
+// price entries are marked stale in the broadcasts (clients keep their
+// cached price) and inbound latency writes to it are dropped; a cold
+// restart re-runs the ResourceAgent repair exchange (RepairRequest to the
+// resource's clients, freshest-epoch adoption, grace-held broadcast) for
+// just that resource.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -36,12 +53,30 @@ class ShardAgent {
   void Bind(net::InProcessBus* bus, net::EndpointId self,
             const std::vector<net::EndpointId>* controller_endpoints);
 
-  /// Handles a ShardLatencyUpdate destined for this shard.
+  /// Handles a ShardLatencyUpdate or RepairResponse destined for this
+  /// shard.
   void OnMessage(const net::Message& message);
 
   /// One price computation for every owned resource + a single batched
-  /// broadcast per client controller.
-  void ComputePricesAndBroadcast();
+  /// broadcast per client controller.  With an outbox, the messages are
+  /// appended to it instead of sent (the parallel round's deferred-commit
+  /// path); a null outbox sends directly.
+  void ComputePricesAndBroadcast() { ComputePricesAndBroadcast(nullptr); }
+  void ComputePricesAndBroadcast(std::vector<net::Message>* outbox);
+
+  /// Per-resource fault injection (the resource must be hosted here).
+  /// CrashResource freezes the resource: its price entries go out stale and
+  /// inbound latency writes to it are dropped.  ColdRestartResource clears
+  /// the crash with total loss of the resource's state and starts the
+  /// repair exchange with its client controllers.
+  void CrashResource(ResourceId r);
+  void ColdRestartResource(ResourceId r);
+  bool resource_crashed(ResourceId r) const {
+    return resource_crashed_[Local(r)] != 0;
+  }
+  bool resource_awaiting_repair(ResourceId r) const {
+    return awaiting_repair_[Local(r)] != 0;
+  }
 
   std::uint32_t shard() const { return shard_; }
   std::size_t resource_count() const { return resources_.size(); }
@@ -63,6 +98,13 @@ class ShardAgent {
   std::size_t Local(ResourceId r) const { return r.value() - first_; }
   /// Incarnation-gated acceptance of a peer controller's message.
   bool AcceptIncarnation(TaskId task, std::uint32_t incarnation);
+  /// Index of `task` in client_tasks_ (sorted ascending), or -1.
+  int ClientIndex(TaskId task) const;
+  /// RepairRequest for one restarted resource to its client controllers
+  /// (appended to `outbox` when non-null, sent directly otherwise).
+  void SendRepairRequest(std::size_t local, std::vector<net::Message>* outbox);
+  void ApplyLatencyUpdate(const net::ShardLatencyUpdate& update);
+  void ApplyRepairResponse(const net::RepairResponse& repair);
 
   const Workload* workload_;
   const LatencyModel* model_;
@@ -74,18 +116,25 @@ class ShardAgent {
   net::EndpointId self_ = 0;
   const std::vector<net::EndpointId>* controller_endpoints_ = nullptr;
   std::vector<ResourceId> resources_;
-  std::vector<TaskId> client_tasks_;  ///< tasks with subtasks on the shard
+  std::vector<TaskId> client_tasks_;  ///< tasks with subtasks here, sorted
   /// client_resources_[c] = sorted local indices of the resources
   /// client_tasks_[c] uses here; its per-round price update carries exactly
-  /// these (sending the whole shard vector to every client would blow the
-  /// round's byte volume up by shard_width / resources_per_task_per_shard).
+  /// these, positionally (the controller derives the same ascending list).
   std::vector<std::vector<std::uint32_t>> client_resources_;
+  /// client_latency_slots_[c] = flat latency slot of each entry of client
+  /// c's ShardLatencyUpdate, in the client's local subtask order (the same
+  /// order the controller's shard_subtasks_ list emits).
+  std::vector<std::vector<std::size_t>> client_latency_slots_;
+  /// clients of each resource, as indices into client_tasks_ (repair).
+  std::vector<std::vector<std::uint32_t>> resource_clients_;
 
   /// Flattened latest-latency inputs: resource-local slice
   /// [latency_offset_[i], latency_offset_[i+1]) holds the latencies of
   /// workload.resource(resources_[i]).subtasks in hosted order.
   std::vector<double> latencies_;
   std::vector<std::size_t> latency_offset_;
+  /// Owning local resource of each flat latency slot.
+  std::vector<std::uint32_t> slot_resource_;
   /// Flat slot per hosted subtask id (only this shard's subtasks appear).
   std::unordered_map<std::uint32_t, std::size_t> subtask_slot_;
 
@@ -96,6 +145,25 @@ class ShardAgent {
   /// before the per-client sends (scratch; avoids re-deriving share sums).
   std::vector<std::uint8_t> congested_;
   std::uint32_t epoch_ = 0;
+
+  /// Per-resource fault state (all parallel to resources_).  The shard-wide
+  /// epoch_ keeps running across single-resource restarts; only the
+  /// resource's own dual state resets.
+  std::vector<std::uint8_t> resource_crashed_;
+  std::vector<std::uint8_t> awaiting_repair_;
+  std::vector<std::uint8_t> repair_adopted_;
+  std::vector<int> repair_grace_left_;
+  std::vector<std::uint32_t> best_repair_epoch_;
+  /// True while any entry of resource_crashed_ / awaiting_repair_ is set —
+  /// keeps the fault bookkeeping off the fault-free broadcast fast path.
+  bool any_resource_faulted_ = false;
+
+  /// Reused encode/decode scratch (per-client gathers + payload decode).
+  std::vector<double> gather_mu_;
+  std::vector<std::uint8_t> gather_congested_;
+  std::vector<std::uint8_t> gather_stale_;
+  std::vector<net::ArenaSpan> client_spans_;
+  std::vector<double> decode_scratch_;
 
   RecoveryHooks hooks_;
   /// Highest sender incarnation seen per client task (stale rejection).

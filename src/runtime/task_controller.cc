@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <set>
+#include <string>
 
 namespace lla::runtime {
 
@@ -64,6 +66,16 @@ void TaskController::BindShards(
     shard_subtasks_[static_cast<std::size_t>(it - used_shards_.begin())]
         .push_back(static_cast<std::uint32_t>(i));
   }
+
+  // Static membership for the positional price protocol: for each shard the
+  // used-resource slots it owns, ascending.  used_resources_ is sorted and a
+  // shard owns a contiguous resource range, so this list is positionally
+  // identical to the shard's client_resources_ list for this task.
+  shard_used_slots_.assign(shard_endpoints->size(), {});
+  for (std::size_t k = 0; k < used_resources_.size(); ++k) {
+    shard_used_slots_[(*resource_shard)[used_resources_[k].value()]].push_back(
+        static_cast<std::uint32_t>(k));
+  }
 }
 
 int TaskController::UsedIndex(ResourceId resource) const {
@@ -117,14 +129,21 @@ void TaskController::OnMessage(const net::Message& message) {
                            message.incarnation)) {
       return;
     }
-    // One contiguous apply of the shard's batched entries (the shard sends
-    // this task exactly the resources it uses; unknown entries are skipped).
-    for (std::size_t i = 0; i < update->resources.size(); ++i) {
-      const int k = UsedIndex(update->resources[i]);
-      if (k < 0) continue;
-      const auto slot = static_cast<std::size_t>(k);
-      mu_cache_[slot] = update->mu[i];
-      used_congested_[slot] = update->congested[i];
+    // Positional apply (DESIGN.md §7.11): entry j is the j-th element of
+    // this task's used-resource list on the shard.  A count mismatch means
+    // the sender's binding disagrees with ours — ignore the whole message.
+    const std::vector<std::uint32_t>& slots = shard_used_slots_[update->shard];
+    if (update->count != slots.size()) return;
+    net::ShardPriceBitsets bits;
+    if (!net::DecodeShardPriceUpdate(*update, &mu_scratch_, &bits)) return;
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      // A stale bit marks a resource crashed (or mid-repair) inside the
+      // shard: keep the cached price, exactly as an unsharded crash keeps
+      // the agent's last broadcast.
+      if (bits.stale != nullptr && net::TestWireBit(bits.stale, j)) continue;
+      const auto slot = static_cast<std::size_t>(slots[j]);
+      mu_cache_[slot] = mu_scratch_[j];
+      used_congested_[slot] = net::TestWireBit(bits.congested, j) ? 1 : 0;
       used_epoch_[slot] = update->epoch;
     }
     return;
@@ -227,14 +246,34 @@ TaskControllerSnapshot TaskController::Snapshot() const {
 }
 
 void TaskController::AllocateAndSend() {
+  AllocateAndSendImpl(shared_->prices, /*prepared_solver=*/false, nullptr);
+}
+
+void TaskController::AllocateAndSend(PriceVector* lane_prices,
+                                     std::vector<net::Message>* outbox) {
+  assert(lane_prices != nullptr && outbox != nullptr);
+  AllocateAndSendImpl(*lane_prices, /*prepared_solver=*/true, outbox);
+}
+
+void TaskController::AllocateAndSendImpl(PriceVector& prices,
+                                         bool prepared_solver,
+                                         std::vector<net::Message>* outbox) {
   assert(bus_ != nullptr);
   if (crashed_) return;
   const TaskInfo& info = workload_->task(task_);
+  const auto emit = [&](net::Message&& message) {
+    if (outbox != nullptr) {
+      outbox->push_back(std::move(message));
+    } else {
+      bus_->Send(std::move(message));
+    }
+  };
 
-  // Publish this task's slots of the shared solve buffers.  Other
-  // controllers' stale entries are never read: SolveTask only gathers the
-  // prices of this task's own resources and paths.
-  PriceVector& prices = shared_->prices;
+  // Publish this task's slots of the solve buffers.  Other controllers'
+  // stale entries are never read: the solver only gathers the prices of
+  // this task's own resources and paths.  In the parallel round `prices` is
+  // the lane's private PriceVector — the shared one's mu slots overlap
+  // across tasks sharing a resource and would race.
   for (std::size_t k = 0; k < used_resources_.size(); ++k) {
     prices.mu[used_resources_[k].value()] = mu_cache_[k];
   }
@@ -242,9 +281,18 @@ void TaskController::AllocateAndSend() {
     prices.lambda[info.paths[p].value()] = local_lambdas_[p];
   }
 
-  // 3. Latency allocation at the stored prices (Eq. 7).
+  // 3. Latency allocation at the stored prices (Eq. 7).  Both branches
+  // reach SolveTaskFresh with the full gather CSR: SolveTask refreshes the
+  // cache inline, SolveTaskRange relies on the round's serial PrepareSolve.
+  // Distinct tasks write disjoint slots of the shared scratch Assignment,
+  // so it stays shared even in the parallel round.
   Assignment& scratch = shared_->latencies;
-  shared_->solver.SolveTask(task_, prices, &scratch);
+  if (prepared_solver) {
+    shared_->solver.SolveTaskRange(task_.value(), task_.value() + 1, prices,
+                                   &scratch);
+  } else {
+    shared_->solver.SolveTask(task_, prices, &scratch);
+  }
   for (std::size_t i = 0; i < info.subtasks.size(); ++i) {
     local_latencies_[i] = scratch[info.subtasks[i].value()];
   }
@@ -274,24 +322,40 @@ void TaskController::AllocateAndSend() {
         std::max(0.0, local_lambdas_[p] - gamma * slack);
   }
 
-  // 4. Send the new latencies: one batched message per shard touched, or —
-  // unsharded — one message per resource used.
+  // 4. Send the new latencies: one batched positional message per shard
+  // touched, or — unsharded — one message per resource used.
   if (shard_endpoints_ != nullptr) {
+    // One arena per round: every shard's payload is encoded back-to-back,
+    // then sliced per message (the messages share ownership of the arena).
+    // The b1 chooser never exceeds the raw encoding, so Σ(1 + 8n) bounds
+    // the arena.
+    std::string arena;
+    std::size_t reserve = 0;
+    for (const auto& subs : shard_subtasks_) reserve += 1 + 8 * subs.size();
+    arena.reserve(reserve);
+    latency_spans_.resize(used_shards_.size());
+    for (std::size_t s = 0; s < used_shards_.size(); ++s) {
+      const std::vector<std::uint32_t>& subs = shard_subtasks_[s];
+      gather_latencies_.resize(subs.size());
+      for (std::size_t j = 0; j < subs.size(); ++j) {
+        gather_latencies_[j] = local_latencies_[subs[j]];
+      }
+      latency_spans_[s] = net::AppendShardLatencyPayload(
+          gather_latencies_.data(), subs.size(), &arena);
+    }
+    auto shared_arena = std::make_shared<const std::string>(std::move(arena));
     for (std::size_t s = 0; s < used_shards_.size(); ++s) {
       net::ShardLatencyUpdate update;
       update.task = task_;
       update.shard = used_shards_[s];
-      update.subtasks.reserve(shard_subtasks_[s].size());
-      update.latencies_ms.reserve(shard_subtasks_[s].size());
-      for (std::uint32_t i : shard_subtasks_[s]) {
-        update.subtasks.push_back(info.subtasks[i]);
-        update.latencies_ms.push_back(local_latencies_[i]);
-      }
+      update.count = static_cast<std::uint32_t>(shard_subtasks_[s].size());
+      update.payload = net::WireSlice(shared_arena, latency_spans_[s].offset,
+                                      latency_spans_[s].length);
       net::Message message;
       message.sender = self_;
       message.receiver = (*shard_endpoints_)[used_shards_[s]];
       message.payload = std::move(update);
-      bus_->Send(std::move(message));
+      emit(std::move(message));
     }
     return;
   }
@@ -308,7 +372,7 @@ void TaskController::AllocateAndSend() {
     message.sender = self_;
     message.receiver = (*resource_endpoints_)[resource.value()];
     message.payload = std::move(update);
-    bus_->Send(std::move(message));
+    emit(std::move(message));
   }
 }
 

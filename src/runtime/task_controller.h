@@ -73,6 +73,17 @@ class TaskController {
   /// One latency allocation + path price update + broadcast.
   void AllocateAndSend();
 
+  /// Parallel-round variant (DESIGN.md §7.11): publishes prices into the
+  /// caller's per-lane PriceVector instead of the shared one (the shared
+  /// mu slots overlap across tasks and would race), solves through the
+  /// solver's const parallel path (the caller must have run
+  /// solver.PrepareSolve() serially this round), and appends the outgoing
+  /// messages to `outbox` for the caller's serial commit.  Bit-identical to
+  /// AllocateAndSend() — both reach SolveTaskFresh with the full gather
+  /// CSR.
+  void AllocateAndSend(PriceVector* lane_prices,
+                       std::vector<net::Message>* outbox);
+
   TaskId task() const { return task_; }
 
   /// Latencies of this task's subtasks (indexed by local subtask order).
@@ -107,6 +118,11 @@ class TaskController {
   /// resource index (unsharded) or a shard id (sharded).
   bool AcceptIncarnation(std::vector<std::uint32_t>* watermarks,
                          std::size_t slot, std::uint32_t incarnation);
+  /// Shared body of both AllocateAndSend entry points.  `prepared_solver`
+  /// selects the solver's const range path (requires a serial PrepareSolve
+  /// earlier in the round); a null outbox sends directly.
+  void AllocateAndSendImpl(PriceVector& prices, bool prepared_solver,
+                           std::vector<net::Message>* outbox);
   const Workload* workload_;
   const LatencyModel* model_;
   TaskId task_;
@@ -124,6 +140,12 @@ class TaskController {
   /// used_shards_).
   std::vector<std::uint32_t> used_shards_;
   std::vector<std::vector<std::uint32_t>> shard_subtasks_;
+  /// shard_used_slots_[s] = indices into used_resources_ of this task's
+  /// resources owned by shard s, ascending (indexed by shard id, empty for
+  /// untouched shards).  Positionally identical to the shard agent's
+  /// client_resources_ list for this task — the decode key of the
+  /// positional ShardPriceUpdate (DESIGN.md §7.11).
+  std::vector<std::vector<std::uint32_t>> shard_used_slots_;
 
   /// Compact per-used-resource caches, parallel to used_resources_.
   std::vector<double> mu_cache_;
@@ -141,6 +163,11 @@ class TaskController {
   bool crashed_ = false;
   std::vector<std::uint32_t> used_incarnation_;
   std::vector<std::uint32_t> shard_incarnation_;
+
+  /// Reused encode/decode scratch (sharded wire path).
+  std::vector<double> mu_scratch_;
+  std::vector<double> gather_latencies_;
+  std::vector<net::ArenaSpan> latency_spans_;
 };
 
 }  // namespace lla::runtime

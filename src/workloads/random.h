@@ -46,7 +46,8 @@ struct RandomWorkloadConfig {
 Expected<Workload> MakeRandomWorkload(const RandomWorkloadConfig& config);
 
 /// The size-parameterized random_100k family (random_1k / random_10k /
-/// random_100k in the scale bench): ~`num_subtasks` subtasks spread over
+/// random_100k / random_1m in the scale bench): ~`num_subtasks` subtasks
+/// spread over
 /// num_subtasks/200 resources (min 8) in tasks of 3-6 subtasks, with
 /// trigger periods scaled to the per-resource load so the per-resource
 /// min-share capacity check and the equal-split schedulable witness hold at

@@ -58,6 +58,45 @@ Message MakeRepairResponseMessage() {
   return message;
 }
 
+Message MakeShardLatencyMessage() {
+  auto arena = std::make_shared<std::string>();
+  const double latencies[] = {4.5, 9.25, -1.75};
+  const ArenaSpan span = AppendShardLatencyPayload(latencies, 3, arena.get());
+  ShardLatencyUpdate update;
+  update.task = TaskId(5u);
+  update.shard = 2;
+  update.count = 3;
+  update.payload = WireSlice(
+      std::shared_ptr<const std::string>(std::move(arena)), span.offset,
+      span.length);
+  Message message;
+  message.sender = 11;
+  message.receiver = 6;
+  message.payload = std::move(update);
+  return message;
+}
+
+Message MakeShardPriceMessage(bool with_stale) {
+  auto arena = std::make_shared<std::string>();
+  const double mu[] = {10.0, 0.0, 256.5};
+  const std::uint8_t congested[] = {1, 0, 1};
+  const std::uint8_t stale[] = {0, 1, 0};
+  const ArenaSpan span = AppendShardPricePayload(
+      mu, congested, with_stale ? stale : nullptr, 3, arena.get());
+  ShardPriceUpdate update;
+  update.shard = 1;
+  update.epoch = 77;
+  update.count = 3;
+  update.payload = WireSlice(
+      std::shared_ptr<const std::string>(std::move(arena)), span.offset,
+      span.length);
+  Message message;
+  message.sender = 6;
+  message.receiver = 11;
+  message.payload = std::move(update);
+  return message;
+}
+
 TEST(MessageTest, LatencyUpdateRoundTrips) {
   const Message original = MakeLatencyMessage();
   const auto bytes = Serialize(original);
@@ -143,6 +182,117 @@ TEST(MessageTest, RejectsUnknownTag) {
 
 TEST(MessageTest, RejectsEmptyInput) {
   EXPECT_FALSE(Deserialize({}).has_value());
+}
+
+TEST(MessageTest, ShardLatencyUpdateRoundTrips) {
+  const Message original = MakeShardLatencyMessage();
+  const auto decoded = Deserialize(Serialize(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+  const auto& update = std::get<ShardLatencyUpdate>(decoded->payload);
+  std::vector<double> latencies;
+  ASSERT_TRUE(DecodeShardLatencyUpdate(update, &latencies));
+  ASSERT_EQ(latencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(latencies[0], 4.5);
+  EXPECT_DOUBLE_EQ(latencies[2], -1.75);
+}
+
+TEST(MessageTest, ShardPriceUpdateRoundTrips) {
+  for (const bool with_stale : {false, true}) {
+    const Message original = MakeShardPriceMessage(with_stale);
+    const auto decoded = Deserialize(Serialize(original));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, original);
+    const auto& update = std::get<ShardPriceUpdate>(decoded->payload);
+    EXPECT_EQ(update.epoch, 77u);
+    std::vector<double> mu;
+    ShardPriceBitsets bits;
+    ASSERT_TRUE(DecodeShardPriceUpdate(update, &mu, &bits));
+    ASSERT_EQ(mu.size(), 3u);
+    EXPECT_DOUBLE_EQ(mu[0], 10.0);
+    EXPECT_DOUBLE_EQ(mu[2], 256.5);
+    EXPECT_TRUE(TestWireBit(bits.congested, 0));
+    EXPECT_FALSE(TestWireBit(bits.congested, 1));
+    EXPECT_TRUE(TestWireBit(bits.congested, 2));
+    if (with_stale) {
+      ASSERT_NE(bits.stale, nullptr);
+      EXPECT_FALSE(TestWireBit(bits.stale, 0));
+      EXPECT_TRUE(TestWireBit(bits.stale, 1));
+    } else {
+      EXPECT_EQ(bits.stale, nullptr);
+    }
+  }
+}
+
+TEST(MessageTest, ShardWireSizeMatchesSerializedLength) {
+  for (const Message& message :
+       {MakeShardLatencyMessage(), MakeShardPriceMessage(false),
+        MakeShardPriceMessage(true)}) {
+    EXPECT_EQ(WireSize(message), Serialize(message).size());
+  }
+}
+
+TEST(MessageTest, ShardMessagesSmallerThanIdCarryingFormat) {
+  // The positional wire format must beat the PR 8 id-carrying one at every
+  // entry count: 25 + 12n (latency) / 25 + 13n (price) bytes then.
+  for (std::size_t n : {1u, 2u, 7u, 64u}) {
+    std::vector<double> values(n, 3.25);
+    std::vector<std::uint8_t> congested(n, 1);
+    auto arena = std::make_shared<std::string>();
+    const ArenaSpan lat_span =
+        AppendShardLatencyPayload(values.data(), n, arena.get());
+    const ArenaSpan price_span = AppendShardPricePayload(
+        values.data(), congested.data(), nullptr, n, arena.get());
+    const std::shared_ptr<const std::string> frozen(std::move(arena));
+    Message latency;
+    latency.payload = ShardLatencyUpdate{
+        TaskId(0u), 0, static_cast<std::uint32_t>(n),
+        WireSlice(frozen, lat_span.offset, lat_span.length)};
+    Message price;
+    price.payload = ShardPriceUpdate{
+        0, 0, static_cast<std::uint32_t>(n),
+        WireSlice(frozen, price_span.offset, price_span.length)};
+    EXPECT_LT(WireSize(latency), 25 + 12 * n) << "n=" << n;
+    EXPECT_LT(WireSize(price), 25 + 13 * n) << "n=" << n;
+  }
+}
+
+TEST(MessageTest, ShardSlicesShareOneArena) {
+  // Encode-once-slice-per-client: two spans appended to the same arena view
+  // the same backing bytes at different offsets.
+  auto arena = std::make_shared<std::string>();
+  const double a[] = {1.0, 2.0};
+  const double b[] = {3.0};
+  const ArenaSpan span_a = AppendShardLatencyPayload(a, 2, arena.get());
+  const ArenaSpan span_b = AppendShardLatencyPayload(b, 1, arena.get());
+  const std::shared_ptr<const std::string> frozen(std::move(arena));
+  const WireSlice slice_a(frozen, span_a.offset, span_a.length);
+  const WireSlice slice_b(frozen, span_b.offset, span_b.length);
+  EXPECT_EQ(slice_a.data(), frozen->data() + span_a.offset);
+  EXPECT_EQ(slice_b.data(), frozen->data() + span_b.offset);
+  // Equality is byte-wise, so a deep copy compares equal to the original.
+  EXPECT_EQ(slice_a, WireSlice::Copy(slice_a.data(), slice_a.size()));
+  EXPECT_FALSE(slice_a == slice_b);
+}
+
+TEST(MessageTest, RejectsTruncatedShardMessages) {
+  for (const Message& message :
+       {MakeShardLatencyMessage(), MakeShardPriceMessage(true)}) {
+    const auto bytes = Serialize(message);
+    for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+      std::vector<std::uint8_t> truncated(bytes.begin(),
+                                          bytes.begin() + cut);
+      EXPECT_FALSE(Deserialize(truncated).has_value()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(MessageTest, RejectsCorruptShardPayloadEncoding) {
+  auto bytes = Serialize(MakeShardLatencyMessage());
+  // Payload layout after the 25-byte prefix: [encoding u8][words...];
+  // an unknown encoding byte must be rejected at deserialize time.
+  bytes[25] = 0x7f;
+  EXPECT_FALSE(Deserialize(bytes).has_value());
 }
 
 TEST(MessageTest, NegativeAndSpecialDoublesSurvive) {

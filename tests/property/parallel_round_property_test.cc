@@ -1,0 +1,109 @@
+// Property suite for the parallel sharded round (DESIGN.md §7.11): the
+// deferred-commit delivery must leave the coordinator in a BIT-IDENTICAL
+// state to single-threaded delivery at any thread count.  We check this by
+// memcmp-ing the raw double words of the dual prices and the enacted
+// assignment — not EXPECT_NEAR; the determinism argument promises exact
+// equality, so any ulp of drift is a bug in lane partitioning or outbox
+// commit order.
+//
+// The sweep crosses thread counts {1, 2, 8} with both local-solver gather
+// modes (dense lambda gather vs the active-set compaction), since the two
+// paths exercise different per-lane scratch shapes.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "runtime/coordinator.h"
+#include "workloads/random.h"
+
+namespace lla::runtime {
+namespace {
+
+struct RoundOutcome {
+  PriceVector prices;
+  Assignment assignment;
+  double utility = 0.0;
+};
+
+bool SameDoubles(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+class ParallelRoundEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  RoundOutcome RunSharded(const Workload& w, const LatencyModel& model,
+                          int round_threads, bool compact_gather) {
+    CoordinatorConfig config;
+    config.step.gamma0 = 3.0;
+    config.bus.base_delay_ms = 0.0;
+    config.solver.compact_lambda_gather = compact_gather;
+    config.record_history = false;
+    config.num_shards = 4;
+    config.round_threads = round_threads;
+    Coordinator coordinator(w, model, config);
+    for (int round = 0; round < 60; ++round) coordinator.RunSyncRound();
+    RoundOutcome outcome;
+    outcome.prices = coordinator.CurrentPrices();
+    outcome.assignment = coordinator.CurrentAssignment();
+    outcome.utility = coordinator.CurrentUtility();
+    return outcome;
+  }
+};
+
+TEST_P(ParallelRoundEquivalence, ShardedRoundsBitIdenticalAcrossThreads) {
+  RandomWorkloadConfig workload_config;
+  workload_config.seed = GetParam();
+  workload_config.num_resources = 16;
+  workload_config.num_tasks = 12;
+  workload_config.min_subtasks = 4;
+  workload_config.max_subtasks = 9;
+  workload_config.target_utilization = 0.75;
+  auto workload = MakeRandomWorkload(workload_config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  for (const bool compact_gather : {false, true}) {
+    SCOPED_TRACE(compact_gather ? "active-set gather" : "dense gather");
+    const RoundOutcome serial = RunSharded(w, model, 1, compact_gather);
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE("round_threads=" + std::to_string(threads));
+      const RoundOutcome parallel = RunSharded(w, model, threads,
+                                               compact_gather);
+      EXPECT_TRUE(SameDoubles(serial.prices.mu, parallel.prices.mu));
+      EXPECT_TRUE(SameDoubles(serial.prices.lambda, parallel.prices.lambda));
+      EXPECT_TRUE(SameDoubles(serial.assignment, parallel.assignment));
+      EXPECT_EQ(0, std::memcmp(&serial.utility, &parallel.utility,
+                               sizeof(double)));
+    }
+  }
+}
+
+TEST_P(ParallelRoundEquivalence, OversubscribedThreadsStillBitIdentical) {
+  // More lanes than shards: lanes beyond the shard count must stay idle
+  // without perturbing the commit order.
+  RandomWorkloadConfig workload_config;
+  workload_config.seed = GetParam() * 17 + 3;
+  workload_config.num_resources = 8;
+  workload_config.num_tasks = 6;
+  workload_config.target_utilization = 0.75;
+  auto workload = MakeRandomWorkload(workload_config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  const RoundOutcome serial = RunSharded(w, model, 1, false);
+  const RoundOutcome wide = RunSharded(w, model, 8, false);
+  EXPECT_TRUE(SameDoubles(serial.prices.mu, wide.prices.mu));
+  EXPECT_TRUE(SameDoubles(serial.prices.lambda, wide.prices.lambda));
+  EXPECT_TRUE(SameDoubles(serial.assignment, wide.assignment));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRoundEquivalence,
+                         ::testing::Values(501, 502, 503));
+
+}  // namespace
+}  // namespace lla::runtime

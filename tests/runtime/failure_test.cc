@@ -17,6 +17,7 @@
 #include "obs/trace.h"
 #include "runtime/coordinator.h"
 #include "workloads/paper.h"
+#include "workloads/random.h"
 
 namespace lla::runtime {
 namespace {
@@ -330,6 +331,83 @@ TEST(CrashRestartTest, ColdControllerRestartReconverges) {
   EXPECT_NEAR(coordinator.CurrentUtility(), before,
               1e-6 * std::fabs(before));
   EXPECT_EQ(CounterValue(&metrics, "recovery.restarts"), 1u);
+}
+
+// Sharded per-resource fault injection (DESIGN.md §7.10-7.11): crashing a
+// resource inside a ShardAgent freezes only that resource — the shard's
+// endpoint stays up, its other resources keep exchanging batched messages —
+// and a cold restart runs the repair exchange for just that resource and
+// reconverges to the no-failure utility.
+TEST(CrashRestartTest, ShardedColdRestartOfOneResourceReconverges) {
+  RandomWorkloadConfig workload_config;
+  workload_config.seed = 7;
+  workload_config.num_resources = 16;
+  workload_config.num_tasks = 12;
+  workload_config.min_subtasks = 12;
+  workload_config.max_subtasks = 16;
+  auto workload = MakeRandomWorkload(workload_config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  auto sharded_config = [](obs::MetricRegistry* metrics,
+                           obs::TraceSink* sink) {
+    CoordinatorConfig config;
+    config.step.gamma0 = 3.0;
+    config.bus.base_delay_ms = 0.0;
+    config.num_shards = 4;
+    // Tighter than the default 1e-5 so both runs settle close enough for
+    // the 1e-6-relative utility comparison below.
+    config.convergence.rel_tol = 1e-8;
+    config.metrics = metrics;
+    config.trace_sink = sink;
+    return config;
+  };
+
+  obs::MetricRegistry ref_metrics;
+  Coordinator reference(w, model, sharded_config(&ref_metrics, nullptr));
+  ASSERT_TRUE(reference.sharded());
+  const RunResult reference_run = reference.RunSync(4000);
+  ASSERT_TRUE(reference_run.converged);
+  const double no_failure = reference.CurrentUtility();
+
+  obs::MetricRegistry metrics;
+  EventCollector events;
+  Coordinator coordinator(w, model, sharded_config(&metrics, &events));
+  ASSERT_TRUE(coordinator.RunSync(4000).converged);
+
+  const ResourceId victim(5u);
+  std::size_t shard = 0;
+  while (!coordinator.shard_agent(shard).Hosts(victim)) ++shard;
+  const ShardAgent& agent = coordinator.shard_agent(shard);
+  ASSERT_GE(agent.resource_count(), 2u);  // the shard hosts survivors too
+
+  coordinator.CrashEndpoint(victim);
+  EXPECT_TRUE(agent.resource_crashed(victim));
+  // The shard endpoint stays up through the outage: its round epoch keeps
+  // advancing while the crashed resource's price goes out stale.
+  const std::uint32_t epoch_at_crash = agent.epoch();
+  for (int round = 0; round < 5; ++round) coordinator.RunSyncRound();
+  EXPECT_GT(agent.epoch(), epoch_at_crash);
+  EXPECT_TRUE(agent.resource_crashed(victim));
+
+  coordinator.RestartEndpoint(victim);  // cold: the resource's state is lost
+  EXPECT_FALSE(agent.resource_crashed(victim));
+  const RunResult recovered = coordinator.RunSync(4000);
+  EXPECT_TRUE(recovered.converged);
+  EXPECT_FALSE(agent.resource_awaiting_repair(victim));
+  EXPECT_TRUE(coordinator.CurrentFeasibility().feasible);
+  EXPECT_NEAR(coordinator.CurrentUtility(), no_failure,
+              1e-6 * std::fabs(no_failure));
+
+  EXPECT_EQ(CounterValue(&metrics, "recovery.restarts"), 1u);
+  EXPECT_GE(CounterValue(&metrics, "recovery.repair_rounds"), 1u);
+  EXPECT_EQ(std::count(events.types.begin(), events.types.end(),
+                       "recovery.crash"),
+            1);
+  EXPECT_EQ(std::count(events.types.begin(), events.types.end(),
+                       "recovery.restart"),
+            1);
 }
 
 }  // namespace

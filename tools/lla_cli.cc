@@ -5,7 +5,12 @@
 //       --restore=path resumes the dual iteration from a state snapshot
 //       previously written by `lla checkpoint` (bit-identical resume); the
 //       snapshot format (text v1/v2 or binary b1) is auto-detected from the
-//       file's magic bytes.
+//       file's magic bytes; binary files restore through the zero-copy
+//       mmap path (DESIGN.md §7.11).
+//       --round-threads=N runs the distributed synchronous deployment
+//       instead of the single-process engine: sharded resource agents plus
+//       parallel coordinator rounds on an N-thread pool (bit-identical to
+//       N=1 at any thread count, DESIGN.md §7.11).
 //   lla checkpoint <workload-file> <snapshot-file> [--iters N]
 //                  [--format=text|binary]
 //       Run N iterations, then save the engine's dual state (prices, step
@@ -33,6 +38,7 @@
 // (or workload unschedulable for `check`).
 //
 // Example files live in examples/data/.
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +49,7 @@
 #include "common/stats.h"
 #include "core/engine.h"
 #include "runtime/churn.h"
+#include "runtime/coordinator.h"
 #include "workloads/transform.h"
 #include "core/schedulability.h"
 #include "model/evaluation.h"
@@ -71,7 +78,7 @@ int Usage() {
                "  lla solve <file> [--variant sum|path-weighted] [--iters N] "
                "[--threads=N] [--epsilon-quiescence=X]\n"
                "            [--dynamics=plain|heavy-ball|nesterov] "
-               "[--momentum=B] [--restore=snapshot]\n"
+               "[--momentum=B] [--restore=snapshot] [--round-threads=N]\n"
                "  lla checkpoint <file> <snapshot> [--variant "
                "sum|path-weighted] [--iters N] [--threads=N] "
                "[--epsilon-quiescence=X] [--format=text|binary]\n"
@@ -123,6 +130,24 @@ bool MatchThreadsFlag(int argc, char** argv, int* i, int* threads,
     return ParseThreadCount(argv[++*i], threads);
   }
   return true;  // not a --threads flag at all
+}
+
+// Accepts "--round-threads N" and "--round-threads=N" (same strict value
+// rules as --threads); advances *i past a consumed separate value.
+bool MatchRoundThreadsFlag(int argc, char** argv, int* i, int* threads,
+                           bool* matched) {
+  *matched = false;
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, "--round-threads=", 16) == 0) {
+    *matched = true;
+    return ParseThreadCount(arg + 16, threads);
+  }
+  if (std::strcmp(arg, "--round-threads") == 0) {
+    *matched = true;
+    if (*i + 1 >= argc) return false;
+    return ParseThreadCount(argv[++*i], threads);
+  }
+  return true;  // not a --round-threads flag at all
 }
 
 // Strict parse for --epsilon-quiescence: the whole token must be a finite
@@ -272,21 +297,50 @@ int Solve(const Workload& w, UtilityVariant variant, int iters,
   config.dynamics = dynamics;
   LlaEngine engine(w, model, config);
   if (!restore_path.empty()) {
-    auto snapshot = LoadSnapshotFromFile(restore_path);
-    if (!snapshot.ok()) {
+    // Binary b1 snapshots restore through the zero-copy path: mmap the
+    // file, parse a non-owning view, decode each section once straight
+    // into the engine (DESIGN.md §7.11).  Text snapshots take the classic
+    // owning loader off the same mapped bytes.
+    auto mapped = MappedSnapshotFile::Open(restore_path);
+    if (!mapped.ok()) {
       std::fprintf(stderr, "error loading snapshot %s: %s\n",
-                   restore_path.c_str(), snapshot.error().c_str());
+                   restore_path.c_str(), mapped.error().c_str());
       return kExitLoadError;
     }
-    const Status restored = engine.Restore(snapshot.value());
-    if (!restored.ok()) {
-      std::fprintf(stderr, "error restoring snapshot %s: %s\n",
-                   restore_path.c_str(), restored.error().c_str());
-      return kExitLoadError;
+    const MappedSnapshotFile& file = mapped.value();
+    long long resume_iteration = 0;
+    if (SnapshotBytesAreBinary(file.data(), file.size())) {
+      auto view = ParseSnapshotBinary(file.data(), file.size());
+      if (!view.ok()) {
+        std::fprintf(stderr, "error loading snapshot %s: %s\n",
+                     restore_path.c_str(), view.error().c_str());
+        return kExitLoadError;
+      }
+      const Status restored = engine.Restore(view.value());
+      if (!restored.ok()) {
+        std::fprintf(stderr, "error restoring snapshot %s: %s\n",
+                     restore_path.c_str(), restored.error().c_str());
+        return kExitLoadError;
+      }
+      resume_iteration = view.value().iteration;
+    } else {
+      auto snapshot =
+          LoadSnapshotFromString(std::string(file.data(), file.size()));
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "error loading snapshot %s: %s\n",
+                     restore_path.c_str(), snapshot.error().c_str());
+        return kExitLoadError;
+      }
+      const Status restored = engine.Restore(snapshot.value());
+      if (!restored.ok()) {
+        std::fprintf(stderr, "error restoring snapshot %s: %s\n",
+                     restore_path.c_str(), restored.error().c_str());
+        return kExitLoadError;
+      }
+      resume_iteration = snapshot.value().iteration;
     }
     std::printf("restored dual state from %s (resuming at iteration %lld)\n",
-                restore_path.c_str(),
-                static_cast<long long>(snapshot.value().iteration));
+                restore_path.c_str(), resume_iteration);
   }
   const RunResult run = engine.Run(iters);
   std::printf("%s after %d iterations; utility %.3f (%s variant); "
@@ -319,6 +373,57 @@ int Solve(const Workload& w, UtilityVariant variant, int iters,
     std::printf("%-16s %9.4f/%.2f %10.2f\n", resource.name.c_str(),
                 report.resource_share_sums[resource.id.value()],
                 resource.capacity, engine.prices().mu[resource.id.value()]);
+  }
+  return run.converged && run.final_feasibility.feasible ? kExitSuccess
+                                                         : kExitNotConverged;
+}
+
+// `lla solve --round-threads=N`: the distributed synchronous deployment —
+// sharded resource agents on an in-process bus, with the coordinator fanning
+// each round's controller solves, shard price updates and delivery waves
+// across an N-thread pool (DESIGN.md §7.11).  The fixed point is
+// bit-identical at any thread count, so N only changes wall-clock time.
+int SolveDistributed(const Workload& w, UtilityVariant variant, int iters,
+                     int round_threads) {
+  LatencyModel model(w);
+  runtime::CoordinatorConfig config;
+  config.solver.variant = variant;
+  config.step.gamma0 = 3.0;
+  config.bus.base_delay_ms = 0.0;
+  config.record_history = false;
+  config.num_shards = static_cast<int>(
+      std::min<std::size_t>(8, w.resource_count()));
+  config.round_threads = round_threads;
+  runtime::Coordinator coordinator(w, model, config);
+  const RunResult run = coordinator.RunSync(iters);
+  // With record_history off, RunResult carries no per-round utility —
+  // evaluate the enacted assignment directly.
+  std::printf("%s after %d distributed rounds (%d round threads, %zu "
+              "shards); utility %.3f (%s variant); feasible: %s\n",
+              run.converged ? "converged" : "NOT converged", run.iterations,
+              round_threads, coordinator.shard_count(),
+              coordinator.CurrentUtility(), ToString(variant),
+              run.final_feasibility.feasible ? "yes" : "no");
+  const Assignment latencies = coordinator.CurrentAssignment();
+  const PriceVector prices = coordinator.CurrentPrices();
+  const auto report = coordinator.CurrentFeasibility();
+  std::printf("\n%-24s %12s %10s\n", "subtask", "latency(ms)", "share");
+  for (const SubtaskInfo& sub : w.subtasks()) {
+    const double latency = latencies[sub.id.value()];
+    std::printf("%-24s %12.3f %10.4f\n", sub.name.c_str(), latency,
+                model.share(sub.id).Share(latency));
+  }
+  std::printf("\n%-24s %14s %14s\n", "task", "critical path", "deadline");
+  for (const TaskInfo& task : w.tasks()) {
+    std::printf("%-24s %14.2f %14.1f\n", task.name.c_str(),
+                CriticalPathLatency(w, task.id, latencies),
+                task.critical_time_ms);
+  }
+  std::printf("\n%-16s %12s %10s\n", "resource", "share sum", "price");
+  for (const ResourceInfo& resource : w.resources()) {
+    std::printf("%-16s %9.4f/%.2f %10.2f\n", resource.name.c_str(),
+                report.resource_share_sums[resource.id.value()],
+                resource.capacity, prices.mu[resource.id.value()]);
   }
   return run.converged && run.final_feasibility.feasible ? kExitSuccess
                                                          : kExitNotConverged;
@@ -600,8 +705,12 @@ int main(int argc, char** argv) {
     std::string restore_path;
     bool binary_format = false;
     bool threads_seen = false;
+    int round_threads = 0;
+    bool round_threads_seen = false;
+    bool engine_only_flag_seen = false;
     for (int i = first_flag; i < argc; ++i) {
       bool is_threads = false;
+      bool is_round_threads = false;
       bool is_epsilon = false;
       bool is_dynamics = false;
       bool is_momentum = false;
@@ -615,6 +724,7 @@ int main(int argc, char** argv) {
                  std::strncmp(argv[i], "--restore=", 10) == 0) {
         restore_path = argv[i] + 10;
         if (restore_path.empty()) return Usage();
+        engine_only_flag_seen = true;
       } else if (is_checkpoint &&
                  std::strncmp(argv[i], "--format=", 9) == 0) {
         // Strict: exactly "text" or "binary", anything else is usage (2).
@@ -631,25 +741,43 @@ int main(int argc, char** argv) {
         // instead of silently taking the last one.
         if (threads_seen) return Usage();
         threads_seen = true;
+        engine_only_flag_seen = true;
+      } else if (!is_checkpoint &&
+                 !MatchRoundThreadsFlag(argc, argv, &i, &round_threads,
+                                        &is_round_threads)) {
+        return Usage();
+      } else if (is_round_threads) {
+        if (round_threads_seen) return Usage();
+        round_threads_seen = true;
       } else if (!MatchEpsilonFlag(argc, argv, &i, &epsilon_quiescence,
                                    &is_epsilon)) {
         return Usage();
       } else if (is_epsilon) {
+        engine_only_flag_seen = true;
       } else if (!MatchDynamicsFlag(argc, argv, &i, &dynamics.kind,
                                     &is_dynamics)) {
         return Usage();
       } else if (is_dynamics) {
+        engine_only_flag_seen = true;
       } else if (!MatchMomentumFlag(argc, argv, &i, &dynamics.momentum,
                                     &is_momentum)) {
         return Usage();
       } else if (!is_momentum) {
         return Usage();
+      } else {
+        engine_only_flag_seen = true;
       }
     }
     if (iters < 1) return Usage();
     if (is_checkpoint) {
       return Checkpoint(w, variant, iters, threads, epsilon_quiescence,
                         dynamics, snapshot_path, binary_format);
+    }
+    if (round_threads_seen) {
+      // The distributed path has no engine to thread, restore, or damp;
+      // mixing those flags in would silently do nothing, so reject.
+      if (engine_only_flag_seen) return Usage();
+      return SolveDistributed(w, variant, iters, round_threads);
     }
     return Solve(w, variant, iters, threads, epsilon_quiescence, dynamics,
                  restore_path);
