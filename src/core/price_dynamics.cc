@@ -27,6 +27,114 @@ void PriceDynamicsPolicy::LoadState(const DynamicsPolicyState& in) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-component steps (shared by the vector policies and the distributed
+// agents, DESIGN.md §7.12)
+
+DynamicsStep HeavyBallComponentStep(double beta, bool adaptive_restart,
+                                    double value, double gamma, double slack,
+                                    double* velocity, double* phase,
+                                    std::uint64_t* restarts) {
+  double v = *velocity;
+  double t = *phase;
+  // Ascent gradient of the dual in this component (Eq. 8/9 move the price
+  // up while its constraint is violated, i.e. while slack < 0).
+  const double g = -slack;
+  if (adaptive_restart && v * g < 0.0) {
+    // Momentum points against the current gradient: built-up velocity would
+    // carry the multiplier uphill.  Drop it and restart the ramp (gradient
+    // restart).
+    v = 0.0;
+    t = 0.0;
+    if (restarts != nullptr) ++*restarts;
+  }
+  // The ramp (see header): momentum re-earns its coefficient after every
+  // restart, so a component in an overshoot/restart cycle near the optimum
+  // runs nearly plain while a long monotone crawl gets the full beta.
+  const double beta_t =
+      adaptive_restart ? std::min(beta, t / (t + 3.0)) : beta;
+  v = beta_t * v + gamma * g;
+  const double proposed = std::max(0.0, value + v);
+  // Zero-clamp: a multiplier parked at the projection boundary carries no
+  // velocity and no ramp credit.  This is what makes (0, 0, 0) an absorbing
+  // state the active-set retirement proof can rely on (see header).
+  if (proposed == 0.0) {
+    v = 0.0;
+    t = 0.0;
+  } else {
+    t += 1.0;
+  }
+  *velocity = v;
+  *phase = t;
+  // Unlike the plain update, a momentum step can project to 0 while the
+  // constraint is still violated (leftover negative velocity outweighs a
+  // positive gradient for one step).  Such a zero is NOT absorbing — the
+  // next computed step lifts off it — so `settled` additionally requires
+  // g <= 0: only then does a recompute from (0, 0) with unchanged inputs
+  // return (0, 0) for every step size, which is what retirement skips rely
+  // on.
+  return {proposed, proposed == 0.0 && g <= 0.0};
+}
+
+DynamicsStep NesterovComponentStep(double beta, bool adaptive_restart,
+                                   double value, double gamma, double slack,
+                                   double* velocity, double* base,
+                                   double* phase, std::uint64_t* restarts) {
+  // `value` is the extrapolated point y the last step published; the solve
+  // that produced `slack` evaluated the gradient THERE, so this is the real
+  // Nesterov scheme, not a lookahead approximation.
+  const double g = -slack;
+  double t = *phase;
+  const double x_new = std::max(0.0, value + gamma * g);
+  double v = x_new - *base;
+  if (x_new == 0.0) v = 0.0;  // zero-clamp, as in heavy-ball
+  if (adaptive_restart && v * g < 0.0) {
+    // The freshly realized step opposes the gradient at the extrapolated
+    // point: overshoot.  Publish the un-extrapolated iterate and restart
+    // the ramp.
+    v = 0.0;
+    t = 0.0;
+    if (restarts != nullptr) ++*restarts;
+  }
+  // Same ramp as heavy-ball: extrapolation re-earns its coefficient after
+  // every restart.
+  const double beta_t =
+      adaptive_restart ? std::min(beta, t / (t + 3.0)) : beta;
+  const double y_new = std::max(0.0, x_new + beta_t * v);
+  *base = x_new;
+  *velocity = v;
+  if (x_new == 0.0) {
+    t = 0.0;  // zero-clamp the ramp, as for the velocity
+  } else {
+    t += 1.0;
+  }
+  *phase = t;
+  // x_new == 0 forces v == 0 and hence y_new == 0: the whole component
+  // state is at zero.  As in heavy-ball, the zero is only absorbing (and
+  // hence retirable) when the gradient also points down or is flat.
+  return {y_new, x_new == 0.0 && g <= 0.0};
+}
+
+DynamicsStep StepComponentDynamics(const DynamicsConfig& config,
+                                   ComponentDynamicsState* state, double value,
+                                   double gamma, double slack,
+                                   std::uint64_t* restarts) {
+  switch (config.kind) {
+    case DynamicsKind::kPlain:
+      break;
+    case DynamicsKind::kHeavyBall:
+      return HeavyBallComponentStep(config.momentum, config.adaptive_restart,
+                                    value, gamma, slack, &state->velocity,
+                                    &state->phase, restarts);
+    case DynamicsKind::kNesterov:
+      return NesterovComponentStep(config.momentum, config.adaptive_restart,
+                                   value, gamma, slack, &state->velocity,
+                                   &state->base, &state->phase, restarts);
+  }
+  const double proposed = std::max(0.0, value - gamma * slack);
+  return {proposed, proposed == 0.0};
+}
+
+// ---------------------------------------------------------------------------
 // Plain
 
 void PlainDynamics::Reset(const Workload& /*workload*/,
@@ -64,45 +172,8 @@ DynamicsStep HeavyBallDynamics::Step(DualSpace space, std::size_t i,
   std::vector<double>& phase =
       space == DualSpace::kResource ? mu_phase_ : lambda_phase_;
   assert(i < velocity.size());
-  double v = velocity[i];
-  double t = phase[i];
-  // Ascent gradient of the dual in this component (Eq. 8/9 move the price
-  // up while its constraint is violated, i.e. while slack < 0).
-  const double g = -slack;
-  if (adaptive_restart_ && v * g < 0.0) {
-    // Momentum points against the current gradient: built-up velocity would
-    // carry the multiplier uphill.  Drop it and restart the ramp (gradient
-    // restart).
-    v = 0.0;
-    t = 0.0;
-    ++total_restarts_;
-  }
-  // The ramp (see header): momentum re-earns its coefficient after every
-  // restart, so a component in an overshoot/restart cycle near the optimum
-  // runs nearly plain while a long monotone crawl gets the full beta.
-  const double beta_t =
-      adaptive_restart_ ? std::min(beta_, t / (t + 3.0)) : beta_;
-  v = beta_t * v + gamma * g;
-  const double proposed = std::max(0.0, value + v);
-  // Zero-clamp: a multiplier parked at the projection boundary carries no
-  // velocity and no ramp credit.  This is what makes (0, 0, 0) an absorbing
-  // state the active-set retirement proof can rely on (see header).
-  if (proposed == 0.0) {
-    v = 0.0;
-    t = 0.0;
-  } else {
-    t += 1.0;
-  }
-  velocity[i] = v;
-  phase[i] = t;
-  // Unlike the plain update, a momentum step can project to 0 while the
-  // constraint is still violated (leftover negative velocity outweighs a
-  // positive gradient for one step).  Such a zero is NOT absorbing — the
-  // next computed step lifts off it — so `settled` additionally requires
-  // g <= 0: only then does a recompute from (0, 0) with unchanged inputs
-  // return (0, 0) for every step size, which is what retirement skips rely
-  // on.
-  return {proposed, proposed == 0.0 && g <= 0.0};
+  return HeavyBallComponentStep(beta_, adaptive_restart_, value, gamma, slack,
+                                &velocity[i], &phase[i], &total_restarts_);
 }
 
 void HeavyBallDynamics::SaveState(DynamicsPolicyState* out) const {
@@ -165,39 +236,9 @@ DynamicsStep NesterovDynamics::Step(DualSpace space, std::size_t i,
   std::vector<double>& phase =
       space == DualSpace::kResource ? mu_phase_ : lambda_phase_;
   assert(i < velocity.size());
-  // `value` is the extrapolated point y the last step published; the solve
-  // that produced `slack` evaluated the gradient THERE, so this is the real
-  // Nesterov scheme, not a lookahead approximation.
-  const double g = -slack;
-  double t = phase[i];
-  const double x_new = std::max(0.0, value + gamma * g);
-  double v = x_new - base[i];
-  if (x_new == 0.0) v = 0.0;  // zero-clamp, as in heavy-ball
-  if (adaptive_restart_ && v * g < 0.0) {
-    // The freshly realized step opposes the gradient at the extrapolated
-    // point: overshoot.  Publish the un-extrapolated iterate and restart
-    // the ramp.
-    v = 0.0;
-    t = 0.0;
-    ++total_restarts_;
-  }
-  // Same ramp as heavy-ball: extrapolation re-earns its coefficient after
-  // every restart.
-  const double beta_t =
-      adaptive_restart_ ? std::min(beta_, t / (t + 3.0)) : beta_;
-  const double y_new = std::max(0.0, x_new + beta_t * v);
-  base[i] = x_new;
-  velocity[i] = v;
-  if (x_new == 0.0) {
-    t = 0.0;  // zero-clamp the ramp, as for the velocity
-  } else {
-    t += 1.0;
-  }
-  phase[i] = t;
-  // x_new == 0 forces v == 0 and hence y_new == 0: the whole component
-  // state is at zero.  As in heavy-ball, the zero is only absorbing (and
-  // hence retirable) when the gradient also points down or is flat.
-  return {y_new, x_new == 0.0 && g <= 0.0};
+  return NesterovComponentStep(beta_, adaptive_restart_, value, gamma, slack,
+                               &velocity[i], &base[i], &phase[i],
+                               &total_restarts_);
 }
 
 void NesterovDynamics::SaveState(DynamicsPolicyState* out) const {

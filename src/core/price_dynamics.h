@@ -102,6 +102,63 @@ struct DynamicsStep {
   bool settled = false;
 };
 
+/// Momentum state of ONE dual component, for holders that own their
+/// components individually rather than as workload-wide vectors — the
+/// distributed resource agents (DESIGN.md §7.12), where velocity lives per
+/// ResourceAgent / per resource inside a ShardAgent.  Zero-initialized state
+/// is exactly "fresh momentum": no velocity, no ramp credit, base at the
+/// projection boundary.  Whenever the published value is re-seeded from
+/// outside the dynamics (repair adoption, snapshot restore without momentum
+/// fields), call ReseedAt(value) so the Nesterov base tracks the published
+/// point instead of replaying a stale extrapolation.
+struct ComponentDynamicsState {
+  double velocity = 0.0;
+  /// Nesterov base iterate x (unused by plain/heavy-ball).
+  double base = 0.0;
+  /// Steps since this component's last restart (the ramp clock t).
+  double phase = 0.0;
+
+  /// Drops momentum and re-bases at `value`: the state a component has right
+  /// after a restart at that published point.
+  void ReseedAt(double value) {
+    velocity = 0.0;
+    base = value;
+    phase = 0.0;
+  }
+  /// Drops momentum without touching the base: the gradient stream became
+  /// discontinuous (e.g. a peer's incarnation-stale traffic was rejected),
+  /// so built-up velocity must not be replayed into the next gradient.
+  void DropMomentum() {
+    velocity = 0.0;
+    phase = 0.0;
+  }
+};
+
+/// One projected dual step on a single component, operation-for-operation
+/// identical to the corresponding PriceDynamicsPolicy::Step — the vector
+/// policies below are implemented ON these functions, so the engine and the
+/// distributed agents share one arithmetic definition and beta = 0 heavy-ball
+/// stays bit-identical to plain in both deployments.  `restarts` (nullable)
+/// is incremented on each adaptive restart.
+DynamicsStep StepComponentDynamics(const DynamicsConfig& config,
+                                   ComponentDynamicsState* state, double value,
+                                   double gamma, double slack,
+                                   std::uint64_t* restarts);
+
+/// The heavy-ball arithmetic on raw velocity/phase slots (the vector policy
+/// passes &velocity_[i]; the shard agent passes into its per-resource
+/// arrays).
+DynamicsStep HeavyBallComponentStep(double beta, bool adaptive_restart,
+                                    double value, double gamma, double slack,
+                                    double* velocity, double* phase,
+                                    std::uint64_t* restarts);
+
+/// The Nesterov two-sequence arithmetic on raw velocity/base/phase slots.
+DynamicsStep NesterovComponentStep(double beta, bool adaptive_restart,
+                                   double value, double gamma, double slack,
+                                   double* velocity, double* base,
+                                   double* phase, std::uint64_t* restarts);
+
 /// One accelerated variant of the projected dual update.  The policy owns
 /// the per-resource mu and per-path lambda velocity vectors; PriceUpdater
 /// calls Step() once per computed (non-retired) component, passing the

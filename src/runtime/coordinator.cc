@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/engine_batch.h"
 
@@ -16,6 +18,9 @@ constexpr std::uint64_t kMonitorTimer = 3;
 Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
                          CoordinatorConfig config)
     : workload_(&workload), model_(&model), config_(config) {
+  // CoordinatorConfig::dynamics is authoritative for the agents' mu updates
+  // (DESIGN.md §7.12); copy it into the step config every agent receives.
+  config_.step.dynamics = config_.dynamics;
   if (config_.metrics != nullptr) {
     rounds_counter_ = config_.metrics->GetCounter("coordinator.rounds");
     samples_counter_ = config_.metrics->GetCounter("coordinator.samples");
@@ -39,7 +44,7 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
   controllers_.reserve(workload.task_count());
   for (const TaskInfo& task : workload.tasks()) {
     controllers_.push_back(std::make_unique<TaskController>(
-        workload, model, task.id, config.step, controller_shared_.get()));
+        workload, model, task.id, config_.step, controller_shared_.get()));
   }
   const bool sharded = config_.num_shards > 0;
   if (sharded) {
@@ -56,7 +61,7 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
       shard_agents_.push_back(std::make_unique<ShardAgent>(
           workload, model, static_cast<std::uint32_t>(s),
           ResourceId(static_cast<std::uint32_t>(first)), last - first,
-          config.step));
+          config_.step));
       for (std::size_t r = first; r < last; ++r) {
         resource_shard_[r] = static_cast<std::uint32_t>(s);
       }
@@ -65,7 +70,7 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
     agents_.reserve(workload.resource_count());
     for (const ResourceInfo& resource : workload.resources()) {
       agents_.push_back(std::make_unique<ResourceAgent>(
-          workload, model, resource.id, config.step));
+          workload, model, resource.id, config_.step));
     }
   }
 
@@ -129,6 +134,18 @@ Coordinator::Coordinator(const Workload& workload, const LatencyModel& model,
   }
   for (auto& agent : agents_) agent->set_recovery_hooks(recovery_hooks_);
   for (auto& shard : shard_agents_) shard->set_recovery_hooks(recovery_hooks_);
+}
+
+void Coordinator::RequireUnsharded(const char* what) const {
+  if (!sharded()) return;
+  std::fprintf(stderr,
+               "Coordinator::%s is unsharded-only (it indexes the "
+               "per-resource agent/endpoint tables, which are empty when "
+               "sharded): this coordinator runs %zu shard agents.  Use the "
+               "per-resource shard fault APIs (CrashEndpoint / "
+               "RestartEndpoint cold) instead.\n",
+               what, shard_agents_.size());
+  std::abort();
 }
 
 void Coordinator::EmitRecoveryEvent(const char* type,
@@ -210,7 +227,7 @@ void Coordinator::RestartEndpoint(TaskId task) {
 
 void Coordinator::RestartEndpoint(ResourceId resource,
                                   const ResourceAgentSnapshot& snapshot) {
-  assert(!sharded());  // per-resource fault injection is unsharded-only
+  RequireUnsharded("RestartEndpoint(resource, snapshot)");
   const net::EndpointId endpoint = resource_endpoints_[resource.value()];
   bus_->RestartEndpoint(endpoint);
   agents_[resource.value()]->RestoreFromSnapshot(snapshot);
@@ -235,7 +252,7 @@ void Coordinator::RestartEndpoint(TaskId task,
 
 ResourceAgentSnapshot Coordinator::CheckpointResource(
     ResourceId resource) const {
-  assert(!sharded());  // per-resource checkpointing is unsharded-only
+  RequireUnsharded("CheckpointResource");
   return agents_[resource.value()]->Snapshot();
 }
 
@@ -245,7 +262,7 @@ TaskControllerSnapshot Coordinator::CheckpointController(TaskId task) const {
 
 void Coordinator::PartitionResource(ResourceId resource,
                                     double duration_ms) {
-  assert(!sharded());  // per-resource fault injection is unsharded-only
+  RequireUnsharded("PartitionResource");
   bus_->BlackoutEndpoint(resource_endpoints_[resource.value()],
                          bus_->now_ms() + duration_ms);
 }

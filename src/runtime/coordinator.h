@@ -40,6 +40,15 @@ struct CoordinatorConfig {
   LatencySolverConfig solver;
   net::BusConfig bus;
   ConvergenceConfig convergence;
+  /// Accelerated price dynamics for the distributed Eq. 8 mu updates
+  /// (DESIGN.md §7.12): velocity/base/phase state lives per ResourceAgent
+  /// (one component) and per resource inside each ShardAgent, with the same
+  /// adaptive restart + ramp the engine's PriceDynamicsPolicy applies.
+  /// Authoritative: the coordinator copies this into step.dynamics before
+  /// building agents (beta = 0 or kPlain keeps the classic update
+  /// bit-for-bit).  Path lambdas stay plain — they live on the task
+  /// controllers, whose Eq. 9 update this config does not touch.
+  DynamicsConfig dynamics;
   /// Sharded deployment (DESIGN.md §7.10): partition the resources into this
   /// many shard agents, each owning a contiguous range and exchanging one
   /// batched message per peer per round — O(shards) instead of O(resources)
@@ -184,6 +193,13 @@ class Coordinator {
   }
 
  private:
+  /// Aborts loudly when this coordinator is sharded: the per-resource
+  /// checkpoint/restore/partition surfaces index agents_ /
+  /// resource_endpoints_, which are EMPTY in sharded mode.  This used to be
+  /// an assert, which NDEBUG release builds compile out — turning a caller
+  /// bug into silent out-of-bounds UB — so it is now an unconditional
+  /// runtime check (same policy as LlaEngine::WarmStart's shape abort).
+  void RequireUnsharded(const char* what) const;
   void CollectAssignment(Assignment* latencies) const;
   void RecordSample(double at_ms);
   void UpdateConvergence(double utility, bool feasible);

@@ -38,6 +38,18 @@ struct ResourceAgentSnapshot {
   std::uint32_t epoch = 0;
   /// Latest latency inputs, indexed like workload.resource(id).subtasks.
   std::vector<double> latencies_ms;
+  /// Accelerated-dynamics state (DESIGN.md §7.12).  Snapshots taken before
+  /// the momentum port — or by a plain-dynamics agent — leave has_dynamics
+  /// false and restore as FRESH momentum (velocity/phase zero, base re-seeded
+  /// at mu), mirroring the v1 -> v2 engine-snapshot precedent: an old
+  /// checkpoint is a valid operating point, just without acceleration
+  /// history.
+  bool has_dynamics = false;
+  double velocity = 0.0;
+  /// Nesterov base iterate x (the published mu is the extrapolated point y).
+  double dynamics_base = 0.0;
+  /// Steps since the component's last adaptive restart (the ramp clock).
+  double phase = 0.0;
 };
 
 /// Durable state of one TaskController, captured by

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 
 namespace lla::runtime {
@@ -52,7 +54,15 @@ void ResourceAgent::OnMessage(const net::Message& message) {
   if (crashed_) return;
   if (const auto* update =
           std::get_if<net::LatencyUpdate>(&message.payload)) {
-    if (!AcceptIncarnation(update->task, message.incarnation)) return;
+    if (!AcceptIncarnation(update->task, message.incarnation)) {
+      // A stale (pre-restart) latency stream means the gradient this agent
+      // integrated is discontinuous at the sender's crash boundary: momentum
+      // built from the pre-crash gradients must not be replayed into the
+      // post-crash ones, so drop the velocity (the adaptive-restart rule,
+      // applied eagerly).
+      dynamics_.DropMomentum();
+      return;
+    }
     const auto& hosted = workload_->resource(resource_).subtasks;
     for (std::size_t i = 0; i < update->subtasks.size(); ++i) {
       const SubtaskId sid = update->subtasks[i];
@@ -66,7 +76,10 @@ void ResourceAgent::OnMessage(const net::Message& message) {
   if (const auto* repair =
           std::get_if<net::RepairResponse>(&message.payload)) {
     if (repair->resource != resource_) return;  // misrouted; ignore
-    if (!AcceptIncarnation(repair->task, message.incarnation)) return;
+    if (!AcceptIncarnation(repair->task, message.incarnation)) {
+      dynamics_.DropMomentum();  // same discontinuity as a stale update
+      return;
+    }
     // Absolute state from a client controller: always absorb the latencies
     // (they are the controller's current truth), and while awaiting repair
     // adopt the price from the freshest epoch offered.
@@ -84,6 +97,9 @@ void ResourceAgent::OnMessage(const net::Message& message) {
       mu_ = repair->mu;
       epoch_ = repair->epoch;
       gamma_multiplier_ = 1.0;  // congestion history is gone; restart mild
+      // The adopted mu is a fresh operating point with no momentum history:
+      // re-base the dynamics there instead of replaying pre-crash velocity.
+      dynamics_.ReseedAt(mu_);
       repair_adopted_ = true;
       if (hooks_.repair_rounds != nullptr) hooks_.repair_rounds->Increment();
     }
@@ -100,6 +116,10 @@ void ResourceAgent::ColdRestart() {
   mu_ = 0.0;
   gamma_multiplier_ = 1.0;
   epoch_ = 0;
+  // Momentum is part of the lost state: a cold restart must not replay
+  // pre-crash velocity into post-crash gradients.
+  dynamics_ = ComponentDynamicsState{};
+
   awaiting_repair_ = true;
   repair_adopted_ = false;
   repair_grace_left_ = config_.repair_grace_ticks;
@@ -111,15 +131,42 @@ void ResourceAgent::ColdRestart() {
 }
 
 void ResourceAgent::RestoreFromSnapshot(const ResourceAgentSnapshot& snapshot) {
-  assert(snapshot.resource == resource_);
+  if (snapshot.resource != resource_ ||
+      snapshot.latencies_ms.size() != latencies_.size()) {
+    // A misshapen snapshot would leave the agent publishing a restored mu
+    // against stale (possibly 1e9 cold-fill) latencies — the restored price
+    // and its inputs would disagree silently, forever.  That is always a
+    // caller bug (snapshot of a different resource or of a structurally
+    // different workload), so fail loudly in every build mode, matching
+    // LlaEngine::WarmStart's shape abort.
+    std::fprintf(stderr,
+                 "ResourceAgent::RestoreFromSnapshot: snapshot of resource "
+                 "%u with %zu latencies does not match agent of resource %u "
+                 "with %zu hosted subtasks\n",
+                 snapshot.resource.value(), snapshot.latencies_ms.size(),
+                 resource_.value(), latencies_.size());
+    std::abort();
+  }
   crashed_ = false;
   awaiting_repair_ = false;
   repair_adopted_ = false;
+  // A restore supersedes any half-finished repair exchange: clear its grace
+  // budget and epoch watermark so a late RepairResponse (or a later cold
+  // restart) starts from a clean slate instead of inheriting them.
+  repair_grace_left_ = 0;
+  best_repair_epoch_ = 0;
   mu_ = snapshot.mu;
   gamma_multiplier_ = snapshot.gamma_multiplier;
   epoch_ = snapshot.epoch;
-  if (snapshot.latencies_ms.size() == latencies_.size()) {
-    latencies_ = snapshot.latencies_ms;
+  latencies_ = snapshot.latencies_ms;
+  if (snapshot.has_dynamics) {
+    dynamics_.velocity = snapshot.velocity;
+    dynamics_.base = snapshot.dynamics_base;
+    dynamics_.phase = snapshot.phase;
+  } else {
+    // Pre-momentum snapshot: restore as fresh momentum at the restored mu
+    // (the v1 -> v2 engine-snapshot precedent).
+    dynamics_.ReseedAt(mu_);
   }
   std::fill(task_incarnation_.begin(), task_incarnation_.end(), 0);
 }
@@ -131,6 +178,10 @@ ResourceAgentSnapshot ResourceAgent::Snapshot() const {
   snapshot.gamma_multiplier = gamma_multiplier_;
   snapshot.epoch = epoch_;
   snapshot.latencies_ms = latencies_;
+  snapshot.has_dynamics = true;
+  snapshot.velocity = dynamics_.velocity;
+  snapshot.dynamics_base = dynamics_.base;
+  snapshot.phase = dynamics_.phase;
   return snapshot;
 }
 
@@ -190,8 +241,19 @@ void ResourceAgent::ComputePriceAndBroadcast() {
   }
   const double gamma = config_.gamma0 * gamma_multiplier_;
 
-  // Eq. 8 with projection at zero.
-  mu_ = std::max(0.0, mu_ - gamma * (info.capacity - share_sum));
+  // Eq. 8 with projection at zero, optionally accelerated (DESIGN.md §7.12):
+  // the velocity half-step is applied BEFORE the non-negativity projection,
+  // exactly as the engine's PriceDynamicsPolicy does, so (value, velocity,
+  // phase) = (0, 0, 0) stays absorbing and beta = 0 heavy-ball is
+  // bit-identical to the plain inline update.
+  const double slack = info.capacity - share_sum;
+  if (config_.dynamics.kind == DynamicsKind::kPlain) {
+    mu_ = std::max(0.0, mu_ - gamma * slack);
+  } else {
+    mu_ = StepComponentDynamics(config_.dynamics, &dynamics_, mu_, gamma,
+                                slack, &momentum_restarts_)
+              .value;
+  }
   ++epoch_;
 
   net::ResourcePriceUpdate update;

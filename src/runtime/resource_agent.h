@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/price_dynamics.h"
 #include "model/latency_model.h"
 #include "model/workload.h"
 #include "net/bus.h"
@@ -29,6 +30,13 @@ struct AgentStepConfig {
   /// the first RepairResponse is absorbed, whichever first) so a reset mu=0
   /// never reaches the controllers while repair is in flight.
   int repair_grace_ticks = 3;
+  /// Accelerated price dynamics for the Eq. 8 mu update (DESIGN.md §7.12).
+  /// The per-component velocity/base/phase state lives inside the agent and
+  /// is applied before the non-negativity projection, exactly as the engine
+  /// applies PriceDynamicsPolicy — beta = 0 heavy-ball is bit-identical to
+  /// plain.  Set through CoordinatorConfig::dynamics in a coordinator
+  /// deployment (the coordinator copies it here before building agents).
+  DynamicsConfig dynamics;
 };
 
 class ResourceAgent {
@@ -56,6 +64,10 @@ class ResourceAgent {
   double step_multiplier() const { return gamma_multiplier_; }
   ResourceId resource() const { return resource_; }
   std::uint32_t epoch() const { return epoch_; }
+  /// Momentum state of the mu component (zero while dynamics are plain).
+  const ComponentDynamicsState& dynamics_state() const { return dynamics_; }
+  /// Adaptive restarts fired by this agent's dynamics since construction.
+  std::uint64_t momentum_restarts() const { return momentum_restarts_; }
 
   /// Crash-restart recovery (DESIGN.md §7.7).  The Coordinator drives these
   /// together with the bus-side CrashEndpoint/RestartEndpoint so the
@@ -95,6 +107,13 @@ class ResourceAgent {
   double mu_ = 0.0;
   double gamma_multiplier_ = 1.0;
   std::uint32_t epoch_ = 0;
+  /// Momentum state of the mu component (DESIGN.md §7.12): velocity and ramp
+  /// phase, plus the Nesterov base iterate.  Reset whenever the gradient
+  /// stream becomes discontinuous — cold restart, repair adoption, snapshot
+  /// restore, incarnation-stale rejection — so pre-crash momentum is never
+  /// replayed into a post-crash gradient.
+  ComponentDynamicsState dynamics_;
+  std::uint64_t momentum_restarts_ = 0;
 
   /// Recovery state.
   RecoveryHooks hooks_;

@@ -58,6 +58,9 @@ ShardAgent::ShardAgent(const Workload& workload, const LatencyModel& model,
   }
   mu_.assign(count, 0.0);
   gamma_multiplier_.assign(count, 1.0);
+  velocity_.assign(count, 0.0);
+  dynamics_base_.assign(count, 0.0);
+  dynamics_phase_.assign(count, 0.0);
   congested_.assign(count, 0);
   resource_crashed_.assign(count, 0);
   awaiting_repair_.assign(count, 0);
@@ -96,7 +99,10 @@ void ShardAgent::OnMessage(const net::Message& message) {
           std::get_if<net::ShardLatencyUpdate>(&message.payload)) {
     if (update->shard != shard_) return;  // misrouted; ignore
     if (update->task.value() >= task_incarnation_.size()) return;
-    if (!AcceptIncarnation(update->task, message.incarnation)) return;
+    if (!AcceptIncarnation(update->task, message.incarnation)) {
+      DropClientMomentum(update->task);
+      return;
+    }
     ApplyLatencyUpdate(*update);
     return;
   }
@@ -104,9 +110,25 @@ void ShardAgent::OnMessage(const net::Message& message) {
           std::get_if<net::RepairResponse>(&message.payload)) {
     if (!Hosts(repair->resource)) return;  // misrouted; ignore
     if (repair->task.value() >= task_incarnation_.size()) return;
-    if (!AcceptIncarnation(repair->task, message.incarnation)) return;
+    if (!AcceptIncarnation(repair->task, message.incarnation)) {
+      const std::size_t local = Local(repair->resource);
+      velocity_[local] = 0.0;
+      dynamics_phase_[local] = 0.0;
+      return;
+    }
     ApplyRepairResponse(*repair);
     return;
+  }
+}
+
+void ShardAgent::DropClientMomentum(TaskId task) {
+  if (config_.dynamics.kind == DynamicsKind::kPlain) return;
+  const int c = ClientIndex(task);
+  if (c < 0) return;
+  for (const std::uint32_t local :
+       client_resources_[static_cast<std::size_t>(c)]) {
+    velocity_[local] = 0.0;
+    dynamics_phase_[local] = 0.0;
   }
 }
 
@@ -154,6 +176,11 @@ void ShardAgent::ApplyRepairResponse(const net::RepairResponse& repair) {
     mu_[local] = repair.mu;
     congested_[local] = repair.congested ? 1 : 0;
     gamma_multiplier_[local] = 1.0;  // congestion history is gone
+    // Re-base the dynamics at the adopted price: momentum history is gone
+    // with the rest of the pre-crash state.
+    velocity_[local] = 0.0;
+    dynamics_base_[local] = repair.mu;
+    dynamics_phase_[local] = 0.0;
     repair_adopted_[local] = 1;
     if (hooks_.repair_rounds != nullptr) hooks_.repair_rounds->Increment();
   }
@@ -176,6 +203,9 @@ void ShardAgent::ColdRestartResource(ResourceId r) {
             1e9);
   mu_[local] = 0.0;
   gamma_multiplier_[local] = 1.0;
+  velocity_[local] = 0.0;
+  dynamics_base_[local] = 0.0;
+  dynamics_phase_[local] = 0.0;
   congested_[local] = 0;
   awaiting_repair_[local] = 1;
   repair_adopted_[local] = 0;
@@ -263,8 +293,33 @@ void ShardAgent::ComputePricesAndBroadcast(
     }
     const double gamma = config_.gamma0 * gamma_multiplier_[i];
 
-    // Eq. 8 with projection at zero.
-    mu_[i] = std::max(0.0, mu_[i] - gamma * (info.capacity - share_sum));
+    // Eq. 8 with projection at zero, optionally accelerated — identical
+    // arithmetic to the per-resource agent (and, for plain / beta = 0, to
+    // the pre-momentum inline update), so sharded and unsharded sync runs
+    // still reach the same fixed point bit-for-bit.  The dynamics slots are
+    // per-resource-local, so the parallel round's shard partition never
+    // shares one and bit-identity at any round_threads is preserved.
+    const double slack = info.capacity - share_sum;
+    switch (config_.dynamics.kind) {
+      case DynamicsKind::kPlain:
+        mu_[i] = std::max(0.0, mu_[i] - gamma * slack);
+        break;
+      case DynamicsKind::kHeavyBall:
+        mu_[i] = HeavyBallComponentStep(
+                     config_.dynamics.momentum,
+                     config_.dynamics.adaptive_restart, mu_[i], gamma, slack,
+                     &velocity_[i], &dynamics_phase_[i], &momentum_restarts_)
+                     .value;
+        break;
+      case DynamicsKind::kNesterov:
+        mu_[i] = NesterovComponentStep(
+                     config_.dynamics.momentum,
+                     config_.dynamics.adaptive_restart, mu_[i], gamma, slack,
+                     &velocity_[i], &dynamics_base_[i], &dynamics_phase_[i],
+                     &momentum_restarts_)
+                     .value;
+        break;
+    }
   }
   any_resource_faulted_ = still_faulted;
   ++epoch_;

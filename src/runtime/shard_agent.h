@@ -87,6 +87,10 @@ class ShardAgent {
   double step_multiplier(ResourceId r) const {
     return gamma_multiplier_[Local(r)];
   }
+  /// Momentum velocity of one resource (0.0 while dynamics are plain).
+  double velocity(ResourceId r) const { return velocity_[Local(r)]; }
+  /// Adaptive restarts fired across all owned resources' dynamics.
+  std::uint64_t momentum_restarts() const { return momentum_restarts_; }
   double ShareSum(ResourceId r) const;
   bool Congested(ResourceId r) const;
   std::uint32_t epoch() const { return epoch_; }
@@ -138,9 +142,24 @@ class ShardAgent {
   /// Flat slot per hosted subtask id (only this shard's subtasks appear).
   std::unordered_map<std::uint32_t, std::size_t> subtask_slot_;
 
+  /// Incarnation-stale traffic from `task` was rejected: drop the momentum
+  /// of every resource that client feeds here (its latency stream — the
+  /// gradient input — is discontinuous at the sender's crash boundary, so
+  /// built-up velocity must not be replayed into post-crash gradients).
+  void DropClientMomentum(TaskId task);
+
   /// Per-resource dual state, indexed by Local().
   std::vector<double> mu_;
   std::vector<double> gamma_multiplier_;
+  /// Per-resource momentum state (DESIGN.md §7.12), parallel to resources_:
+  /// velocity, Nesterov base iterate, and ramp phase.  Updated only inside
+  /// ComputePricesAndBroadcast — per-resource-local, so the parallel round's
+  /// lane partition never shares a slot and the fixed point stays
+  /// bit-identical at any round_threads.
+  std::vector<double> velocity_;
+  std::vector<double> dynamics_base_;
+  std::vector<double> dynamics_phase_;
+  std::uint64_t momentum_restarts_ = 0;
   /// This round's congestion flags, filled by ComputePricesAndBroadcast
   /// before the per-client sends (scratch; avoids re-deriving share sums).
   std::vector<std::uint8_t> congested_;

@@ -35,7 +35,8 @@ class ParallelRoundEquivalence
     : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   RoundOutcome RunSharded(const Workload& w, const LatencyModel& model,
-                          int round_threads, bool compact_gather) {
+                          int round_threads, bool compact_gather,
+                          DynamicsKind dynamics = DynamicsKind::kPlain) {
     CoordinatorConfig config;
     config.step.gamma0 = 3.0;
     config.bus.base_delay_ms = 0.0;
@@ -43,6 +44,8 @@ class ParallelRoundEquivalence
     config.record_history = false;
     config.num_shards = 4;
     config.round_threads = round_threads;
+    config.dynamics.kind = dynamics;
+    config.dynamics.momentum = 0.7;
     Coordinator coordinator(w, model, config);
     for (int round = 0; round < 60; ++round) coordinator.RunSyncRound();
     RoundOutcome outcome;
@@ -100,6 +103,37 @@ TEST_P(ParallelRoundEquivalence, OversubscribedThreadsStillBitIdentical) {
   EXPECT_TRUE(SameDoubles(serial.prices.mu, wide.prices.mu));
   EXPECT_TRUE(SameDoubles(serial.prices.lambda, wide.prices.lambda));
   EXPECT_TRUE(SameDoubles(serial.assignment, wide.assignment));
+}
+
+TEST_P(ParallelRoundEquivalence, MomentumRoundsBitIdenticalAcrossThreads) {
+  // The accelerated mu dynamics (DESIGN.md §7.12) add per-resource velocity
+  // / base / phase slots to the shard agents.  They are updated only inside
+  // ComputePricesAndBroadcast — per-resource-local, shards disjoint across
+  // lanes — so the parallel round's fixed point must stay bit-identical at
+  // any thread count, exactly like the plain update.
+  RandomWorkloadConfig workload_config;
+  workload_config.seed = GetParam();
+  workload_config.num_resources = 16;
+  workload_config.num_tasks = 12;
+  workload_config.min_subtasks = 4;
+  workload_config.max_subtasks = 9;
+  workload_config.target_utilization = 0.75;
+  auto workload = MakeRandomWorkload(workload_config);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  for (const DynamicsKind dynamics :
+       {DynamicsKind::kHeavyBall, DynamicsKind::kNesterov}) {
+    SCOPED_TRACE(ToString(dynamics));
+    const RoundOutcome serial = RunSharded(w, model, 1, false, dynamics);
+    const RoundOutcome parallel = RunSharded(w, model, 8, false, dynamics);
+    EXPECT_TRUE(SameDoubles(serial.prices.mu, parallel.prices.mu));
+    EXPECT_TRUE(SameDoubles(serial.prices.lambda, parallel.prices.lambda));
+    EXPECT_TRUE(SameDoubles(serial.assignment, parallel.assignment));
+    EXPECT_EQ(0, std::memcmp(&serial.utility, &parallel.utility,
+                             sizeof(double)));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRoundEquivalence,

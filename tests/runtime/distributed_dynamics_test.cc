@@ -1,0 +1,288 @@
+// Distributed accelerated price dynamics (DESIGN.md §7.12): the Eq. 8 mu
+// update inside ResourceAgent / ShardAgent carries per-resource momentum
+// state (velocity, Nesterov base, ramp phase).  These tests pin the
+// properties the port must preserve:
+//
+//   * beta = 0 heavy-ball is BIT-IDENTICAL to the plain inline update —
+//     memcmp, not EXPECT_NEAR — in both the unsharded and sharded
+//     deployments (0 * v + gamma * g absorbs into the same IEEE additions).
+//   * Momentum state survives a checkpoint/restore round-trip, and a
+//     pre-momentum snapshot (has_dynamics = false) restores as FRESH
+//     momentum re-based at the restored mu.
+//   * A snapshot restore supersedes a half-finished repair exchange: the
+//     restored agent broadcasts immediately instead of inheriting the grace
+//     hold, and its stale repair bookkeeping is gone.
+//   * The formerly assert-guarded unsharded-only coordinator surfaces
+//     (CheckpointResource, snapshot RestartEndpoint, PartitionResource) and
+//     ResourceAgent::RestoreFromSnapshot's shape check abort LOUDLY in every
+//     build mode — these used to be NDEBUG-erasable asserts sitting in
+//     front of empty-vector indexing.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "runtime/coordinator.h"
+#include "workloads/paper.h"
+#include "workloads/random.h"
+
+namespace lla::runtime {
+namespace {
+
+Expected<Workload> TestWorkload(std::uint64_t seed) {
+  RandomWorkloadConfig config;
+  config.seed = seed;
+  config.num_resources = 12;
+  config.num_tasks = 8;
+  config.min_subtasks = 3;
+  config.max_subtasks = 7;
+  config.target_utilization = 0.75;
+  return MakeRandomWorkload(config);
+}
+
+CoordinatorConfig DynamicsCoordinatorConfig(DynamicsKind kind, double beta,
+                                            int num_shards = 0) {
+  CoordinatorConfig config;
+  config.step.gamma0 = 3.0;
+  config.bus.base_delay_ms = 0.0;
+  config.record_history = false;
+  config.dynamics.kind = kind;
+  config.dynamics.momentum = beta;
+  config.num_shards = num_shards;
+  return config;
+}
+
+bool SameDoubles(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// --- beta = 0 equivalence ------------------------------------------------
+
+TEST(DistributedDynamicsTest, BetaZeroHeavyBallBitIdenticalToPlain) {
+  auto workload = TestWorkload(91);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  for (const int num_shards : {0, 4}) {
+    SCOPED_TRACE(num_shards == 0 ? "unsharded" : "sharded");
+    Coordinator plain(
+        w, model, DynamicsCoordinatorConfig(DynamicsKind::kPlain, 0.9,
+                                            num_shards));
+    Coordinator accelerated(
+        w, model, DynamicsCoordinatorConfig(DynamicsKind::kHeavyBall, 0.0,
+                                            num_shards));
+    for (int round = 0; round < 80; ++round) {
+      plain.RunSyncRound();
+      accelerated.RunSyncRound();
+    }
+    const PriceVector plain_prices = plain.CurrentPrices();
+    const PriceVector accel_prices = accelerated.CurrentPrices();
+    EXPECT_TRUE(SameDoubles(plain_prices.mu, accel_prices.mu));
+    EXPECT_TRUE(SameDoubles(plain_prices.lambda, accel_prices.lambda));
+    EXPECT_TRUE(
+        SameDoubles(plain.CurrentAssignment(), accelerated.CurrentAssignment()));
+  }
+}
+
+// --- momentum actually engages at beta > 0 -------------------------------
+
+TEST(DistributedDynamicsTest, MomentumStateMovesAndIsObservable) {
+  auto workload = TestWorkload(92);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  Coordinator coordinator(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kHeavyBall, 0.7));
+  for (int round = 0; round < 30; ++round) coordinator.RunSyncRound();
+  // At least one congested resource must have built nonzero velocity by now
+  // (all-zero velocity would mean the dynamics never engaged).
+  bool any_velocity = false;
+  for (const ResourceInfo& resource : w.resources()) {
+    if (coordinator.agent(resource.id).dynamics_state().velocity != 0.0) {
+      any_velocity = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_velocity);
+
+  // Sharded: same observable through ShardAgent::velocity().
+  Coordinator sharded(
+      w, model,
+      DynamicsCoordinatorConfig(DynamicsKind::kHeavyBall, 0.7, 4));
+  for (int round = 0; round < 30; ++round) sharded.RunSyncRound();
+  bool any_shard_velocity = false;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    const ShardAgent& agent = sharded.shard_agent(s);
+    for (const ResourceInfo& resource : w.resources()) {
+      if (agent.Hosts(resource.id) && agent.velocity(resource.id) != 0.0) {
+        any_shard_velocity = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_shard_velocity);
+}
+
+// --- snapshot round-trip -------------------------------------------------
+
+TEST(DistributedDynamicsTest, SnapshotCarriesAndRestoresMomentumState) {
+  auto workload = TestWorkload(93);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  Coordinator source(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kNesterov, 0.7));
+  for (int round = 0; round < 40; ++round) source.RunSyncRound();
+
+  // Pick a resource whose dynamics have engaged.
+  ResourceId victim = w.resources().front().id;
+  for (const ResourceInfo& resource : w.resources()) {
+    if (source.agent(resource.id).dynamics_state().phase != 0.0) {
+      victim = resource.id;
+      break;
+    }
+  }
+  const ResourceAgentSnapshot snapshot = source.CheckpointResource(victim);
+  EXPECT_TRUE(snapshot.has_dynamics);
+  const ComponentDynamicsState& live = source.agent(victim).dynamics_state();
+  EXPECT_EQ(snapshot.velocity, live.velocity);
+  EXPECT_EQ(snapshot.dynamics_base, live.base);
+  EXPECT_EQ(snapshot.phase, live.phase);
+
+  // Restore into a fresh deployment: the momentum state must come back
+  // exactly.
+  Coordinator target(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kNesterov, 0.7));
+  target.RestartEndpoint(victim, snapshot);
+  const ComponentDynamicsState& restored =
+      target.agent(victim).dynamics_state();
+  EXPECT_EQ(restored.velocity, snapshot.velocity);
+  EXPECT_EQ(restored.base, snapshot.dynamics_base);
+  EXPECT_EQ(restored.phase, snapshot.phase);
+
+  // A pre-momentum (v1-era) snapshot restores as FRESH momentum re-based at
+  // the restored mu: velocity and phase zero, base = mu.
+  ResourceAgentSnapshot old_format = snapshot;
+  old_format.has_dynamics = false;
+  old_format.velocity = 123.0;  // must be ignored
+  old_format.dynamics_base = 456.0;
+  old_format.phase = 789.0;
+  Coordinator fresh(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kNesterov, 0.7));
+  fresh.RestartEndpoint(victim, old_format);
+  const ComponentDynamicsState& reseeded = fresh.agent(victim).dynamics_state();
+  EXPECT_EQ(reseeded.velocity, 0.0);
+  EXPECT_EQ(reseeded.phase, 0.0);
+  EXPECT_EQ(reseeded.base, snapshot.mu);
+}
+
+// --- restore supersedes a half-finished repair exchange ------------------
+
+TEST(DistributedDynamicsTest, SnapshotRestoreSupersedesRepairExchange) {
+  auto workload = TestWorkload(94);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  Coordinator coordinator(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kHeavyBall, 0.7));
+  for (int round = 0; round < 20; ++round) coordinator.RunSyncRound();
+
+  const ResourceId victim = w.resources().front().id;
+  const ResourceAgentSnapshot snapshot =
+      coordinator.CheckpointResource(victim);
+
+  // Cold restart puts the agent into the repair exchange (grace-held
+  // broadcasts).  Restoring from a snapshot mid-exchange must cancel it:
+  // the agent broadcasts on the very next round instead of holding.
+  coordinator.CrashEndpoint(victim);
+  coordinator.RestartEndpoint(victim);  // cold: awaiting repair
+  EXPECT_TRUE(coordinator.agent(victim).awaiting_repair());
+
+  coordinator.RestartEndpoint(victim, snapshot);
+  EXPECT_FALSE(coordinator.agent(victim).awaiting_repair());
+  const std::uint32_t epoch_before = coordinator.agent(victim).epoch();
+  coordinator.RunSyncRound();
+  // A grace-held agent would not have advanced its epoch; the restored one
+  // must have.
+  EXPECT_EQ(coordinator.agent(victim).epoch(), epoch_before + 1);
+}
+
+// --- loud aborts replace NDEBUG-erasable asserts -------------------------
+
+using DistributedDynamicsDeathTest = ::testing::Test;
+
+TEST(DistributedDynamicsDeathTest, CheckpointResourceAbortsWhenSharded) {
+  auto workload = TestWorkload(95);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  Coordinator sharded(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kPlain, 0.0, 4));
+  EXPECT_DEATH(sharded.CheckpointResource(w.resources().front().id),
+               "CheckpointResource is unsharded-only");
+}
+
+TEST(DistributedDynamicsDeathTest, SnapshotRestartAbortsWhenSharded) {
+  auto workload = TestWorkload(95);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+
+  // Take a legitimate snapshot from an unsharded deployment, then try to
+  // restore it into a sharded one.
+  Coordinator unsharded(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kPlain, 0.0));
+  const ResourceAgentSnapshot snapshot =
+      unsharded.CheckpointResource(w.resources().front().id);
+
+  Coordinator sharded(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kPlain, 0.0, 4));
+  EXPECT_DEATH(sharded.RestartEndpoint(w.resources().front().id, snapshot),
+               "RestartEndpoint\\(resource, snapshot\\) is unsharded-only");
+}
+
+TEST(DistributedDynamicsDeathTest, PartitionResourceAbortsWhenSharded) {
+  auto workload = TestWorkload(95);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  Coordinator sharded(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kPlain, 0.0, 4));
+  EXPECT_DEATH(sharded.PartitionResource(w.resources().front().id, 10.0),
+               "PartitionResource is unsharded-only");
+}
+
+TEST(DistributedDynamicsDeathTest, RestoreRejectsMismatchedSnapshot) {
+  auto workload = TestWorkload(96);
+  ASSERT_TRUE(workload.ok()) << workload.error();
+  const Workload& w = workload.value();
+  LatencyModel model(w);
+  Coordinator coordinator(
+      w, model, DynamicsCoordinatorConfig(DynamicsKind::kPlain, 0.0));
+
+  // Wrong resource id.
+  ResourceAgentSnapshot wrong_resource =
+      coordinator.CheckpointResource(w.resources().front().id);
+  wrong_resource.resource = ResourceId(w.resources().back().id.value());
+  if (wrong_resource.resource != w.resources().front().id) {
+    EXPECT_DEATH(
+        coordinator.RestartEndpoint(w.resources().front().id, wrong_resource),
+        "does not match agent");
+  }
+
+  // Wrong latency vector shape (snapshot of a structurally different
+  // workload).
+  ResourceAgentSnapshot wrong_shape =
+      coordinator.CheckpointResource(w.resources().front().id);
+  wrong_shape.latencies_ms.push_back(1.0);
+  EXPECT_DEATH(
+      coordinator.RestartEndpoint(w.resources().front().id, wrong_shape),
+      "does not match agent");
+}
+
+}  // namespace
+}  // namespace lla::runtime

@@ -132,6 +132,24 @@ TEST(CliTest, InvalidDynamicsOrMomentumValueReturnsTwo) {
   EXPECT_EQ(RunCli(solve + " --momentum=nan"), 2);       // not finite
 }
 
+TEST(CliTest, RoundThreadsAcceptsDynamicsFlags) {
+  // --dynamics/--momentum are valid on BOTH paths: the engine and the
+  // --round-threads distributed deployment (they configure the shard
+  // agents' accelerated mu updates, DESIGN.md §7.12).
+  const std::string solve = std::string("solve ") + kPaperWorkload;
+  EXPECT_EQ(RunCli(solve + " --round-threads=1"), 0);
+  EXPECT_EQ(RunCli(solve + " --round-threads=2 --dynamics=heavy-ball "
+                           "--momentum=0.7"),
+            0);
+  EXPECT_EQ(RunCli(solve + " --round-threads=1 --dynamics=nesterov"), 0);
+  // Engine-only flags stay rejected on the distributed path.
+  EXPECT_EQ(RunCli(solve + " --round-threads=2 --threads=2"), 2);
+  EXPECT_EQ(RunCli(solve + " --round-threads=2 --epsilon-quiescence=1e-4"), 2);
+  // Bad dynamics values are usage errors here too.
+  EXPECT_EQ(RunCli(solve + " --round-threads=2 --dynamics=adam"), 2);
+  EXPECT_EQ(RunCli(solve + " --round-threads=2 --momentum=1.5"), 2);
+}
+
 TEST(CliTest, CheckpointThenRestoreRoundTrips) {
   const std::string snap = ::testing::TempDir() + "/cli_state.snap";
   std::remove(snap.c_str());

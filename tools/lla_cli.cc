@@ -79,6 +79,8 @@ int Usage() {
                "[--threads=N] [--epsilon-quiescence=X]\n"
                "            [--dynamics=plain|heavy-ball|nesterov] "
                "[--momentum=B] [--restore=snapshot] [--round-threads=N]\n"
+               "            (--dynamics/--momentum apply to both the engine "
+               "and the --round-threads distributed path)\n"
                "  lla checkpoint <file> <snapshot> [--variant "
                "sum|path-weighted] [--iters N] [--threads=N] "
                "[--epsilon-quiescence=X] [--format=text|binary]\n"
@@ -384,11 +386,14 @@ int Solve(const Workload& w, UtilityVariant variant, int iters,
 // across an N-thread pool (DESIGN.md §7.11).  The fixed point is
 // bit-identical at any thread count, so N only changes wall-clock time.
 int SolveDistributed(const Workload& w, UtilityVariant variant, int iters,
-                     int round_threads) {
+                     int round_threads, const DynamicsConfig& dynamics) {
   LatencyModel model(w);
   runtime::CoordinatorConfig config;
   config.solver.variant = variant;
   config.step.gamma0 = 3.0;
+  // Accelerated mu dynamics for the shard agents (DESIGN.md §7.12); the
+  // coordinator copies this into every agent's step config.
+  config.dynamics = dynamics;
   config.bus.base_delay_ms = 0.0;
   config.record_history = false;
   config.num_shards = static_cast<int>(
@@ -758,14 +763,13 @@ int main(int argc, char** argv) {
                                     &is_dynamics)) {
         return Usage();
       } else if (is_dynamics) {
-        engine_only_flag_seen = true;
+        // Valid on both paths: the engine's PriceDynamicsPolicy and the
+        // distributed agents' per-resource dynamics (DESIGN.md §7.12).
       } else if (!MatchMomentumFlag(argc, argv, &i, &dynamics.momentum,
                                     &is_momentum)) {
         return Usage();
       } else if (!is_momentum) {
         return Usage();
-      } else {
-        engine_only_flag_seen = true;
       }
     }
     if (iters < 1) return Usage();
@@ -776,8 +780,10 @@ int main(int argc, char** argv) {
     if (round_threads_seen) {
       // The distributed path has no engine to thread, restore, or damp;
       // mixing those flags in would silently do nothing, so reject.
+      // (--dynamics/--momentum ARE honored here: they configure the shard
+      // agents' accelerated mu updates.)
       if (engine_only_flag_seen) return Usage();
-      return SolveDistributed(w, variant, iters, round_threads);
+      return SolveDistributed(w, variant, iters, round_threads, dynamics);
     }
     return Solve(w, variant, iters, threads, epsilon_quiescence, dynamics,
                  restore_path);
